@@ -1,0 +1,77 @@
+// Command sacbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sacbench -exp fig10                 # one experiment, quick config
+//	sacbench -exp all -scale 0.1 -queries 200 -datasets brightkite,gowalla
+//	sacbench -list                      # show available experiment ids
+//	sacbench -exp fig12exact -paper     # start from the paper-sized config
+//
+// Output goes to stdout; redirect to keep a record alongside EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sacsearch/internal/exp"
+)
+
+func main() {
+	var (
+		expID    = flag.String("exp", "", "experiment id to run, or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		paper    = flag.Bool("paper", false, "start from the paper-sized config (hours) instead of the quick one")
+		datasets = flag.String("datasets", "", "comma-separated dataset names (default from config)")
+		scale    = flag.Float64("scale", 0, "dataset scale in (0,1] (0 = config default)")
+		queries  = flag.Int("queries", 0, "queries per dataset (0 = config default)")
+		k        = flag.Int("k", 0, "default minimum degree (0 = config default)")
+		seed     = flag.Int64("seed", 0, "workload seed (0 = config default)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			e := exp.Registry[id]
+			fmt.Printf("%-12s %s\n", id, e.Title)
+		}
+		return
+	}
+	if *expID == "" {
+		fmt.Fprintln(os.Stderr, "sacbench: -exp is required (try -list)")
+		os.Exit(2)
+	}
+
+	cfg := exp.DefaultConfig()
+	if *paper {
+		cfg = exp.PaperConfig()
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *queries > 0 {
+		cfg.Queries = *queries
+	}
+	if *k > 0 {
+		cfg.K = *k
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	var err error
+	if *expID == "all" {
+		err = exp.RunAll(cfg, os.Stdout)
+	} else {
+		err = exp.Run(*expID, cfg, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sacbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,155 @@
+// Command sacquery runs one SAC query against a generated or on-disk
+// dataset and prints the community, its MCC and the work counters.
+//
+// Usage:
+//
+//	sacquery -dataset brightkite -scale 0.02 -q 17 -k 4 -algo exact+
+//	sacquery -dataset syn1 -scale 0.05 -q 3 -k 4 -algo appfast -eps 0.5
+//	sacquery -edges g.edges -locs g.locs -n 1000 -q 5 -k 3 -algo appacc
+//	sacquery -dataset gowalla -q 9 -k 3 -algo mindiam -structure kclique
+//
+// Algorithms: exact, exact+, appinc, appfast, appacc, theta, mindiam2,
+// mindiam, global, local. Structure metrics (-structure): kcore (default),
+// ktruss, kclique.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"sacsearch/internal/community"
+	"sacsearch/internal/core"
+	"sacsearch/internal/dataset"
+	"sacsearch/internal/graph"
+	"sacsearch/internal/metrics"
+)
+
+func main() {
+	var (
+		dsName = flag.String("dataset", "", "dataset preset to generate")
+		scale  = flag.Float64("scale", 0.02, "dataset scale in (0,1]")
+		edges  = flag.String("edges", "", "edge-list file (alternative to -dataset)")
+		locs   = flag.String("locs", "", "locations file")
+		n      = flag.Int("n", 0, "vertex count for -edges/-locs input")
+		q      = flag.Int("q", 0, "query vertex id")
+		k      = flag.Int("k", 4, "minimum degree")
+		algo   = flag.String("algo", "exact+", "exact | exact+ | appinc | appfast | appacc | theta | mindiam2 | mindiam | global | local")
+		eps    = flag.Float64("eps", 0.5, "εF (appfast) or εA (appacc/exact+)")
+		theta  = flag.Float64("theta", 1e-4, "θ for -algo theta")
+		metric = flag.String("structure", "kcore", "structure cohesiveness: kcore | ktruss | kclique")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*dsName, *scale, *edges, *locs, *n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sacquery: %v\n", err)
+		os.Exit(1)
+	}
+	qv := graph.V(*q)
+
+	switch *algo {
+	case "global", "local":
+		b := community.NewSearcher(g)
+		var members []graph.V
+		if *algo == "global" {
+			members = b.Global(qv, *k)
+		} else {
+			members = b.Local(qv, *k)
+		}
+		if members == nil {
+			fmt.Println("no community")
+			os.Exit(1)
+		}
+		mcc := g.MCCOf(members)
+		fmt.Printf("%s community: %d members, MCC center (%.4f, %.4f) radius %.6f\n",
+			*algo, len(members), mcc.C.X, mcc.C.Y, mcc.R)
+		fmt.Printf("avg internal degree %.2f, distPr %.6f\n",
+			community.AvgInternalDegree(g, members), metrics.DistPr(g, members, 1))
+		return
+	}
+
+	var structure core.Structure
+	switch *metric {
+	case "kcore":
+		structure = core.StructureKCore
+	case "ktruss":
+		structure = core.StructureKTruss
+	case "kclique":
+		structure = core.StructureKClique
+	default:
+		fmt.Fprintf(os.Stderr, "sacquery: unknown structure metric %q\n", *metric)
+		os.Exit(2)
+	}
+	s := core.NewSearcherWithStructure(g, structure)
+	var res *core.Result
+	switch *algo {
+	case "exact":
+		res, err = s.Exact(qv, *k)
+	case "exact+":
+		res, err = s.ExactPlus(qv, *k, *eps)
+	case "appinc":
+		res, err = s.AppInc(qv, *k)
+	case "appfast":
+		res, err = s.AppFast(qv, *k, *eps)
+	case "appacc":
+		res, err = s.AppAcc(qv, *k, *eps)
+	case "theta":
+		res, err = s.ThetaSAC(qv, *k, *theta)
+	case "mindiam2":
+		res, err = s.MinDiam2Approx(qv, *k)
+	case "mindiam":
+		res, err = s.MinDiamLens(qv, *k)
+	default:
+		fmt.Fprintf(os.Stderr, "sacquery: unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+	if errors.Is(err, core.ErrNoCommunity) {
+		fmt.Println("no community")
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sacquery: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s SAC for q=%d k=%d: %d members\n", *algo, *q, *k, res.Size())
+	fmt.Printf("MCC center (%.4f, %.4f), radius %.6f, δ %.6f\n",
+		res.MCC.C.X, res.MCC.C.Y, res.Radius(), res.Delta)
+	fmt.Printf("stats: %d candidates, %d feasibility checks, %d circles, %v\n",
+		res.Stats.CandidateSize, res.Stats.FeasibilityChecks, res.Stats.CirclesExamined, res.Stats.Elapsed)
+	if *algo == "mindiam2" || *algo == "mindiam" {
+		fmt.Printf("diameter (max pairwise distance): %.6f\n", core.DiameterOf(g, res.Members))
+	}
+	if res.Size() <= 25 {
+		fmt.Printf("members: %v\n", res.Members)
+	}
+}
+
+func loadGraph(dsName string, scale float64, edges, locs string, n int) (*graph.Graph, error) {
+	switch {
+	case dsName != "":
+		ds, err := dataset.Load(dsName, scale)
+		if err != nil {
+			return nil, err
+		}
+		return ds.Graph, nil
+	case edges != "" && locs != "":
+		if n <= 0 {
+			return nil, fmt.Errorf("-n (vertex count) is required with -edges/-locs")
+		}
+		ef, err := os.Open(edges)
+		if err != nil {
+			return nil, err
+		}
+		defer ef.Close()
+		lf, err := os.Open(locs)
+		if err != nil {
+			return nil, err
+		}
+		defer lf.Close()
+		return graph.Read(ef, lf, n)
+	default:
+		return nil, fmt.Errorf("provide -dataset or both -edges and -locs")
+	}
+}

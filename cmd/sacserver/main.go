@@ -1,0 +1,42 @@
+// Command sacserver serves SAC search over HTTP — the system prototype of
+// the paper's Section 6 future work.
+//
+// Usage:
+//
+//	sacserver -dataset brightkite -scale 0.05 -addr :8080
+//
+// Then:
+//
+//	curl localhost:8080/api/health
+//	curl -X POST localhost:8080/api/query -d '{"q":17,"k":4,"algo":"exact+"}'
+//	curl -X POST localhost:8080/api/batch -d '{"queries":[{"q":17,"k":4},{"q":23,"k":4}]}'
+//	curl -X POST localhost:8080/api/checkin -d '{"v":17,"x":0.5,"y":0.5}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"sacsearch/internal/dataset"
+	"sacsearch/internal/server"
+)
+
+func main() {
+	var (
+		name  = flag.String("dataset", "brightkite", "dataset preset to serve")
+		scale = flag.Float64("scale", 0.05, "dataset scale in (0,1]")
+		addr  = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	ds, err := dataset.Load(*name, *scale)
+	if err != nil {
+		log.Fatalf("sacserver: %v", err)
+	}
+	srv := server.New(ds.Name, ds.Graph)
+	fmt.Printf("sacserver: serving %s (%d vertices, %d edges) on %s\n",
+		ds.Name, ds.Graph.NumVertices(), ds.Graph.NumEdges(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

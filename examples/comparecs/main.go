@@ -1,0 +1,78 @@
+// Baseline comparison (the paper's Section 5.2.2 in miniature): run SAC
+// search and the prior community-retrieval methods — Global and Local
+// community search, GeoModu community detection — on the same queries and
+// compare spatial compactness (radius, distPr) and structure cohesiveness
+// (average internal degree).
+//
+//	go run ./examples/comparecs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sacsearch"
+)
+
+func main() {
+	ds, err := sacsearch.LoadDataset("gowalla", 0.02)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := ds.Graph
+	fmt.Printf("dataset %s (scaled): %d vertices, %d edges\n\n", ds.Name, g.NumVertices(), g.NumEdges())
+
+	queries := sacsearch.QueryWorkload(g, 4, 15, 11)
+	const k = 4
+
+	sac := sacsearch.NewSearcher(g)
+	base := sacsearch.NewBaselineSearcher(g)
+	geo1 := sacsearch.RunGeoModu(g, 1)
+	geo2 := sacsearch.RunGeoModu(g, 2)
+
+	methods := []struct {
+		name string
+		run  func(q sacsearch.V) []sacsearch.V
+	}{
+		{"Global", func(q sacsearch.V) []sacsearch.V { return base.Global(q, k) }},
+		{"Local", func(q sacsearch.V) []sacsearch.V { return base.Local(q, k) }},
+		{"GeoModu(µ=1)", func(q sacsearch.V) []sacsearch.V { return geo1.CommunityOf(q) }},
+		{"GeoModu(µ=2)", func(q sacsearch.V) []sacsearch.V { return geo2.CommunityOf(q) }},
+		{"SAC (Exact+)", func(q sacsearch.V) []sacsearch.V {
+			res, err := sac.ExactPlus(q, k, 1e-3)
+			if err != nil {
+				return nil
+			}
+			return res.Members
+		}},
+	}
+
+	fmt.Printf("%-14s %10s %10s %10s %8s\n", "method", "radius", "distPr", "avg deg", "size")
+	for _, m := range methods {
+		var radius, distPr, avgDeg, size float64
+		found := 0
+		for _, q := range queries {
+			members := m.run(q)
+			if len(members) == 0 {
+				continue
+			}
+			found++
+			radius += sacsearch.CommunityRadius(g, members)
+			distPr += sacsearch.CommunityDistPr(g, members, 1)
+			avgDeg += sacsearch.AvgInternalDegree(g, members)
+			size += float64(len(members))
+		}
+		if found == 0 {
+			fmt.Printf("%-14s found no communities\n", m.name)
+			continue
+		}
+		f := float64(found)
+		fmt.Printf("%-14s %10.4f %10.4f %10.2f %8.1f\n",
+			m.name, radius/f, distPr/f, avgDeg/f, size/f)
+	}
+
+	fmt.Println("\nreading the table (paper's Figure 10):")
+	fmt.Println(" - Global/Local ignore locations: big radii, strong degrees")
+	fmt.Println(" - GeoModu is spatially tighter but its blocks ignore k")
+	fmt.Println(" - SAC search is tight on both axes")
+}

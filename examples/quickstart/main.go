@@ -1,0 +1,83 @@
+// Quickstart: build a small geo-social graph by hand, run every SAC search
+// algorithm on the same query, and compare the circles they return.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sacsearch"
+)
+
+func main() {
+	// Nine users in three "cities", mirroring the paper's Figure 1: a tight
+	// triangle in the middle city, a looser group to the west, and a
+	// separate clique to the east.
+	b := sacsearch.NewBuilder(9)
+	type loc struct{ x, y float64 }
+	locs := []loc{
+		{0.50, 0.50}, // 0: Tom   (query user, middle city)
+		{0.51, 0.50}, // 1: Jeff
+		{0.50, 0.51}, // 2: Jim
+		{0.20, 0.20}, // 3: Jack  (west city)
+		{0.21, 0.20}, // 4: Bob
+		{0.20, 0.22}, // 5: Leo
+		{0.80, 0.80}, // 6: Jason (east city)
+		{0.81, 0.80}, // 7: John
+		{0.80, 0.81}, // 8: Eric
+	}
+	names := []string{"Tom", "Jeff", "Jim", "Jack", "Bob", "Leo", "Jason", "John", "Eric"}
+	for v, l := range locs {
+		b.SetLoc(sacsearch.V(v), sacsearch.Point{X: l.x, Y: l.y})
+	}
+	edges := [][2]sacsearch.V{
+		{0, 1}, {1, 2}, {2, 0}, // middle triangle
+		{3, 4}, {4, 5}, {5, 3}, // west triangle
+		{6, 7}, {7, 8}, {8, 6}, // east triangle
+		{0, 3}, {0, 4}, // Tom also knows two westerners
+		{2, 6}, // Jim knows Jason
+	}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.Build()
+	if err := g.SetLabels(names); err != nil {
+		log.Fatal(err)
+	}
+
+	s := sacsearch.NewSearcher(g)
+	q, k := sacsearch.V(0), 2 // Tom wants a dinner group: everyone knows 2 others
+
+	fmt.Printf("SAC search for %s with k=%d\n\n", g.Label(q), k)
+	algos := []struct {
+		name string
+		run  func() (*sacsearch.Result, error)
+	}{
+		{"Exact    ", func() (*sacsearch.Result, error) { return s.Exact(q, k) }},
+		{"Exact+   ", func() (*sacsearch.Result, error) { return s.ExactPlus(q, k, 1e-3) }},
+		{"AppInc   ", func() (*sacsearch.Result, error) { return s.AppInc(q, k) }},
+		{"AppFast  ", func() (*sacsearch.Result, error) { return s.AppFast(q, k, 0.5) }},
+		{"AppAcc   ", func() (*sacsearch.Result, error) { return s.AppAcc(q, k, 0.5) }},
+	}
+	for _, a := range algos {
+		res, err := a.run()
+		if err != nil {
+			log.Fatalf("%s: %v", a.name, err)
+		}
+		fmt.Printf("%s radius %.4f  members:", a.name, res.Radius())
+		for _, v := range res.Members {
+			fmt.Printf(" %s", g.Label(v))
+		}
+		fmt.Println()
+	}
+
+	// Contrast with the non-spatial Global baseline: it returns Tom's whole
+	// 2-core, spanning two cities.
+	base := sacsearch.NewBaselineSearcher(g)
+	global := base.Global(q, k)
+	fmt.Printf("\nGlobal (non-spatial) community has %d members across radius %.4f —\n",
+		len(global), sacsearch.CommunityRadius(g, global))
+	fmt.Println("SAC search keeps the dinner group in one city.")
+}

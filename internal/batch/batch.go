@@ -1,0 +1,233 @@
+// Package batch implements batched SAC query processing — the paper's
+// Section 6 future work ("we will study how to support batch processing for
+// SAC search"). Applications like event recommendation fire many SAC queries
+// at once (one per online user); answering them together beats answering
+// them one by one because
+//
+//   - the O(m) core decomposition is computed once and shared by every
+//     worker (core.Searcher.Clone shares the immutable decompositions),
+//   - duplicate (q, k) pairs — common when hot users re-query — are
+//     answered once and fanned back out,
+//   - queries run on a configurable number of workers, each owning an
+//     isolated scratch space, so the batch saturates the machine without
+//     data races.
+//
+// Results come back in input order (Run) or as they complete (Stream).
+package batch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sacsearch/internal/core"
+	"sacsearch/internal/graph"
+)
+
+// Algo selects the SAC algorithm a batch runs.
+type Algo int
+
+const (
+	// AlgoAppFast runs AppFast(εF) — the default: fastest with a 2+εF
+	// guarantee.
+	AlgoAppFast Algo = iota
+	// AlgoAppInc runs AppInc (parameter-free 2-approximation).
+	AlgoAppInc
+	// AlgoAppAcc runs AppAcc(εA) (1+εA approximation).
+	AlgoAppAcc
+	// AlgoExactPlus runs ExactPlus(εA) (exact).
+	AlgoExactPlus
+	// AlgoExact runs the naive Exact — correctness baseline, small graphs
+	// only.
+	AlgoExact
+)
+
+func (a Algo) String() string {
+	switch a {
+	case AlgoAppFast:
+		return "AppFast"
+	case AlgoAppInc:
+		return "AppInc"
+	case AlgoAppAcc:
+		return "AppAcc"
+	case AlgoExactPlus:
+		return "ExactPlus"
+	case AlgoExact:
+		return "Exact"
+	default:
+		return fmt.Sprintf("Algo(%d)", int(a))
+	}
+}
+
+// Query is one SAC request.
+type Query struct {
+	Q graph.V
+	K int
+}
+
+// Item is one answered query. Exactly one of Result and Err is set.
+type Item struct {
+	Query
+	Result *core.Result
+	Err    error
+}
+
+// Options configures a batch run. The zero value runs AppFast(0.5) on
+// GOMAXPROCS workers.
+type Options struct {
+	// Workers is the number of concurrent searchers; ≤ 0 means GOMAXPROCS.
+	Workers int
+	// Algorithm selects the SAC algorithm (default AlgoAppFast).
+	Algorithm Algo
+	// EpsF is AppFast's εF (default 0.5 when zero and Algorithm is
+	// AlgoAppFast; 0 is meaningful only if EpsFSet).
+	EpsF float64
+	// EpsFSet marks EpsF as deliberately zero (AppFast(0) is the AppInc
+	// result, which is a valid choice).
+	EpsFSet bool
+	// EpsA is AppAcc's / ExactPlus's εA (default 0.5 for AppAcc, 1e-3 for
+	// ExactPlus).
+	EpsA float64
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) epsF() float64 {
+	if o.EpsF == 0 && !o.EpsFSet {
+		return 0.5
+	}
+	return o.EpsF
+}
+
+func (o Options) epsA() float64 {
+	if o.EpsA != 0 {
+		return o.EpsA
+	}
+	if o.Algorithm == AlgoExactPlus {
+		return 1e-3
+	}
+	return 0.5
+}
+
+// run dispatches one query on one searcher.
+func run(s *core.Searcher, q Query, o Options) (*core.Result, error) {
+	switch o.Algorithm {
+	case AlgoAppInc:
+		return s.AppInc(q.Q, q.K)
+	case AlgoAppAcc:
+		return s.AppAcc(q.Q, q.K, o.epsA())
+	case AlgoExactPlus:
+		return s.ExactPlus(q.Q, q.K, o.epsA())
+	case AlgoExact:
+		return s.Exact(q.Q, q.K)
+	default:
+		return s.AppFast(q.Q, q.K, o.epsF())
+	}
+}
+
+// Run answers every query and returns the items in input order. Duplicate
+// (q, k) pairs are answered once. The searcher itself is never used
+// directly; each worker gets a Clone, so s may be in use elsewhere as long
+// as the graph's locations are not mutated concurrently.
+func Run(s *core.Searcher, queries []Query, opt Options) []Item {
+	items := make([]Item, len(queries))
+
+	// Deduplicate: first occurrence owns the computation.
+	type slot struct {
+		first int   // index into queries that computes the answer
+		rest  []int // indices that reuse it
+	}
+	order := make([]Query, 0, len(queries))
+	slots := make(map[Query]*slot, len(queries))
+	for i, q := range queries {
+		if sl, ok := slots[q]; ok {
+			sl.rest = append(sl.rest, i)
+			continue
+		}
+		slots[q] = &slot{first: i}
+		order = append(order, q)
+	}
+
+	workers := opt.workers()
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if workers <= 1 {
+		// Run inline on a single clone; no goroutines to coordinate.
+		w := s.Clone()
+		for _, q := range order {
+			res, err := run(w, q, opt)
+			items[slots[q].first] = Item{Query: q, Result: res, Err: err}
+		}
+	} else {
+		feed := make(chan Query)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ws := s.Clone()
+				for q := range feed {
+					res, err := run(ws, q, opt)
+					items[slots[q].first] = Item{Query: q, Result: res, Err: err}
+				}
+			}()
+		}
+		for _, q := range order {
+			feed <- q
+		}
+		close(feed)
+		wg.Wait()
+	}
+
+	// Fan duplicate answers back out.
+	for q, sl := range slots {
+		for _, i := range sl.rest {
+			items[i] = items[sl.first]
+			items[i].Query = q
+		}
+	}
+	return items
+}
+
+// Stream answers queries from in as they arrive and sends items on the
+// returned channel as they complete (not in input order). The channel is
+// closed when in is closed and all in-flight queries have finished.
+// Duplicate queries are not deduplicated — streams are unbounded, so the
+// memory of past answers is the caller's concern.
+func Stream(s *core.Searcher, in <-chan Query, opt Options) <-chan Item {
+	out := make(chan Item)
+	workers := opt.workers()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := s.Clone()
+			for q := range in {
+				res, err := run(ws, q, opt)
+				out <- Item{Query: q, Result: res, Err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// Workload builds the all-pairs batch for one k over a set of query
+// vertices — a convenience for benchmark harnesses and the batch example.
+func Workload(qs []graph.V, k int) []Query {
+	out := make([]Query, len(qs))
+	for i, q := range qs {
+		out[i] = Query{Q: q, K: k}
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+package community
+
+import (
+	"math"
+
+	"sacsearch/internal/graph"
+)
+
+// GeoModu is the community-detection baseline of Chen et al. [4]: edges are
+// re-weighted by spatial proximity, e_ij = 1/d_ij^µ with decay factor µ ∈
+// {1, 2}, and communities are found by fast modularity maximization (the
+// Louvain method). Unlike SAC search this partitions the whole graph with no
+// reference to a query vertex; queries just look up their block.
+//
+// Vertices at identical locations get the weight of distance minGeoDist to
+// keep weights finite.
+
+// minGeoDist floors pairwise distances when computing 1/d^µ weights.
+const minGeoDist = 1e-6
+
+// Partition is the result of one GeoModu run: a block id per vertex.
+type Partition struct {
+	g     *graph.Graph
+	comm  []int32
+	count int
+	mu    float64
+}
+
+// NumCommunities returns the number of blocks in the partition.
+func (p *Partition) NumCommunities() int { return p.count }
+
+// Block returns the block id of v.
+func (p *Partition) Block(v graph.V) int32 { return p.comm[v] }
+
+// CommunityOf returns all vertices sharing q's block, ascending.
+func (p *Partition) CommunityOf(q graph.V) []graph.V {
+	var out []graph.V
+	want := p.comm[q]
+	for v := range p.comm {
+		if p.comm[v] == want {
+			out = append(out, graph.V(v))
+		}
+	}
+	return out
+}
+
+// RunGeoModu detects communities on g with decay factor mu. The run is
+// deterministic: vertices are swept in id order.
+func RunGeoModu(g *graph.Graph, mu float64) *Partition {
+	lg := newWeightedFromGraph(g, mu)
+	assign := louvain(lg)
+	count := 0
+	seen := map[int32]int32{}
+	comm := make([]int32, len(assign))
+	for v, c := range assign {
+		id, ok := seen[c]
+		if !ok {
+			id = int32(count)
+			seen[c] = id
+			count++
+		}
+		comm[v] = id
+	}
+	return &Partition{g: g, comm: comm, count: count, mu: mu}
+}
+
+// weighted is an undirected weighted multigraph used by the Louvain levels.
+type weighted struct {
+	n     int
+	adjTo [][]int32
+	adjW  [][]float64
+	self  []float64 // self-loop weight (internal weight of an aggregated block)
+	total float64   // sum of all edge weights, self-loops counted once
+}
+
+func newWeightedFromGraph(g *graph.Graph, mu float64) *weighted {
+	n := g.NumVertices()
+	w := &weighted{
+		n:     n,
+		adjTo: make([][]int32, n),
+		adjW:  make([][]float64, n),
+		self:  make([]float64, n),
+	}
+	for u := 0; u < n; u++ {
+		nb := g.Neighbors(graph.V(u))
+		w.adjTo[u] = make([]int32, 0, len(nb))
+		w.adjW[u] = make([]float64, 0, len(nb))
+		for _, v := range nb {
+			d := g.Dist(graph.V(u), v)
+			if d < minGeoDist {
+				d = minGeoDist
+			}
+			ew := 1 / math.Pow(d, mu)
+			w.adjTo[u] = append(w.adjTo[u], v)
+			w.adjW[u] = append(w.adjW[u], ew)
+			if graph.V(u) < v {
+				w.total += ew
+			}
+		}
+	}
+	return w
+}
+
+// strength returns the weighted degree of v (self-loops count twice, as is
+// standard in modularity).
+func (w *weighted) strength(v int32) float64 {
+	s := 2 * w.self[v]
+	for _, ew := range w.adjW[v] {
+		s += ew
+	}
+	return s
+}
+
+// louvain runs the two-phase Louvain method to convergence and returns the
+// block assignment for the original vertices.
+func louvain(w *weighted) []int32 {
+	// assign[v] = block of original vertex v, tracked through aggregations.
+	assign := make([]int32, w.n)
+	for v := range assign {
+		assign[v] = int32(v)
+	}
+	cur := w
+	for level := 0; level < 32; level++ {
+		comm, moved := localMove(cur)
+		if !moved {
+			break
+		}
+		// Renumber blocks densely.
+		next := int32(0)
+		remap := make(map[int32]int32, cur.n)
+		for v := 0; v < cur.n; v++ {
+			if _, ok := remap[comm[v]]; !ok {
+				remap[comm[v]] = next
+				next++
+			}
+		}
+		for v := 0; v < cur.n; v++ {
+			comm[v] = remap[comm[v]]
+		}
+		// Propagate to original vertices.
+		for ov := range assign {
+			assign[ov] = comm[assign[ov]]
+		}
+		if int(next) == cur.n {
+			break // no aggregation happened
+		}
+		cur = aggregate(cur, comm, int(next))
+	}
+	return assign
+}
+
+// localMove is Louvain phase 1: greedily move vertices between blocks while
+// modularity improves. It returns the block assignment and whether anything
+// moved.
+func localMove(w *weighted) ([]int32, bool) {
+	comm := make([]int32, w.n)
+	sigma := make([]float64, w.n) // total strength per block
+	for v := 0; v < w.n; v++ {
+		comm[v] = int32(v)
+		sigma[v] = w.strength(int32(v))
+	}
+	if w.total <= 0 {
+		return comm, false
+	}
+	m2 := 2 * w.total
+	// neighWeight[c] accumulates edge weight from the vertex under
+	// consideration into block c; touched tracks which entries are dirty.
+	neighWeight := make([]float64, w.n)
+	touched := make([]int32, 0, 64)
+
+	anyMoved := false
+	for sweep := 0; sweep < 64; sweep++ {
+		movedThisSweep := false
+		for v := 0; v < w.n; v++ {
+			vc := comm[v]
+			kv := w.strength(int32(v))
+			// Collect weights to neighboring blocks.
+			touched = touched[:0]
+			for i, u := range w.adjTo[v] {
+				c := comm[u]
+				if int32(v) == u {
+					continue
+				}
+				if neighWeight[c] == 0 {
+					touched = append(touched, c)
+				}
+				neighWeight[c] += w.adjW[v][i]
+			}
+			// Remove v from its block.
+			sigma[vc] -= kv
+			// Gain of joining block c: w(v→c) − σ(c)·k(v)/2m. Staying put is
+			// the baseline.
+			bestC := vc
+			bestGain := neighWeight[vc] - sigma[vc]*kv/m2
+			for _, c := range touched {
+				if c == vc {
+					continue
+				}
+				gain := neighWeight[c] - sigma[c]*kv/m2
+				if gain > bestGain+1e-12 {
+					bestGain = gain
+					bestC = c
+				}
+			}
+			sigma[bestC] += kv
+			if bestC != vc {
+				comm[v] = bestC
+				movedThisSweep = true
+				anyMoved = true
+			}
+			// Reset scratch.
+			for _, c := range touched {
+				neighWeight[c] = 0
+			}
+		}
+		if !movedThisSweep {
+			break
+		}
+	}
+	return comm, anyMoved
+}
+
+// aggregate is Louvain phase 2: collapse each block into a super-vertex.
+func aggregate(w *weighted, comm []int32, blocks int) *weighted {
+	out := &weighted{
+		n:     blocks,
+		adjTo: make([][]int32, blocks),
+		adjW:  make([][]float64, blocks),
+		self:  make([]float64, blocks),
+		total: w.total,
+	}
+	// Accumulate cross-block weights in maps, then flatten.
+	cross := make([]map[int32]float64, blocks)
+	for v := 0; v < w.n; v++ {
+		cv := comm[v]
+		out.self[cv] += w.self[v]
+		for i, u := range w.adjTo[v] {
+			cu := comm[u]
+			ew := w.adjW[v][i]
+			if cu == cv {
+				// Each internal edge appears twice across the two endpoints.
+				out.self[cv] += ew / 2
+				continue
+			}
+			if cross[cv] == nil {
+				cross[cv] = map[int32]float64{}
+			}
+			cross[cv][cu] += ew
+		}
+	}
+	for c := 0; c < blocks; c++ {
+		for to, ew := range cross[c] {
+			out.adjTo[c] = append(out.adjTo[c], to)
+			out.adjW[c] = append(out.adjW[c], ew)
+		}
+	}
+	return out
+}
+
+// Modularity returns the weighted modularity of the partition under the
+// 1/d^µ edge weights — exposed for tests and for reporting Geo-Modularity.
+func Modularity(g *graph.Graph, comm []int32, mu float64) float64 {
+	w := newWeightedFromGraph(g, mu)
+	if w.total <= 0 {
+		return 0
+	}
+	m2 := 2 * w.total
+	nBlocks := 0
+	for _, c := range comm {
+		if int(c)+1 > nBlocks {
+			nBlocks = int(c) + 1
+		}
+	}
+	inW := make([]float64, nBlocks)
+	totW := make([]float64, nBlocks)
+	for v := 0; v < w.n; v++ {
+		c := comm[v]
+		totW[c] += w.strength(int32(v))
+		for i, u := range w.adjTo[v] {
+			if comm[u] == c {
+				inW[c] += w.adjW[v][i] // counts each internal edge twice
+			}
+		}
+	}
+	q := 0.0
+	for c := 0; c < nBlocks; c++ {
+		q += inW[c]/m2 - (totW[c]/m2)*(totW[c]/m2)
+	}
+	return q
+}

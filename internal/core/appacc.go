@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sacsearch/internal/geom"
+	"sacsearch/internal/graph"
+	"sacsearch/internal/quadtree"
+)
+
+const sqrt2 = 1.4142135623730951
+
+// appAccState is everything AppAcc learns about a query; ExactPlus builds
+// its annulus pruning (Section 4.5) on top of it.
+type appAccState struct {
+	members []graph.V // Γ: best community found
+	mcc     geom.Circle
+	delta   float64 // δ from AppFast(0)
+	gamma   float64 // γ: MCC radius of Φ
+	rcur    float64 // radius of the best (smallest) MCC found
+
+	S      []graph.V // the k-ĉore containing q inside O(q, 2γ) — contains Ψ
+	sDists []float64 // scratch: distances of S from the current anchor
+	order  []int     // scratch: index sort of S by those distances
+
+	finalCells []quadtree.Cell // surviving anchors of the last processed level
+	finalHalf  float64         // half-width of those cells
+	degenerate bool            // γ == 0: Φ is already optimal
+}
+
+// AppAcc is the (1+εA)-approximation of Section 4.4 (Algorithm 4). It first
+// runs AppFast(0) to obtain Φ, δ and γ, then refines a quadtree of anchor
+// points over the square of width 2γ centered at q. For each surviving
+// anchor p it binary-searches the smallest radius r_p such that O(p, r_p)
+// contains a feasible solution, pruning anchors that provably cannot be
+// close to the optimal MCC center o (Pruning1 and Pruning2). With cell
+// threshold β = δ·εA/(√2(2+εA)) and gap α' = δ·εA/4, Lemma 7 bounds the
+// ratio by 1+εA.
+func (s *Searcher) AppAcc(q graph.V, k int, epsA float64) (*Result, error) {
+	start := s.begin()
+	if err := s.checkQuery(q, k); err != nil {
+		return nil, err
+	}
+	if epsA <= 0 || epsA >= 1 {
+		return nil, fmt.Errorf("core: εA = %v must be in (0,1)", epsA)
+	}
+	if res, handled, err := s.trivialK(q, k); handled {
+		return s.finish(res, start), err
+	}
+	st, err := s.appAcc(q, k, epsA)
+	if err != nil {
+		return nil, err
+	}
+	res := s.buildResult(q, k, st.members, st.delta)
+	return s.finish(res, start), nil
+}
+
+// appAcc runs the full anchor refinement and returns its state.
+func (s *Searcher) appAcc(q graph.V, k int, epsA float64) (*appAccState, error) {
+	cand, err := s.candidates(q, k)
+	if err != nil {
+		return nil, err
+	}
+	// Step 1: Φ, δ, γ via the εF = 0 binary search (Algorithm 4, line 2).
+	phi, delta := s.appFastSearch(cand, q, k, 0)
+	gamma := s.g.MCCOf(phi).R
+
+	st := &appAccState{
+		members: phi,
+		delta:   delta,
+		gamma:   gamma,
+		rcur:    gamma,
+	}
+	st.mcc = s.g.MCCOf(phi)
+	if gamma <= geom.Eps {
+		// All of Φ sits at one point: radius 0 cannot be improved.
+		st.degenerate = true
+		return st, nil
+	}
+
+	// Step 2: S ← the k-ĉore containing q within O(q, 2γ); by Corollary 2 it
+	// contains the optimal solution Ψ (Algorithm 4, line 3).
+	prefix := cand.prefixWithin(2 * gamma)
+	if c := s.feasible(prefix, q, k); c != nil {
+		st.S = append([]graph.V(nil), c...)
+	} else {
+		// Cannot happen: Φ ⊆ O(q, δ) ⊆ O(q, 2γ) is feasible. Guard anyway.
+		st.S = append([]graph.V(nil), phi...)
+	}
+	st.sDists = make([]float64, len(st.S))
+	st.order = make([]int, len(st.S))
+
+	// Step 3: level-by-level anchor refinement.
+	qLoc := s.g.Loc(q)
+	betaMin := delta * epsA / (sqrt2 * (2 + epsA)) // threshold on cell width β
+	alphaP := delta * epsA / 4                     // binary-search gap α'
+	frontier := quadtree.NewFrontier(quadtree.Root(qLoc, gamma))
+
+	for frontier.Len() > 0 && frontier.Half()*2 >= betaMin {
+		cells := frontier.Cells()
+		cover := cells[0].CoverRadius() // √2·β/2 for width β cells
+		for i := range cells {
+			cell := &cells[i]
+			// Pruning1: the optimal center o satisfies |o,q| ≤ ropt ≤ rcur,
+			// so a cell farther than rcur + cover from q cannot contain o.
+			if cell.C.Dist(qLoc) > st.rcur+cover {
+				s.stats.AnchorsPruned++
+				cell.InfeasibleR = math.Inf(1) // mark dead for expansion
+				continue
+			}
+			// Pruning2 (inherited): O(cell.C, r) is known infeasible for
+			// r = InfeasibleR; if even r ≥ rcur + cover is infeasible, the
+			// cell cannot contain o.
+			if !s.noPruning2 && cell.InfeasibleR >= st.rcur+cover {
+				s.stats.AnchorsPruned++
+				continue
+			}
+			s.stats.AnchorsProcessed++
+			s.anchorSearch(st, cell, q, k, alphaP, cover)
+		}
+		// Record this level's survivors for Exact+ before expanding.
+		st.finalCells = st.finalCells[:0]
+		for _, cell := range cells {
+			if !math.IsInf(cell.InfeasibleR, 1) && cell.InfeasibleR < st.rcur+cover &&
+				cell.C.Dist(qLoc) <= st.rcur+cover {
+				st.finalCells = append(st.finalCells, cell)
+			}
+		}
+		st.finalHalf = frontier.Half()
+		// Expand survivors to the next level (Pruning1/2 against the final
+		// rcur of this level, as in Algorithm 4 line 25).
+		frontier.Expand(func(c quadtree.Cell) bool {
+			if math.IsInf(c.InfeasibleR, 1) {
+				return false
+			}
+			if c.C.Dist(qLoc) > st.rcur+c.CoverRadius() {
+				return false
+			}
+			return s.noPruning2 || c.InfeasibleR < st.rcur+c.CoverRadius()
+		})
+	}
+	return st, nil
+}
+
+// anchorSearch binary-searches the smallest radius around anchor cell.C that
+// still contains a feasible solution, updating the incumbent Γ/rcur and the
+// cell's infeasibility knowledge.
+func (s *Searcher) anchorSearch(st *appAccState, cell *quadtree.Cell, q graph.V, k int, alphaP, cover float64) {
+	p := cell.C
+	// Distances from the anchor to every vertex of S, index-sorted.
+	for i, v := range st.S {
+		st.sDists[i] = p.Dist(s.g.Loc(v))
+		st.order[i] = i
+	}
+	order := st.order
+	sort.Slice(order, func(a, b int) bool { return st.sDists[order[a]] < st.sDists[order[b]] })
+
+	// prefix(r) = S members within distance r of p, reusing subBuf.
+	prefix := func(r float64) []graph.V {
+		s.subBuf = s.subBuf[:0]
+		for _, idx := range order {
+			if st.sDists[idx] > r+geom.Eps {
+				break
+			}
+			s.subBuf = append(s.subBuf, st.S[idx])
+		}
+		return s.subBuf
+	}
+
+	u := st.rcur + cover
+	c0 := s.feasible(prefix(u), q, k)
+	if c0 == nil {
+		// No feasible solution within the widest useful radius: record for
+		// Pruning2 and stop.
+		if u > cell.InfeasibleR {
+			cell.InfeasibleR = u
+		}
+		return
+	}
+	bestMembers := append([]graph.V(nil), c0...)
+	l := st.delta / 2 // r_p ≥ ropt ≥ δ/2 (Lemma 3)
+	if cell.InfeasibleR > l {
+		l = cell.InfeasibleR
+	}
+	for u-l > alphaP && u-l > 1e-8 {
+		s.stats.BinaryIters++
+		r := (l + u) / 2
+		if c := s.feasible(prefix(r), q, k); c != nil {
+			bestMembers = append(bestMembers[:0], c...)
+			// Shrink to the actual farthest member, not just r.
+			u = s.maxDistFrom(p, bestMembers)
+		} else {
+			l = r
+			if r > cell.InfeasibleR {
+				cell.InfeasibleR = r
+			}
+		}
+	}
+	// The community found in the smallest feasible anchor circle; its true
+	// MCC may be smaller still.
+	if mcc := s.g.MCCOf(bestMembers); mcc.R < st.rcur {
+		st.rcur = mcc.R
+		st.mcc = mcc
+		st.members = append(st.members[:0], bestMembers...)
+	}
+}

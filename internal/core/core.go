@@ -1,0 +1,375 @@
+// Package core implements the paper's primary contribution: spatial-aware
+// community (SAC) search over large spatial graphs (Problem 1).
+//
+// Given a spatial graph G, a query vertex q and a degree threshold k, SAC
+// search returns a connected subgraph containing q whose vertices all have
+// degree ≥ k inside the subgraph, covered by the minimum covering circle
+// (MCC) of smallest radius among all such subgraphs. The package provides
+// the five algorithms of Section 4 plus the θ-SAC variant of Section 3:
+//
+//	Exact     — Algorithm 1, ratio 1,      O(m·n³)
+//	AppInc    — Algorithm 2, ratio 2,      O(m·n)
+//	AppFast   — Algorithm 3, ratio 2+εF,   O(m·min{n, log 1/εF})
+//	AppAcc    — Algorithm 4, ratio 1+εA,   O(m/εA² · min{n, log 1/εA})
+//	ExactPlus — Algorithm 5, ratio 1,      AppAcc + O(m·|F1|³)
+//	ThetaSAC  — Global [29] restricted to the circle O(q, θ)
+//
+// Structure cohesiveness is pluggable: the default is the minimum-degree
+// k-core metric; the k-truss and k-clique metrics (Section 3 "Remarks") are
+// available via StructureKTruss and StructureKClique.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"sacsearch/internal/geom"
+	"sacsearch/internal/graph"
+	"sacsearch/internal/kclique"
+	"sacsearch/internal/kcore"
+	"sacsearch/internal/ktruss"
+)
+
+// ErrNoCommunity is returned when the query vertex belongs to no connected
+// structure (k-core, k-truss or k-clique community) of the requested order,
+// so no feasible solution exists.
+var ErrNoCommunity = errors.New("core: query vertex has no feasible community")
+
+// Structure selects the structure-cohesiveness metric (Section 3, Remarks).
+type Structure int
+
+const (
+	// StructureKCore requires every community vertex to have degree ≥ k
+	// within the community (Definition 1; the paper's default).
+	StructureKCore Structure = iota
+	// StructureKTruss requires every community edge to close ≥ k-2
+	// triangles within the community.
+	StructureKTruss
+	// StructureKClique requires the community to be a k-clique community:
+	// a union of k-cliques connected through shared (k-1)-vertex overlaps
+	// (clique percolation).
+	StructureKClique
+)
+
+func (s Structure) String() string {
+	switch s {
+	case StructureKCore:
+		return "k-core"
+	case StructureKTruss:
+		return "k-truss"
+	case StructureKClique:
+		return "k-clique"
+	default:
+		return fmt.Sprintf("Structure(%d)", int(s))
+	}
+}
+
+// Stats records per-query work counters; they feed the efficiency figures
+// and the ablation benchmarks.
+type Stats struct {
+	CandidateSize     int           // |X|: size of q's k-ĉore
+	FeasibilityChecks int           // restricted peeling invocations
+	CirclesExamined   int           // pair/triple circles evaluated (Exact, Exact+)
+	AnchorsProcessed  int           // AppAcc anchors binary-searched
+	AnchorsPruned     int           // AppAcc anchors cut by Pruning1/Pruning2
+	BinaryIters       int           // binary-search iterations (AppFast, AppAcc)
+	F1Size            int           // |F1| potential fixed vertices (Exact+)
+	Elapsed           time.Duration // wall-clock time of the query
+}
+
+// Result is the outcome of one SAC query.
+type Result struct {
+	Query   graph.V
+	K       int
+	Members []graph.V   // community vertices, ascending
+	MCC     geom.Circle // minimum covering circle of Members
+	// Delta is the radius δ of the smallest q-centered circle known to
+	// contain a feasible solution (AppInc, AppFast, AppAcc); it is the MCC
+	// radius itself for the exact algorithms and θ for ThetaSAC.
+	Delta float64
+	Stats Stats
+}
+
+// Radius returns the MCC radius of the community (the quantity the paper's
+// approximation ratios are defined over).
+func (r *Result) Radius() float64 { return r.MCC.R }
+
+// Size returns the number of community members.
+func (r *Result) Size() int { return len(r.Members) }
+
+// Contains reports whether v is a community member.
+func (r *Result) Contains(v graph.V) bool {
+	i := sort.Search(len(r.Members), func(i int) bool { return r.Members[i] >= v })
+	return i < len(r.Members) && r.Members[i] == v
+}
+
+// Searcher runs SAC queries against one graph. It precomputes the core
+// decomposition (O(m), once) and owns the scratch space reused across
+// queries, so it is cheap to query repeatedly but not safe for concurrent
+// use; use Clone for parallel query streams.
+type Searcher struct {
+	g         *graph.Graph
+	structure Structure
+
+	cores []int32          // k-core numbers, computed eagerly
+	truss map[uint64]int32 // k-truss numbers, computed lazily
+
+	peeler    *kcore.Peeler
+	trussChk  *ktruss.Checker
+	cliqueChk *kclique.Checker
+
+	// Scratch buffers shared by the algorithms.
+	distBuf []float64
+	vertBuf []graph.V
+	subBuf  []graph.V
+	ptsBuf  []geom.Point
+	inX     *graph.Marker
+	visited *graph.Marker
+
+	// noPruning2 disables AppAcc's inherited-infeasibility pruning; it
+	// exists only so the ablation benchmarks can quantify what Pruning2
+	// buys (Pruning1 stays on — without it the quadtree frontier is
+	// unbounded).
+	noPruning2 bool
+	// noAnnulus disables ExactPlus's fixed-vertex annulus filter (F1 falls
+	// back to every candidate within O(q, 2γ)); ablation use only.
+	noAnnulus bool
+
+	stats Stats // counters for the query in flight
+}
+
+// SetPruning2 toggles AppAcc's Pruning2 (on by default). Ablation use only.
+func (s *Searcher) SetPruning2(enabled bool) { s.noPruning2 = !enabled }
+
+// SetAnnulusPruning toggles ExactPlus's fixed-vertex annulus filter (on by
+// default). With it off, ExactPlus enumerates pairs and triples over the
+// whole candidate set inside O(q, 2γ), which is Exact restricted by
+// Corollary 2 only. Ablation use only.
+func (s *Searcher) SetAnnulusPruning(enabled bool) { s.noAnnulus = !enabled }
+
+// NewSearcher creates a Searcher with the default k-core structure metric.
+func NewSearcher(g *graph.Graph) *Searcher {
+	return &Searcher{
+		g:         g,
+		structure: StructureKCore,
+		cores:     kcore.Decompose(g),
+		peeler:    kcore.NewPeeler(g),
+		inX:       graph.NewMarker(g.NumVertices()),
+		visited:   graph.NewMarker(g.NumVertices()),
+	}
+}
+
+// NewSearcherWithStructure creates a Searcher using the given structure
+// cohesiveness metric.
+func NewSearcherWithStructure(g *graph.Graph, st Structure) *Searcher {
+	s := NewSearcher(g)
+	s.structure = st
+	switch st {
+	case StructureKTruss:
+		s.truss = ktruss.Decompose(g)
+		s.trussChk = ktruss.NewChecker(g)
+	case StructureKClique:
+		s.cliqueChk = kclique.NewChecker(g)
+	}
+	return s
+}
+
+// Clone returns an independent Searcher over the same graph, sharing the
+// immutable decompositions but not the scratch space, for use from another
+// goroutine.
+func (s *Searcher) Clone() *Searcher {
+	n := s.g.NumVertices()
+	c := &Searcher{
+		g:         s.g,
+		structure: s.structure,
+		cores:     s.cores,
+		truss:     s.truss,
+		peeler:    kcore.NewPeeler(s.g),
+		inX:       graph.NewMarker(n),
+		visited:   graph.NewMarker(n),
+	}
+	switch s.structure {
+	case StructureKTruss:
+		c.trussChk = ktruss.NewChecker(s.g)
+	case StructureKClique:
+		c.cliqueChk = kclique.NewChecker(s.g)
+	}
+	return c
+}
+
+// Graph returns the graph the searcher operates on.
+func (s *Searcher) Graph() *graph.Graph { return s.g }
+
+// CoreNumber returns the k-core number of v.
+func (s *Searcher) CoreNumber(v graph.V) int { return int(s.cores[v]) }
+
+// checkQuery validates q and k.
+func (s *Searcher) checkQuery(q graph.V, k int) error {
+	if q < 0 || int(q) >= s.g.NumVertices() {
+		return fmt.Errorf("core: query vertex %d out of range [0,%d)", q, s.g.NumVertices())
+	}
+	if k < 0 {
+		return fmt.Errorf("core: k = %d must be non-negative", k)
+	}
+	return nil
+}
+
+// trivialK reports whether k is below the threshold where the community is
+// just q (k = 0) or q plus its nearest neighbor (Section 4.1), and builds
+// that result. handled is true when the query was resolved here.
+func (s *Searcher) trivialK(q graph.V, k int) (res *Result, handled bool, err error) {
+	limit := 1 // k-core: k=1 pairs with the nearest neighbor
+	switch s.structure {
+	case StructureKTruss:
+		limit = 2 // a 2-truss is just an edge
+	case StructureKClique:
+		if k == 1 {
+			// q alone is a 1-clique: the optimal community has radius 0.
+			return s.buildResult(q, k, []graph.V{q}, 0), true, nil
+		}
+		limit = 2 // a 2-clique is just an edge
+	}
+	if k == 0 {
+		return s.buildResult(q, k, []graph.V{q}, 0), true, nil
+	}
+	if k <= limit {
+		nn := s.g.NearestNeighbor(q)
+		if nn < 0 {
+			return nil, true, ErrNoCommunity
+		}
+		return s.buildResult(q, k, []graph.V{q, nn}, s.g.Dist(q, nn)), true, nil
+	}
+	return nil, false, nil
+}
+
+// feasible returns the maximal connected structure (k-core or k-truss)
+// containing q within G[S], or nil. The returned slice is scratch-owned.
+func (s *Searcher) feasible(S []graph.V, q graph.V, k int) []graph.V {
+	s.stats.FeasibilityChecks++
+	switch s.structure {
+	case StructureKTruss:
+		return s.trussChk.KTrussWithin(S, q, k)
+	case StructureKClique:
+		return s.cliqueChk.KCliqueWithin(S, q, k)
+	default:
+		return s.peeler.KCoreWithin(S, q, k)
+	}
+}
+
+// minQueryNeighbors is the minimum number of q's neighbors any feasible
+// community must contain: k for k-core, k-1 for k-truss (each incident edge
+// closes k-2 triangles) and k-clique (q sits in at least one k-clique).
+func (s *Searcher) minQueryNeighbors(k int) int {
+	if s.structure == StructureKTruss || s.structure == StructureKClique {
+		return k - 1
+	}
+	return k
+}
+
+// candidateSet is the vertex list X of q's connected k-structure, sorted by
+// ascending distance from q (Algorithm 1, lines 2-3). Every feasible
+// solution is a subset of X, so all algorithms operate inside it.
+type candidateSet struct {
+	verts []graph.V // ascending by dist from q; verts[0] == q
+	dists []float64 // parallel to verts
+}
+
+// prefixWithin returns the prefix of verts whose distance from q is ≤ r
+// (with geometric tolerance).
+func (c *candidateSet) prefixWithin(r float64) []graph.V {
+	i := sort.SearchFloat64s(c.dists, r+geom.Eps)
+	return c.verts[:i]
+}
+
+// nextDistAfter returns the smallest candidate distance strictly greater
+// than r, or -1 when none exists.
+func (c *candidateSet) nextDistAfter(r float64) float64 {
+	i := sort.SearchFloat64s(c.dists, r+geom.Eps)
+	if i >= len(c.dists) {
+		return -1
+	}
+	return c.dists[i]
+}
+
+// maxDist returns the largest candidate distance.
+func (c *candidateSet) maxDist() float64 { return c.dists[len(c.dists)-1] }
+
+// candidates builds the candidate set for (q, k), or ErrNoCommunity.
+func (s *Searcher) candidates(q graph.V, k int) (*candidateSet, error) {
+	var members []graph.V
+	switch s.structure {
+	case StructureKTruss:
+		members = ktruss.CommunityOf(s.g, s.truss, q, k)
+	case StructureKClique:
+		members = kclique.CommunityOf(s.g, q, k)
+	default:
+		members = kcore.CommunityOf(s.g, s.cores, q, k)
+	}
+	if members == nil {
+		return nil, ErrNoCommunity
+	}
+	cs := &candidateSet{
+		verts: members,
+		dists: make([]float64, len(members)),
+	}
+	qp := s.g.Loc(q)
+	for i, v := range cs.verts {
+		cs.dists[i] = qp.Dist(s.g.Loc(v))
+	}
+	sort.Sort(byDist{cs})
+	s.stats.CandidateSize = len(cs.verts)
+	return cs, nil
+}
+
+type byDist struct{ c *candidateSet }
+
+func (b byDist) Len() int           { return len(b.c.verts) }
+func (b byDist) Less(i, j int) bool { return b.c.dists[i] < b.c.dists[j] }
+func (b byDist) Swap(i, j int) {
+	b.c.dists[i], b.c.dists[j] = b.c.dists[j], b.c.dists[i]
+	b.c.verts[i], b.c.verts[j] = b.c.verts[j], b.c.verts[i]
+}
+
+// buildResult copies members, computes their MCC and snapshots the stats.
+func (s *Searcher) buildResult(q graph.V, k int, members []graph.V, delta float64) *Result {
+	ms := make([]graph.V, len(members))
+	copy(ms, members)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	s.ptsBuf = s.g.Points(ms, s.ptsBuf[:0])
+	res := &Result{
+		Query:   q,
+		K:       k,
+		Members: ms,
+		MCC:     geom.MCC(s.ptsBuf),
+		Delta:   delta,
+		Stats:   s.stats,
+	}
+	return res
+}
+
+// begin resets the per-query stats and returns the start time.
+func (s *Searcher) begin() time.Time {
+	s.stats = Stats{}
+	return time.Now()
+}
+
+// finish stamps elapsed time onto the result.
+func (s *Searcher) finish(res *Result, start time.Time) *Result {
+	if res != nil {
+		res.Stats.Elapsed = time.Since(start)
+	}
+	return res
+}
+
+// maxDistFrom returns the largest distance from p to any member's location.
+func (s *Searcher) maxDistFrom(p geom.Point, members []graph.V) float64 {
+	var best float64
+	for _, v := range members {
+		if d := p.Dist(s.g.Loc(v)); d > best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+
+	"sacsearch/internal/geom"
+	"sacsearch/internal/graph"
+)
+
+// Exact is the basic exact algorithm of Section 4.1 (Algorithm 1). By Lemma
+// 1, the optimal MCC is fixed by two or three vertices on its boundary, so
+// Exact enumerates every pair and triple of candidate vertices — ordered so
+// the member farthest from q comes last — computes the circle each fixes,
+// and keeps the smallest circle whose vertex set contains a feasible
+// community. The enumeration stops early once the farthest member of a
+// combination is more than 2·r from q (every vertex of a feasible solution
+// inside a radius-r circle that contains q is within 2r of q).
+//
+// Worst-case cost is O(m·n³); this is the paper's deliberately naive
+// baseline and is only practical on small graphs.
+func (s *Searcher) Exact(q graph.V, k int) (*Result, error) {
+	start := s.begin()
+	if err := s.checkQuery(q, k); err != nil {
+		return nil, err
+	}
+	if res, handled, err := s.trivialK(q, k); handled {
+		return s.finish(res, start), err
+	}
+	cand, err := s.candidates(q, k)
+	if err != nil {
+		return nil, err
+	}
+	X := cand.verts
+	d := cand.dists
+	qLoc := s.g.Loc(q)
+
+	rcur := math.Inf(1)
+	var best []graph.V
+
+	// tryCircle tests one fixed circle and updates the incumbent.
+	tryCircle := func(cc geom.Circle) {
+		s.stats.CirclesExamined++
+		if cc.R >= rcur {
+			return
+		}
+		// The community contains q, so its MCC must cover q's location.
+		if !cc.Contains(qLoc) {
+			return
+		}
+		R := s.verticesInCircle(X, cc)
+		if c := s.feasible(R, q, k); c != nil {
+			mcc := s.g.MCCOf(c)
+			if mcc.R < rcur {
+				rcur = mcc.R
+				best = append(best[:0], c...)
+			}
+		}
+	}
+
+	for i := 2; i < len(X); i++ {
+		if d[i] > 2*rcur {
+			break // Algorithm 1, line 13
+		}
+		for j := 0; j < i; j++ {
+			// Pair-fixed circle: segment X[j]X[i] as diameter (Lemma 1).
+			pj := s.g.Loc(X[j])
+			pi := s.g.Loc(X[i])
+			if pj.Dist(pi) <= 2*rcur {
+				tryCircle(geom.CircleFrom2(pj, pi))
+			}
+			for h := j + 1; h < i; h++ {
+				ph := s.g.Loc(X[h])
+				// Lemma 2: all pairwise distances in Ψ are ≤ 2·ropt < 2·rcur.
+				if pj.Dist(ph) > 2*rcur || ph.Dist(pi) > 2*rcur || pj.Dist(pi) > 2*rcur {
+					continue
+				}
+				tryCircle(geom.CircleFrom3(pj, ph, pi))
+			}
+		}
+	}
+	// Also the degenerate pairs among the two nearest candidates (i started
+	// at 2, so the pair {X[0], X[1]} was never tried on its own).
+	if len(X) >= 2 {
+		tryCircle(geom.CircleFrom2(s.g.Loc(X[0]), s.g.Loc(X[1])))
+	}
+	if best == nil {
+		// Unreachable: X itself is feasible and its MCC is fixed by ≤ 3 of
+		// its vertices, which the enumeration covers.
+		return nil, ErrNoCommunity
+	}
+	res := s.buildResult(q, k, best, rcur)
+	return s.finish(res, start), nil
+}
+
+// verticesInCircle appends to the scratch buffer every candidate whose
+// location lies in the circle and returns it.
+func (s *Searcher) verticesInCircle(X []graph.V, cc geom.Circle) []graph.V {
+	s.vertBuf = s.vertBuf[:0]
+	for _, v := range X {
+		if cc.Contains(s.g.Loc(v)) {
+			s.vertBuf = append(s.vertBuf, v)
+		}
+	}
+	return s.vertBuf
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+
+	"sacsearch/internal/geom"
+	"sacsearch/internal/graph"
+)
+
+// ThetaSAC is the θ-SAC search of Section 3: a variant of Global [29] that
+// first gathers the vertices connected to q inside the fixed circle O(q, θ)
+// by BFS, then returns the k-ĉore containing q within them. Unlike SAC
+// search it needs the caller to guess θ: too small and no community exists
+// (ErrNoCommunity), too large and the community is not spatially compact —
+// the sensitivity Figure 11 quantifies.
+func (s *Searcher) ThetaSAC(q graph.V, k int, theta float64) (*Result, error) {
+	start := s.begin()
+	if err := s.checkQuery(q, k); err != nil {
+		return nil, err
+	}
+	if theta < 0 {
+		return nil, fmt.Errorf("core: θ = %v must be non-negative", theta)
+	}
+	if k == 0 {
+		res := s.buildResult(q, k, []graph.V{q}, 0)
+		return s.finish(res, start), nil
+	}
+	circle := geom.Circle{C: s.g.Loc(q), R: theta}
+	inCircle := func(v graph.V) bool { return circle.Contains(s.g.Loc(v)) }
+	S := graph.BFSFrom(s.g, q, inCircle, s.visited, s.vertBuf[:0])
+	s.vertBuf = S
+	s.stats.CandidateSize = len(S)
+	if c := s.feasible(S, q, k); c != nil {
+		res := s.buildResult(q, k, c, theta)
+		return s.finish(res, start), nil
+	}
+	return nil, ErrNoCommunity
+}

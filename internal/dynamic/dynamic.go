@@ -1,0 +1,96 @@
+// Package dynamic implements the location-change replay of Section 5.2.3:
+// check-in records are split into a warm-up prefix R1 and a replay suffix
+// R2; R1 only updates user locations, while every R2 check-in by a tracked
+// query user additionally triggers an SAC search at that instant. The
+// resulting per-user community timelines feed the CJS/CAO-versus-η decay
+// curves of Figure 13 and the moving-user portraits of Figure 2.
+package dynamic
+
+import (
+	"fmt"
+
+	"sacsearch/internal/gen"
+	"sacsearch/internal/geom"
+	"sacsearch/internal/graph"
+	"sacsearch/internal/metrics"
+)
+
+// Snapshot is one community observed for a tracked user at one check-in.
+type Snapshot struct {
+	Time    float64 // days
+	Members []graph.V
+	MCC     geom.Circle
+}
+
+// SearchFunc runs one SAC query at the current graph state; it returns the
+// community members or an error (ErrNoCommunity snapshots are skipped).
+type SearchFunc func(q graph.V, k int) ([]graph.V, geom.Circle, error)
+
+// Replay applies the check-in stream to g (mutating vertex locations) and
+// returns the community timeline of every tracked user. Check-ins before
+// splitTime only move users; from splitTime on, each check-in by a tracked
+// user also runs search. The graph is left at its final replayed state.
+func Replay(g *graph.Graph, checkins []gen.Checkin, tracked []graph.V, splitTime float64, k int, search SearchFunc) (map[graph.V][]Snapshot, error) {
+	isTracked := make(map[graph.V]bool, len(tracked))
+	for _, v := range tracked {
+		isTracked[v] = true
+	}
+	out := make(map[graph.V][]Snapshot, len(tracked))
+	for i, c := range checkins {
+		if i > 0 && c.Time < checkins[i-1].Time {
+			return nil, fmt.Errorf("dynamic: check-ins not time sorted at index %d", i)
+		}
+		g.SetLoc(c.User, c.Loc)
+		if c.Time < splitTime || !isTracked[c.User] {
+			continue
+		}
+		members, mcc, err := search(c.User, k)
+		if err != nil {
+			continue // no community at this instant; Figure 13 skips these
+		}
+		snap := Snapshot{Time: c.Time, Members: append([]graph.V(nil), members...), MCC: mcc}
+		out[c.User] = append(out[c.User], snap)
+	}
+	return out, nil
+}
+
+// DecayPoint is one (η, average CJS, average CAO) measurement.
+type DecayPoint struct {
+	EtaDays float64
+	CJS     float64
+	CAO     float64
+	Pairs   int // community pairs averaged
+}
+
+// Decay computes the Figure 13 curves: for each η, every user's timeline is
+// greedily subsampled so consecutive snapshots are at least η days apart,
+// and CJS/CAO are averaged over the consecutive pairs of the subsample.
+func Decay(timelines map[graph.V][]Snapshot, etas []float64) []DecayPoint {
+	out := make([]DecayPoint, 0, len(etas))
+	for _, eta := range etas {
+		var cjs, cao []float64
+		for _, snaps := range timelines {
+			var prev *Snapshot
+			for i := range snaps {
+				s := &snaps[i]
+				if prev == nil {
+					prev = s
+					continue
+				}
+				if s.Time-prev.Time < eta {
+					continue
+				}
+				cjs = append(cjs, metrics.CJS(prev.Members, s.Members))
+				cao = append(cao, metrics.CAO(prev.MCC, s.MCC))
+				prev = s
+			}
+		}
+		out = append(out, DecayPoint{
+			EtaDays: eta,
+			CJS:     metrics.Mean(cjs),
+			CAO:     metrics.Mean(cao),
+			Pairs:   len(cjs),
+		})
+	}
+	return out
+}

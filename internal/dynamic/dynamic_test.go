@@ -1,0 +1,166 @@
+package dynamic
+
+import (
+	"math"
+	"testing"
+
+	"sacsearch/internal/core"
+	"sacsearch/internal/gen"
+	"sacsearch/internal/geom"
+	"sacsearch/internal/graph"
+)
+
+// movingWorld builds a graph where the query user 0 sits between two
+// triangles: {0,1,2} near location L1 and {0,3,4} near L2. When user 0 is at
+// L1 its SAC is the first triangle; at L2, the second.
+func movingWorld() *graph.Graph {
+	b := graph.NewBuilder(5)
+	edges := [][2]graph.V{{0, 1}, {0, 2}, {1, 2}, {0, 3}, {0, 4}, {3, 4}}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	b.SetLoc(0, geom.Point{X: 0.1, Y: 0.1})
+	b.SetLoc(1, geom.Point{X: 0.1, Y: 0.12})
+	b.SetLoc(2, geom.Point{X: 0.12, Y: 0.1})
+	b.SetLoc(3, geom.Point{X: 0.9, Y: 0.9})
+	b.SetLoc(4, geom.Point{X: 0.9, Y: 0.88})
+	return b.Build()
+}
+
+func searchWith(s *core.Searcher) SearchFunc {
+	return func(q graph.V, k int) ([]graph.V, geom.Circle, error) {
+		res, err := s.ExactPlus(q, k, 0.2)
+		if err != nil {
+			return nil, geom.Circle{}, err
+		}
+		return res.Members, res.MCC, nil
+	}
+}
+
+func TestReplayMovingUser(t *testing.T) {
+	g := movingWorld()
+	s := core.NewSearcher(g)
+	checkins := []gen.Checkin{
+		{User: 0, Time: 0.5, Loc: geom.Point{X: 0.1, Y: 0.1}},  // warm-up
+		{User: 0, Time: 1.0, Loc: geom.Point{X: 0.11, Y: 0.1}}, // near triangle 1
+		{User: 0, Time: 2.0, Loc: geom.Point{X: 0.89, Y: 0.9}}, // moved to triangle 2
+	}
+	timelines, err := Replay(g, checkins, []graph.V{0}, 0.9, 2, searchWith(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := timelines[0]
+	if len(snaps) != 2 {
+		t.Fatalf("got %d snapshots, want 2", len(snaps))
+	}
+	// First snapshot: community {0,1,2}; second: {0,3,4}.
+	want1 := map[graph.V]bool{0: true, 1: true, 2: true}
+	for _, v := range snaps[0].Members {
+		if !want1[v] {
+			t.Fatalf("snapshot 1 = %v", snaps[0].Members)
+		}
+	}
+	want2 := map[graph.V]bool{0: true, 3: true, 4: true}
+	for _, v := range snaps[1].Members {
+		if !want2[v] {
+			t.Fatalf("snapshot 2 = %v", snaps[1].Members)
+		}
+	}
+	// The graph's final state reflects the last check-in.
+	if g.Loc(0).Dist(geom.Point{X: 0.89, Y: 0.9}) > 1e-12 {
+		t.Fatal("final location not applied")
+	}
+}
+
+func TestReplayRejectsUnsorted(t *testing.T) {
+	g := movingWorld()
+	s := core.NewSearcher(g)
+	checkins := []gen.Checkin{
+		{User: 0, Time: 2, Loc: geom.Point{X: 0.1, Y: 0.1}},
+		{User: 0, Time: 1, Loc: geom.Point{X: 0.2, Y: 0.1}},
+	}
+	if _, err := Replay(g, checkins, []graph.V{0}, 0, 2, searchWith(s)); err == nil {
+		t.Fatal("unsorted stream accepted")
+	}
+}
+
+func TestReplaySkipsInfeasible(t *testing.T) {
+	// Vertex 0 in a path cannot form a 2-core: snapshots must be skipped,
+	// not error out.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	s := core.NewSearcher(g)
+	checkins := []gen.Checkin{{User: 0, Time: 1, Loc: geom.Point{X: 0.5, Y: 0.5}}}
+	timelines, err := Replay(g, checkins, []graph.V{0}, 0, 2, searchWith(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timelines[0]) != 0 {
+		t.Fatalf("expected no snapshots, got %v", timelines[0])
+	}
+}
+
+func TestDecayComputation(t *testing.T) {
+	// Hand-built timeline: identical communities 1 day apart, disjoint ones
+	// 10 days apart.
+	mcc1 := geom.Circle{C: geom.Point{X: 0.1, Y: 0.1}, R: 0.05}
+	mcc2 := geom.Circle{C: geom.Point{X: 0.9, Y: 0.9}, R: 0.05}
+	timelines := map[graph.V][]Snapshot{
+		0: {
+			{Time: 0, Members: []graph.V{0, 1, 2}, MCC: mcc1},
+			{Time: 1, Members: []graph.V{0, 1, 2}, MCC: mcc1},
+			{Time: 11, Members: []graph.V{0, 8, 9}, MCC: mcc2},
+		},
+	}
+	points := Decay(timelines, []float64{0.5, 5})
+	if len(points) != 2 {
+		t.Fatalf("points = %v", points)
+	}
+	// η = 0.5: pairs (0,1) CJS=1 and (1,11) CJS=1/5. Average 0.6.
+	p := points[0]
+	if p.Pairs != 2 || math.Abs(p.CJS-0.6) > 1e-9 {
+		t.Fatalf("η=0.5 point = %+v", p)
+	}
+	// η = 5: only pair (0, 11): CJS = 1/5, CAO = 0.
+	p = points[1]
+	if p.Pairs != 1 || math.Abs(p.CJS-0.2) > 1e-9 || p.CAO != 0 {
+		t.Fatalf("η=5 point = %+v", p)
+	}
+}
+
+// End-to-end miniature of Figure 13: synthetic stream over a clustered
+// graph; CJS at small η exceeds CJS at large η.
+func TestDecayEndToEnd(t *testing.T) {
+	bld := gen.PowerLawGraph(400, 2400, 31)
+	gen.PlaceSpatial(bld, gen.DefaultDistMean, gen.DefaultDistSigma, 32)
+	g := bld.Build()
+	cfg := gen.DefaultCheckinConfig()
+	cfg.Days = 60
+	cfg.PerUserMean = 8
+	checkins := gen.Checkins(g, cfg, 33)
+	movers := gen.SelectMovers(g, checkins, 5, 10)
+	if len(movers) == 0 {
+		t.Skip("no movers on this fixture")
+	}
+	s := core.NewSearcher(g)
+	search := func(q graph.V, k int) ([]graph.V, geom.Circle, error) {
+		res, err := s.AppFast(q, k, 0.5)
+		if err != nil {
+			return nil, geom.Circle{}, err
+		}
+		return res.Members, res.MCC, nil
+	}
+	timelines, err := Replay(g, checkins, movers, 10, 3, search)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := Decay(timelines, []float64{0.25, 20})
+	if points[0].Pairs == 0 || points[1].Pairs == 0 {
+		t.Skipf("insufficient pairs: %+v", points)
+	}
+	if points[1].CJS > points[0].CJS+0.15 {
+		t.Fatalf("CJS did not decay: η=0.25 → %v, η=20 → %v", points[0].CJS, points[1].CJS)
+	}
+}

@@ -1,0 +1,333 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps unit tests fast; the real runs happen via cmd/sacbench
+// and bench_test.go.
+func tinyConfig() Config {
+	return Config{
+		Datasets: []string{"brightkite"},
+		Scale:    0.01,
+		Queries:  6,
+		K:        4,
+		MinCore:  4,
+		Seed:     7,
+		ExactCap: 300,
+		Quick:    true,
+	}
+}
+
+func TestFig9AppFastShape(t *testing.T) {
+	rows, err := Fig9AppFast(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(epsFSweep) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(epsFSweep))
+	}
+	for _, r := range rows {
+		if r.Queries == 0 {
+			t.Fatalf("no queries answered for eps=%v", r.Eps)
+		}
+		// Headline claim: actual ratio well under the theoretical bound, and
+		// never better than 1 (the guarantee is an upper bound; measured
+		// ratio must be ≥ 1 up to fp noise).
+		if r.Actual > r.Theoretical+1e-6 {
+			t.Fatalf("actual %v exceeds theoretical %v", r.Actual, r.Theoretical)
+		}
+		if r.Actual < 1-1e-6 {
+			t.Fatalf("actual ratio %v below 1", r.Actual)
+		}
+	}
+}
+
+func TestFig9AppAccShape(t *testing.T) {
+	rows, err := Fig9AppAcc(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Actual > 1+r.Eps+1e-6 {
+			t.Fatalf("AppAcc ratio %v exceeds 1+εA=%v", r.Actual, 1+r.Eps)
+		}
+		if r.Actual < 1-1e-6 {
+			t.Fatalf("AppAcc ratio %v below 1", r.Actual)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	rows, err := Fig10(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMethod := map[string]Fig10Row{}
+	for _, r := range rows {
+		byMethod[r.Method] = r
+	}
+	global, sac := byMethod["Global"], byMethod["Exact+"]
+	if global.Found == 0 || sac.Found == 0 {
+		t.Fatalf("missing methods: %+v", byMethod)
+	}
+	// The paper's headline: SAC radii are far below Global's.
+	if sac.Radius >= global.Radius {
+		t.Fatalf("Exact+ radius %v not below Global %v", sac.Radius, global.Radius)
+	}
+	// Every SAC variant respects the k constraint (avg degree ≥ k).
+	for _, m := range []string{"AppInc", "AppFast(0.5)", "AppAcc(0.5)", "Exact+"} {
+		if byMethod[m].AvgDeg < float64(tinyConfig().K)-1e-9 {
+			t.Fatalf("%s avg degree %v below k", m, byMethod[m].AvgDeg)
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	rows, err := Fig11(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(thetaSweep) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Non-empty percentage is monotone in θ.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].NonEmptyPct < rows[i-1].NonEmptyPct-1e-9 {
+			t.Fatalf("non-empty%% not monotone: %v", rows)
+		}
+	}
+	// θ-SAC radius at the largest θ is at least the exact radius.
+	last := rows[len(rows)-1]
+	if last.NonEmptyPct > 0 && last.AvgRadius < last.ExactRadius-1e-9 {
+		t.Fatalf("θ-SAC radius %v below exact %v", last.AvgRadius, last.ExactRadius)
+	}
+}
+
+func TestFig12ApproxShape(t *testing.T) {
+	cfg := tinyConfig()
+	rows, err := Fig12Approx(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(kSweep)*4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.K == cfg.MinCore && r.Queries == 0 {
+			t.Fatalf("no queries answered at k=%d for %s", r.K, r.Algo)
+		}
+	}
+}
+
+func TestFig12ExactShape(t *testing.T) {
+	rows, err := Fig12Exact(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact+ answers at least as many queries as capped Exact, and at the
+	// workload k (= kSweep[0] = 4) both must answer some.
+	type key struct {
+		algo string
+		k    int
+	}
+	byAlgoK := map[key]Fig12Row{}
+	for _, r := range rows {
+		byAlgoK[key{r.Algo, r.K}] = r
+	}
+	k := kSweep[0]
+	pe := byAlgoK[key{"Exact+", k}]
+	ex := byAlgoK[key{"Exact", k}]
+	if pe.Queries == 0 {
+		t.Fatal("Exact+ answered nothing at the workload k")
+	}
+	if ex.Queries > pe.Queries {
+		t.Fatalf("capped Exact answered more than Exact+: %d > %d", ex.Queries, pe.Queries)
+	}
+	// The headline of Figure 12(f-j): Exact+ is dramatically faster.
+	if ex.Queries > 0 && pe.Queries > 0 && ex.MeanTime < pe.MeanTime {
+		t.Logf("note: Exact (%v) beat Exact+ (%v) on this tiny fixture", ex.MeanTime, pe.MeanTime)
+	}
+}
+
+func TestFig12ScaleShape(t *testing.T) {
+	rows, err := Fig12Scale(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no scalability rows")
+	}
+	for _, r := range rows {
+		if r.Pct < 20 || r.Pct > 100 {
+			t.Fatalf("bad pct %d", r.Pct)
+		}
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	fcfg := DefaultFig13Config()
+	fcfg.Config = tinyConfig()
+	fcfg.Movers = 8
+	fcfg.MinFriends = 4
+	fcfg.Days = 40
+	fcfg.FastSearch = true
+	points, err := Fig13(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(etaSweepDays) {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.CJS < 0 || p.CJS > 1 || p.CAO < 0 || p.CAO > 1 {
+			t.Fatalf("metric out of [0,1]: %+v", p)
+		}
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	rows, err := Fig14(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(epsASweepExactPlus) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// |F1| grows (weakly) with εA — the paper's Figure 14(b).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MeanF1 < rows[i-1].MeanF1-2 { // slack for tiny workloads
+			t.Fatalf("|F1| decreased: %v", rows)
+		}
+	}
+}
+
+func TestTable4(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Datasets = []string{"brightkite", "syn1"}
+	rows, err := Table4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.GenN == 0 || r.GenM == 0 {
+			t.Fatalf("empty dataset row: %+v", r)
+		}
+	}
+}
+
+func TestTablesStatic(t *testing.T) {
+	if len(Table3()) != 5 {
+		t.Fatal("Table 3 must list the five algorithms")
+	}
+	if len(Table5()) != 5 {
+		t.Fatal("Table 5 must list the five parameters")
+	}
+}
+
+func TestRegistryRunAndErrors(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig()
+	if err := Run("table3", cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Exact+") {
+		t.Fatalf("table3 output missing algorithms: %q", buf.String())
+	}
+	if err := Run("nope", cfg, &buf); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if len(IDs()) != len(Registry) {
+		t.Fatal("IDs incomplete")
+	}
+	// Every registered experiment has title and paper expectation.
+	for id, e := range Registry {
+		if e.Title == "" || e.Paper == "" || e.ID != id {
+			t.Fatalf("experiment %s metadata incomplete", id)
+		}
+	}
+}
+
+func TestRegistrySmokeAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("registry smoke test is slow")
+	}
+	var buf bytes.Buffer
+	cfg := tinyConfig()
+	for _, id := range IDs() {
+		if err := Run(id, cfg, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output produced")
+	}
+}
+
+func TestExtensionsShape(t *testing.T) {
+	cfg := tinyConfig()
+
+	st, err := ExtStructures(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st) != 3 {
+		t.Fatalf("structure rows = %d, want 3", len(st))
+	}
+	for _, r := range st {
+		if r.Found > 0 && (r.Radius <= 0 || r.Size < float64(cfg.K)+1) {
+			t.Fatalf("structure row %+v implausible", r)
+		}
+	}
+
+	dm, err := ExtMinDiam(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dm) != 3 {
+		t.Fatalf("diameter rows = %d, want 3", len(dm))
+	}
+	// The lens variant's mean diameter never exceeds the 2-approx one's.
+	var twoApprox, lens float64
+	for _, r := range dm {
+		switch r.Method {
+		case "MinDiam2Approx":
+			twoApprox = r.MeanDiam
+		case "MinDiamLens":
+			lens = r.MeanDiam
+		}
+	}
+	if lens > twoApprox+1e-9 {
+		t.Fatalf("lens mean diameter %v exceeds 2-approx %v", lens, twoApprox)
+	}
+
+	bt, err := ExtBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bt) < 2 {
+		t.Fatalf("batch rows = %d, want ≥ 2 (worker sweep)", len(bt))
+	}
+	for _, r := range bt {
+		if r.Queries == 0 {
+			t.Fatalf("batch row %+v answered nothing", r)
+		}
+	}
+}
+
+func TestExtensionsRegistered(t *testing.T) {
+	var out bytes.Buffer
+	if err := Run("extensions", tinyConfig(), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"structure metrics", "spatial objectives", "batch processing"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("extensions output missing %q:\n%s", want, out.String())
+		}
+	}
+}

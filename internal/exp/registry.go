@@ -1,0 +1,213 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Experiment is one registered table/figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper summarizes the shape the paper reports, so a reader can compare
+	// the printed rows against the expectation without the PDF.
+	Paper string
+	Run   func(cfg Config, w io.Writer) error
+}
+
+// Registry holds every experiment, keyed by id.
+var Registry = map[string]Experiment{
+	"table3": {
+		ID: "table3", Title: "Table 3: algorithm ratios and complexities",
+		Paper: "static overview; ratios validated empirically by fig9",
+		Run: func(cfg Config, w io.Writer) error {
+			printTable3(w, Table3())
+			return nil
+		},
+	},
+	"table4": {
+		ID: "table4", Title: "Table 4: dataset statistics",
+		Paper: "six datasets, 30k-2.1M vertices, avg degree 7.67-20",
+		Run: func(cfg Config, w io.Writer) error {
+			rows, err := Table4(cfg)
+			if err != nil {
+				return err
+			}
+			printTable4(w, rows, cfg.Scale)
+			return nil
+		},
+	},
+	"table5": {
+		ID: "table5", Title: "Table 5: parameter settings",
+		Paper: "εF/εA defaults 0.5, k default 4, θ default 1e-4",
+		Run: func(cfg Config, w io.Writer) error {
+			printTable5(w, Table5())
+			return nil
+		},
+	},
+	"fig9a": {
+		ID: "fig9a", Title: "Figure 9(a): AppFast actual vs theoretical ratio",
+		Paper: "actual ratio ≈2.0 even when the guarantee is 4.0",
+		Run: func(cfg Config, w io.Writer) error {
+			rows, err := Fig9AppFast(cfg)
+			if err != nil {
+				return err
+			}
+			printFig9(w, rows)
+			return nil
+		},
+	},
+	"fig9b": {
+		ID: "fig9b", Title: "Figure 9(b): AppAcc actual vs theoretical ratio",
+		Paper: "actual ratio ≤1.1 across εA ∈ [0.01, 0.9]",
+		Run: func(cfg Config, w io.Writer) error {
+			rows, err := Fig9AppAcc(cfg)
+			if err != nil {
+				return err
+			}
+			printFig9(w, rows)
+			return nil
+		},
+	},
+	"fig10": {
+		ID: "fig10", Title: "Figure 10: radius and distPr vs Global/Local/GeoModu",
+		Paper: "Global/Local radii 50×/20× SAC's; GeoModu in between with avg degree ≈2.2/1.1",
+		Run: func(cfg Config, w io.Writer) error {
+			rows, err := Fig10(cfg)
+			if err != nil {
+				return err
+			}
+			printFig10(w, rows)
+			return nil
+		},
+	},
+	"fig11": {
+		ID: "fig11", Title: "Figure 11: θ-SAC sensitivity",
+		Paper: "small θ → few non-empty results; large θ → radii 5-10× Exact+",
+		Run: func(cfg Config, w io.Writer) error {
+			rows, err := Fig11(cfg)
+			if err != nil {
+				return err
+			}
+			printFig11(w, rows)
+			return nil
+		},
+	},
+	"fig12approx": {
+		ID: "fig12approx", Title: "Figure 12(a-e): approximation algorithms vs k",
+		Paper: "AppFast fastest; AppInc grows with k; AppAcc stable in k",
+		Run: func(cfg Config, w io.Writer) error {
+			rows, err := Fig12Approx(cfg)
+			if err != nil {
+				return err
+			}
+			printFig12(w, rows)
+			return nil
+		},
+	},
+	"fig12exact": {
+		ID: "fig12exact", Title: "Figure 12(f-j): exact algorithms vs k",
+		Paper: "Exact+ ≥4 orders of magnitude faster than Exact",
+		Run: func(cfg Config, w io.Writer) error {
+			rows, err := Fig12Exact(cfg)
+			if err != nil {
+				return err
+			}
+			printFig12(w, rows)
+			return nil
+		},
+	},
+	"fig12scale": {
+		ID: "fig12scale", Title: "Figure 12(k-o): scalability vs vertex percentage",
+		Paper: "all approximation algorithms scale near-linearly with n",
+		Run: func(cfg Config, w io.Writer) error {
+			rows, err := Fig12Scale(cfg)
+			if err != nil {
+				return err
+			}
+			printFig12Scale(w, rows)
+			return nil
+		},
+	},
+	"fig13": {
+		ID: "fig13", Title: "Figure 13: CJS/CAO decay on a dynamic spatial graph",
+		Paper: "CJS ≈75% after 6h, decaying toward 0.4-0.5 by 15 days",
+		Run: func(cfg Config, w io.Writer) error {
+			fcfg := DefaultFig13Config()
+			fcfg.Config = cfg
+			fcfg.FastSearch = cfg.Quick
+			points, err := Fig13(fcfg)
+			if err != nil {
+				return err
+			}
+			printFig13(w, points)
+			return nil
+		},
+	},
+	"fig14": {
+		ID: "fig14", Title: "Figure 14: effect of εA on Exact+",
+		Paper: "|F1| grows with εA; run time has a local minimum",
+		Run: func(cfg Config, w io.Writer) error {
+			rows, err := Fig14(cfg)
+			if err != nil {
+				return err
+			}
+			printFig14(w, rows)
+			return nil
+		},
+	},
+	"extensions": {
+		ID: "extensions", Title: "Section 6 extensions: structure metrics, min-diameter, batch",
+		Paper: "future-work features validated on the figure workloads (not a paper artifact)",
+		Run: func(cfg Config, w io.Writer) error {
+			st, err := ExtStructures(cfg)
+			if err != nil {
+				return err
+			}
+			dm, err := ExtMinDiam(cfg)
+			if err != nil {
+				return err
+			}
+			bt, err := ExtBatch(cfg)
+			if err != nil {
+				return err
+			}
+			printExtensions(w, st, dm, bt)
+			return nil
+		},
+	},
+}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, cfg Config, w io.Writer) error {
+	e, ok := Registry[id]
+	if !ok {
+		return fmt.Errorf("exp: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	fprintf(w, "== %s — %s\n", e.ID, e.Title)
+	fprintf(w, "   paper: %s\n", e.Paper)
+	return e.Run(cfg, w)
+}
+
+// RunAll executes every experiment in id order.
+func RunAll(cfg Config, w io.Writer) error {
+	for _, id := range IDs() {
+		if err := Run(id, cfg, w); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fprintf(w, "\n")
+	}
+	return nil
+}

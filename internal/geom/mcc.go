@@ -1,0 +1,93 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+)
+
+// mccSeed makes the Welzl shuffle deterministic so that repeated runs over
+// the same input produce bit-identical circles.
+const mccSeed = 0x5ac5ea2c
+
+// MCC returns the minimum covering circle of pts (Definition 2). The empty
+// set yields a zero Circle; a single point yields a radius-0 circle.
+//
+// The implementation is the classic randomized incremental algorithm of
+// Welzl with expected linear running time; the shuffle is seeded so results
+// are deterministic.
+func MCC(pts []Point) Circle {
+	switch len(pts) {
+	case 0:
+		return Circle{}
+	case 1:
+		return Circle{C: pts[0]}
+	case 2:
+		return CircleFrom2(pts[0], pts[1])
+	case 3:
+		return CircleFrom3(pts[0], pts[1], pts[2])
+	}
+	p := make([]Point, len(pts))
+	copy(p, pts)
+	rnd := rand.New(rand.NewSource(mccSeed))
+	rnd.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+
+	c := CircleFrom2(p[0], p[1])
+	for i := 2; i < len(p); i++ {
+		if c.Contains(p[i]) {
+			continue
+		}
+		// p[i] is on the boundary of the MCC of p[:i+1].
+		c = mccWithOne(p[:i], p[i])
+	}
+	return c
+}
+
+// mccWithOne returns the MCC of pts ∪ {q} given that q is on its boundary.
+func mccWithOne(pts []Point, q Point) Circle {
+	c := Circle{C: q}
+	for i := 0; i < len(pts); i++ {
+		if c.Contains(pts[i]) {
+			continue
+		}
+		c = mccWithTwo(pts[:i], q, pts[i])
+	}
+	return c
+}
+
+// mccWithTwo returns the MCC of pts ∪ {q1,q2} given both are on its boundary.
+// The invariant requires every update to keep q1 and q2 on the boundary, so
+// an uncovered point joins them on the circumcircle — not the minimum
+// covering circle of the triple, which for an obtuse triangle would drop q1
+// or q2 off the boundary and break the induction for later points.
+func mccWithTwo(pts []Point, q1, q2 Point) Circle {
+	c := CircleFrom2(q1, q2)
+	for i := 0; i < len(pts); i++ {
+		if c.Contains(pts[i]) {
+			continue
+		}
+		if cc, ok := Circumcircle(q1, q2, pts[i]); ok {
+			c = cc
+		} else {
+			// Nearly collinear triple: no finite circle through q1 and q2
+			// reaches pts[i]; cover the triple directly as a safety net.
+			c = CircleFrom3(q1, q2, pts[i])
+		}
+	}
+	return c
+}
+
+// MaxPairwiseDist returns the largest Euclidean distance between any two of
+// pts, 0 for fewer than two points. It is O(n²) and intended for community
+// sized inputs (the paper's Lemma 2 relates it to the MCC radius:
+// √3·r ≤ maxdist ≤ 2·r for sets whose MCC radius is r).
+func MaxPairwiseDist(pts []Point) float64 {
+	var best float64
+	for i := 1; i < len(pts); i++ {
+		for j := 0; j < i; j++ {
+			if d := pts[i].Dist2(pts[j]); d > best {
+				best = d
+			}
+		}
+	}
+	return math.Sqrt(best)
+}

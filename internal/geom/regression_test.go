@@ -1,0 +1,117 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Regression for the mccWithTwo boundary-invariant bug: replacing the
+// current circle with the minimum covering circle of {q1, q2, p} (instead of
+// their circumcircle) let previously-covered points escape. These folded
+// adversarial coordinates produced an MCC missing a point by 33 % of R.
+func TestMCCBoundaryInvariantRegression(t *testing.T) {
+	raw := [][2]float64{
+		{1.7588497475762836e+308, 1.4666389268309737e+308},
+		{-7.780771349879504e+305, 7.106054601985026e+307},
+		{1.3350919336503553e+308, -8.241417676240638e+307},
+		{1.672437878963429e+308, 1.0279282634780688e+308},
+		{-9.325895346473627e+307, -1.5416447859950337e+308},
+		{-3.68549130450666e+307, 1.1022760186518094e+308},
+		{1.9822248743426687e+307, -8.637705814022209e+307},
+		{1.0235771297506593e+308, -1.729587063277462e+308},
+		{1.2221295745610873e+308, 1.1606732885988668e+307},
+		{-1.613954076728618e+308, -1.399827194442227e+308},
+		{4.724356066184593e+307, -1.218178698088338e+308},
+		{9.891791158284718e+306, 2.2098089956316698e+307},
+		{-7.115069518882066e+307, 7.043680378553386e+307},
+		{-1.0452517042298494e+308, -1.4699952797023586e+308},
+		{1.1480675443314422e+308, -1.5201449579840045e+308},
+		{-1.1669518694147045e+308, -1.5922609531601997e+308},
+		{7.614321003837332e+307, -7.119993909522116e+307},
+		{-1.7657896055368502e+308, -7.826261419533627e+307},
+		{3.29252584524028e+307, -5.398123781935739e+307},
+		{-1.511950418284858e+308, -1.7890095974403077e+308},
+		{1.7729899472470647e+308, 5.432593426373693e+307},
+		{3.8195659361535514e+307, 2.846794559200662e+307},
+		{9.495452208642032e+307, -5.269427669238503e+307},
+		{-6.417873723427525e+307, 1.2673599817570226e+308},
+		{1.2078388160674425e+308, -1.3690700529985897e+307},
+		{3.314860415805645e+307, -4.85588114412259e+307},
+		{5.725296007998161e+307, -3.4520601243109694e+306},
+		{7.013278341179429e+306, -8.861740434413058e+306},
+		{1.5447674304861517e+308, 7.279202545888165e+307},
+		{-1.6478974555495418e+308, 1.105200114983695e+308},
+		{-1.7419022871794629e+308, 2.1526031432084696e+307},
+		{-1.2059567053403506e+308, 4.218404619558533e+307},
+		{1.5713877932945272e+308, 7.126859327928299e+307},
+		{1.32621344007438e+308, -4.710472674345578e+307},
+		{-8.136742008997846e+307, -1.2475781507527604e+308},
+		{-6.106968546721411e+307, -4.889909291619701e+307},
+		{-9.892596145768476e+307, 3.948623137052438e+307},
+		{-2.744074426824271e+307, -8.154806983304149e+307},
+	}
+	pts := make([]Point, 0, len(raw))
+	for _, r := range raw {
+		pts = append(pts, Point{math.Mod(math.Abs(r[0]), 1000), math.Mod(math.Abs(r[1]), 1000)})
+	}
+	c := MCC(pts)
+	slack := 1e-9 * (1 + c.R) // relative at this coordinate scale
+	for i, p := range pts {
+		if d := c.C.Dist(p) - c.R; d > slack {
+			t.Fatalf("point %d outside MCC by %v (R = %v)", i, d, c.R)
+		}
+	}
+}
+
+// Stress the same invariant on scaled random inputs: every point covered and
+// the radius matching an O(n³) brute force over boundary pairs/triples.
+func TestMCCScaledStress(t *testing.T) {
+	rnd := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		scale := math.Pow(10, float64(rnd.Intn(7))-3) // 1e-3 .. 1e3
+		n := 3 + rnd.Intn(25)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rnd.Float64() * scale, rnd.Float64() * scale}
+		}
+		// Duplicate and near-duplicate points sharpen the degeneracies.
+		if n > 5 {
+			pts[n-1] = pts[0]
+			pts[n-2] = Point{pts[1].X + scale*1e-13, pts[1].Y}
+		}
+		c := MCC(pts)
+		slack := 1e-9 * (1 + scale)
+		for i, p := range pts {
+			if d := c.C.Dist(p) - c.R; d > slack {
+				t.Fatalf("trial %d (scale %g): point %d outside by %v (R=%v)", trial, scale, i, d, c.R)
+			}
+		}
+		// Minimality against brute force over pairs and triples.
+		best := math.Inf(1)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if cc := CircleFrom2(pts[i], pts[j]); cc.R < best && coversAll(cc, pts, slack) {
+					best = cc.R
+				}
+				for k := j + 1; k < n; k++ {
+					if cc, ok := Circumcircle(pts[i], pts[j], pts[k]); ok && cc.R < best && coversAll(cc, pts, slack) {
+						best = cc.R
+					}
+				}
+			}
+		}
+		if c.R > best*(1+1e-7)+slack {
+			t.Fatalf("trial %d (scale %g): MCC R=%v, brute=%v", trial, scale, c.R, best)
+		}
+	}
+}
+
+func coversAll(c Circle, pts []Point, slack float64) bool {
+	for _, p := range pts {
+		if c.C.Dist(p)-c.R > slack {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,200 @@
+// Package geomnd implements the d-dimensional minimum enclosing ball (MEB),
+// the geometric kernel behind the paper's Section 3 remark that "our methods
+// can be easily applied to multi-dimensional space": every MCC computation
+// in the SAC algorithms generalizes to the MEB, and Lemma 1's fixed-vertex
+// structure generalizes from ≤ 3 boundary points to ≤ d+1.
+//
+// The implementation is Welzl's move-to-front algorithm (the same family as
+// internal/geom's planar MCC and Megiddo [24] cited by the paper), with the
+// boundary-ball primitive solved by Gaussian elimination over the support
+// set's affine hull. Expected linear time in the number of points for fixed
+// dimension.
+package geomnd
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eps is the geometric containment tolerance, matching internal/geom.
+const Eps = 1e-9
+
+// Point is a location in R^d.
+type Point []float64
+
+// Dist returns the Euclidean distance to q. Panics if dimensions differ.
+func (p Point) Dist(q Point) float64 {
+	return math.Sqrt(p.Dist2(q))
+}
+
+// Dist2 returns the squared Euclidean distance to q.
+func (p Point) Dist2(q Point) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("geomnd: dimension mismatch %d vs %d", len(p), len(q)))
+	}
+	var s float64
+	for i := range p {
+		d := p[i] - q[i]
+		s += d * d
+	}
+	return s
+}
+
+// Ball is a closed d-dimensional ball.
+type Ball struct {
+	C Point
+	R float64
+}
+
+// Contains reports whether p lies in the ball (with tolerance).
+func (b Ball) Contains(p Point) bool {
+	if b.C == nil {
+		return false
+	}
+	return b.C.Dist(p) <= b.R+Eps
+}
+
+// ballFromSupport returns the smallest ball with every support point on its
+// boundary: the circumscribed ball of the support set within its affine
+// hull. ok is false when the support points are affinely dependent (the
+// system is singular), which Welzl's algorithm never feeds it for points in
+// general position.
+func ballFromSupport(support []Point) (Ball, bool) {
+	switch len(support) {
+	case 0:
+		return Ball{R: -1}, true // empty ball: contains nothing
+	case 1:
+		c := make(Point, len(support[0]))
+		copy(c, support[0])
+		return Ball{C: c, R: 0}, true
+	}
+	p0 := support[0]
+	k := len(support) - 1
+	d := len(p0)
+
+	// Solve for c = p0 + Σ λ_j u_j with u_j = support[j+1] - p0:
+	// boundary conditions |c-p0|² = |c-p_i|² reduce to
+	// Σ_j (2 u_i · u_j) λ_j = |u_i|².
+	a := make([][]float64, k) // augmented matrix k × (k+1)
+	u := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		u[i] = make([]float64, d)
+		for t := 0; t < d; t++ {
+			u[i][t] = support[i+1][t] - p0[t]
+		}
+	}
+	for i := 0; i < k; i++ {
+		a[i] = make([]float64, k+1)
+		for j := 0; j < k; j++ {
+			var dot float64
+			for t := 0; t < d; t++ {
+				dot += u[i][t] * u[j][t]
+			}
+			a[i][j] = 2 * dot
+		}
+		var norm2 float64
+		for t := 0; t < d; t++ {
+			norm2 += u[i][t] * u[i][t]
+		}
+		a[i][k] = norm2
+	}
+
+	lambda, ok := solve(a)
+	if !ok {
+		return Ball{}, false
+	}
+	c := make(Point, d)
+	copy(c, p0)
+	for j := 0; j < k; j++ {
+		for t := 0; t < d; t++ {
+			c[t] += lambda[j] * u[j][t]
+		}
+	}
+	return Ball{C: c, R: c.Dist(p0)}, true
+}
+
+// solve performs Gaussian elimination with partial pivoting on the k×(k+1)
+// augmented matrix. ok is false when the system is (numerically) singular.
+func solve(a [][]float64) ([]float64, bool) {
+	k := len(a)
+	for col := 0; col < k; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, false
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		// Eliminate below.
+		for r := col + 1; r < k; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c <= k; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	x := make([]float64, k)
+	for r := k - 1; r >= 0; r-- {
+		s := a[r][k]
+		for c := r + 1; c < k; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, true
+}
+
+// MEB returns the minimum enclosing ball of the points (all of one
+// dimension d). It runs Welzl's move-to-front algorithm; the input order is
+// perturbed deterministically, so the result is deterministic. An empty
+// input yields the empty ball {R: -1}.
+func MEB(pts []Point) Ball {
+	if len(pts) == 0 {
+		return Ball{R: -1}
+	}
+	d := len(pts[0])
+	for _, p := range pts {
+		if len(p) != d {
+			panic(fmt.Sprintf("geomnd: mixed dimensions %d and %d", d, len(p)))
+		}
+	}
+	// Deterministic shuffle (xorshift) for the expected-linear-time bound
+	// without pulling in math/rand.
+	work := make([]Point, len(pts))
+	copy(work, pts)
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := len(work) - 1; i > 0; i-- {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		j := int(state % uint64(i+1))
+		work[i], work[j] = work[j], work[i]
+	}
+	support := make([]Point, 0, d+1)
+	return welzl(work, support, d)
+}
+
+// welzl is the recursive move-to-front step: the MEB of pts with support on
+// the boundary.
+func welzl(pts []Point, support []Point, d int) Ball {
+	if len(pts) == 0 || len(support) == d+1 {
+		b, ok := ballFromSupport(support)
+		if ok {
+			return b
+		}
+		// Affinely dependent support (possible with duplicate or degenerate
+		// inputs): drop the earliest support point and retry — the ball of
+		// the reduced support still covers the dependent point.
+		return welzl(pts, support[1:], d)
+	}
+	p := pts[0]
+	b := welzl(pts[1:], support, d)
+	if b.R >= 0 && b.Contains(p) {
+		return b
+	}
+	return welzl(pts[1:], append(support, p), d)
+}

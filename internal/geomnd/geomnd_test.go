@@ -1,0 +1,223 @@
+package geomnd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sacsearch/internal/geom"
+)
+
+func randomPoints(rnd *rand.Rand, n, d int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		p := make(Point, d)
+		for t := range p {
+			p[t] = rnd.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestMEBEmptyAndSingle(t *testing.T) {
+	if b := MEB(nil); b.R != -1 {
+		t.Fatalf("empty MEB = %+v", b)
+	}
+	b := MEB([]Point{{0.3, 0.4, 0.5}})
+	if b.R != 0 || b.C.Dist(Point{0.3, 0.4, 0.5}) != 0 {
+		t.Fatalf("single-point MEB = %+v", b)
+	}
+}
+
+func TestMEBPair(t *testing.T) {
+	// Two points: ball centered at the midpoint with radius half the
+	// distance, in any dimension.
+	for d := 1; d <= 5; d++ {
+		a := make(Point, d)
+		b := make(Point, d)
+		for i := 0; i < d; i++ {
+			b[i] = 1
+		}
+		ball := MEB([]Point{a, b})
+		want := math.Sqrt(float64(d)) / 2
+		if math.Abs(ball.R-want) > 1e-9 {
+			t.Fatalf("d=%d: R = %v, want %v", d, ball.R, want)
+		}
+		for i := 0; i < d; i++ {
+			if math.Abs(ball.C[i]-0.5) > 1e-9 {
+				t.Fatalf("d=%d: center = %v", d, ball.C)
+			}
+		}
+	}
+}
+
+func TestMEBRegularSimplex3D(t *testing.T) {
+	// A regular tetrahedron with unit edge: circumradius √(3/8).
+	s := 1 / math.Sqrt2
+	pts := []Point{
+		{1, 0, -s}, {-1, 0, -s}, {0, 1, s}, {0, -1, s},
+	}
+	// Edge length: |p0,p1| = 2; circumradius of a regular tetrahedron with
+	// edge a is a·√(3/8).
+	ball := MEB(pts)
+	want := 2 * math.Sqrt(3.0/8.0)
+	if math.Abs(ball.R-want) > 1e-9 {
+		t.Fatalf("tetrahedron R = %v, want %v", ball.R, want)
+	}
+	for _, p := range pts {
+		if math.Abs(ball.C.Dist(p)-ball.R) > 1e-9 {
+			t.Fatalf("vertex %v not on boundary (dist %v, R %v)", p, ball.C.Dist(p), ball.R)
+		}
+	}
+}
+
+func TestMEBMatchesPlanarMCC(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rnd.Intn(60)
+		pts2 := make([]geom.Point, n)
+		ptsN := make([]Point, n)
+		for i := 0; i < n; i++ {
+			x, y := rnd.Float64(), rnd.Float64()
+			pts2[i] = geom.Point{X: x, Y: y}
+			ptsN[i] = Point{x, y}
+		}
+		mcc := geom.MCC(pts2)
+		meb := MEB(ptsN)
+		if math.Abs(mcc.R-meb.R) > 1e-7 {
+			t.Fatalf("trial %d: planar MCC R=%v vs MEB R=%v", trial, mcc.R, meb.R)
+		}
+		if mcc.C.Dist(geom.Point{X: meb.C[0], Y: meb.C[1]}) > 1e-6 {
+			t.Fatalf("trial %d: centers differ: %v vs %v", trial, mcc.C, meb.C)
+		}
+	}
+}
+
+func TestMEBContainsAll(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for _, d := range []int{2, 3, 4, 5} {
+		for trial := 0; trial < 10; trial++ {
+			pts := randomPoints(rnd, 5+rnd.Intn(200), d)
+			ball := MEB(pts)
+			for i, p := range pts {
+				if !ball.Contains(p) {
+					t.Fatalf("d=%d trial %d: point %d outside (dist %v, R %v)",
+						d, trial, i, ball.C.Dist(p), ball.R)
+				}
+			}
+		}
+	}
+}
+
+// Minimality oracle: for small point sets, the MEB radius must equal the
+// smallest radius over all boundary-support subsets of size ≤ d+1 whose
+// circumscribed ball covers everything.
+func TestMEBMinimalityOracle(t *testing.T) {
+	rnd := rand.New(rand.NewSource(13))
+	for _, d := range []int{2, 3} {
+		for trial := 0; trial < 15; trial++ {
+			n := 4 + rnd.Intn(5)
+			pts := randomPoints(rnd, n, d)
+			got := MEB(pts)
+
+			best := math.Inf(1)
+			var rec func(start int, support []Point)
+			rec = func(start int, support []Point) {
+				if len(support) > 0 {
+					if b, ok := ballFromSupport(support); ok && b.R < best {
+						covers := true
+						for _, p := range pts {
+							if !b.Contains(p) {
+								covers = false
+								break
+							}
+						}
+						if covers {
+							best = b.R
+						}
+					}
+				}
+				if len(support) == d+1 {
+					return
+				}
+				for i := start; i < n; i++ {
+					rec(i+1, append(support, pts[i]))
+				}
+			}
+			rec(0, nil)
+			if math.Abs(got.R-best) > 1e-7 {
+				t.Fatalf("d=%d trial %d: MEB R=%v, oracle R=%v", d, trial, got.R, best)
+			}
+		}
+	}
+}
+
+func TestMEBDuplicatesAndDegenerate(t *testing.T) {
+	// All points identical.
+	same := []Point{{0.5, 0.5, 0.5}, {0.5, 0.5, 0.5}, {0.5, 0.5, 0.5}}
+	if b := MEB(same); b.R > 1e-12 {
+		t.Fatalf("identical points R = %v", b.R)
+	}
+	// Collinear points in 3-D: ball spans the extremes.
+	col := []Point{{0, 0, 0}, {0.25, 0.25, 0.25}, {0.5, 0.5, 0.5}, {1, 1, 1}}
+	b := MEB(col)
+	want := math.Sqrt(3) / 2
+	if math.Abs(b.R-want) > 1e-9 {
+		t.Fatalf("collinear R = %v, want %v", b.R, want)
+	}
+	for _, p := range col {
+		if !b.Contains(p) {
+			t.Fatalf("collinear point %v outside", p)
+		}
+	}
+	// Duplicates mixed with distinct points.
+	mix := []Point{{0, 0}, {0, 0}, {1, 0}, {1, 0}, {0.5, 0.3}}
+	b = MEB(mix)
+	if math.Abs(b.R-0.5) > 1e-9 {
+		t.Fatalf("mixed duplicates R = %v, want 0.5", b.R)
+	}
+}
+
+func TestMEBDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixed dimensions did not panic")
+		}
+	}()
+	MEB([]Point{{1, 2}, {1, 2, 3}})
+}
+
+// Property: the MEB radius is sandwiched by half the diameter (max pairwise
+// distance) and the diameter itself, in any dimension.
+func TestMEBRadiusBoundsProperty(t *testing.T) {
+	check := func(seed int64, dRaw uint8, nRaw uint8) bool {
+		d := int(dRaw)%4 + 2  // 2..5
+		n := int(nRaw)%40 + 2 // 2..41
+		rnd := rand.New(rand.NewSource(seed))
+		pts := randomPoints(rnd, n, d)
+		ball := MEB(pts)
+		var diam float64
+		for i := range pts {
+			for j := i + 1; j < len(pts); j++ {
+				if dd := pts[i].Dist(pts[j]); dd > diam {
+					diam = dd
+				}
+			}
+		}
+		return ball.R >= diam/2-1e-9 && ball.R <= diam+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMEB3D(b *testing.B) {
+	rnd := rand.New(rand.NewSource(3))
+	pts := randomPoints(rnd, 10000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MEB(pts)
+	}
+}

@@ -1,0 +1,243 @@
+// Package graph implements the spatial-graph substrate of the paper's data
+// model (Section 3): an undirected graph G(V, E) whose vertices carry 2-D
+// locations. Vertices are dense int32 indices 0..n-1; adjacency is stored in
+// compressed sparse row (CSR) form so neighbor iteration is allocation-free.
+//
+// Locations are mutable (SetLoc) because the dynamic experiment of Section
+// 5.2.3 replays check-ins that move users; the topology of a built Graph is
+// immutable.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sacsearch/internal/geom"
+)
+
+// V is the vertex identifier type. Dense indices keep the per-vertex arrays
+// used by every algorithm compact.
+type V = int32
+
+// Graph is an undirected spatial graph in CSR form.
+type Graph struct {
+	offsets []int32 // len n+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
+	adj     []V
+	locs    []geom.Point
+	m       int      // number of undirected edges
+	labels  []string // optional external vertex names; may be nil
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
+
+// NumEdges returns |E| (undirected edges counted once).
+func (g *Graph) NumEdges() int { return g.m }
+
+// AvgDegree returns 2m/n, the d̂ statistic of Table 4.
+func (g *Graph) AvgDegree() float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(n)
+}
+
+// Neighbors returns the adjacency list of v as a shared slice. Callers must
+// not modify it.
+func (g *Graph) Neighbors(v V) []V {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// Degree returns deg_G(v).
+func (g *Graph) Degree(v V) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Loc returns the location of v.
+func (g *Graph) Loc(v V) geom.Point { return g.locs[v] }
+
+// SetLoc updates the location of v. It is not safe for concurrent use with
+// readers.
+func (g *Graph) SetLoc(v V, p geom.Point) { g.locs[v] = p }
+
+// Locs returns the backing location slice (shared, do not resize). It exists
+// so bulk consumers (spatial index, generators) avoid per-vertex calls.
+func (g *Graph) Locs() []geom.Point { return g.locs }
+
+// Dist returns the Euclidean distance |u, v| between the locations of u and v.
+func (g *Graph) Dist(u, v V) float64 { return g.locs[u].Dist(g.locs[v]) }
+
+// HasEdge reports whether {u, v} is an edge. Adjacency lists are sorted, so
+// this is a binary search.
+func (g *Graph) HasEdge(u, v V) bool {
+	nb := g.Neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+	return i < len(nb) && nb[i] == v
+}
+
+// Label returns the external name of v, or its index rendered as text when
+// no labels were provided.
+func (g *Graph) Label(v V) string {
+	if g.labels != nil && g.labels[v] != "" {
+		return g.labels[v]
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+// SetLabels attaches external vertex names; len(labels) must equal n.
+func (g *Graph) SetLabels(labels []string) error {
+	if len(labels) != g.NumVertices() {
+		return fmt.Errorf("graph: %d labels for %d vertices", len(labels), g.NumVertices())
+	}
+	g.labels = labels
+	return nil
+}
+
+// Points returns the locations of the given vertices, appended to dst.
+func (g *Graph) Points(vs []V, dst []geom.Point) []geom.Point {
+	for _, v := range vs {
+		dst = append(dst, g.locs[v])
+	}
+	return dst
+}
+
+// MCCOf returns the minimum covering circle of the given vertices' locations.
+func (g *Graph) MCCOf(vs []V) geom.Circle {
+	pts := make([]geom.Point, 0, len(vs))
+	return geom.MCC(g.Points(vs, pts))
+}
+
+// NearestNeighbor returns the adjacent vertex of q closest to q's location,
+// or -1 when q has no neighbors. Used by the k=1 fast path of SAC search
+// (Section 4.1).
+func (g *Graph) NearestNeighbor(q V) V {
+	best := V(-1)
+	bestD := math.Inf(1)
+	for _, u := range g.Neighbors(q) {
+		if d := g.locs[q].Dist2(g.locs[u]); d < bestD {
+			bestD = d
+			best = u
+		}
+	}
+	return best
+}
+
+// Clone returns a deep copy of the graph. Topology slices are shared (they
+// are immutable); locations and labels are copied so the clone can diverge,
+// which the dynamic-replay experiment relies on.
+func (g *Graph) Clone() *Graph {
+	locs := make([]geom.Point, len(g.locs))
+	copy(locs, g.locs)
+	var labels []string
+	if g.labels != nil {
+		labels = make([]string, len(g.labels))
+		copy(labels, g.labels)
+	}
+	return &Graph{offsets: g.offsets, adj: g.adj, locs: locs, m: g.m, labels: labels}
+}
+
+// Builder accumulates edges and locations, then produces an immutable Graph.
+// Duplicate edges and self-loops are dropped at Build time.
+type Builder struct {
+	n     int
+	us    []V
+	vs    []V
+	locs  []geom.Point
+	hasLo []bool
+}
+
+// NewBuilder creates a builder for a graph with n vertices, all initially at
+// the origin.
+func NewBuilder(n int) *Builder {
+	return &Builder{
+		n:     n,
+		locs:  make([]geom.Point, n),
+		hasLo: make([]bool, n),
+	}
+}
+
+// NumVertices returns the vertex count the builder was created with.
+func (b *Builder) NumVertices() int { return b.n }
+
+// AddEdge records the undirected edge {u, v}. Self-loops are ignored.
+// Vertices out of range cause a panic: callers construct ids themselves, so
+// a range error is a programming bug, not an input error.
+func (b *Builder) AddEdge(u, v V) {
+	if u == v {
+		return
+	}
+	if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	b.us = append(b.us, u)
+	b.vs = append(b.vs, v)
+}
+
+// SetLoc records the location of v.
+func (b *Builder) SetLoc(v V, p geom.Point) {
+	b.locs[v] = p
+	b.hasLo[v] = true
+}
+
+// HasLoc reports whether SetLoc has been called for v.
+func (b *Builder) HasLoc(v V) bool { return b.hasLo[v] }
+
+// LocOf returns the location recorded for v (the zero Point when unset).
+func (b *Builder) LocOf(v V) geom.Point { return b.locs[v] }
+
+// NumEdgesAdded returns the raw count of AddEdge calls (before dedup).
+func (b *Builder) NumEdgesAdded() int { return len(b.us) }
+
+// Build produces the immutable CSR graph, deduplicating parallel edges.
+func (b *Builder) Build() *Graph {
+	n := b.n
+	deg := make([]int32, n)
+	for i := range b.us {
+		deg[b.us[i]]++
+		deg[b.vs[i]]++
+	}
+	offsets := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + deg[v]
+	}
+	adj := make([]V, offsets[n])
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	for i := range b.us {
+		u, v := b.us[i], b.vs[i]
+		adj[cursor[u]] = v
+		cursor[u]++
+		adj[cursor[v]] = u
+		cursor[v]++
+	}
+	// Sort each adjacency list and drop duplicates in place.
+	outOff := make([]int32, n+1)
+	out := adj[:0]
+	written := int32(0)
+	for v := 0; v < n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		nb := adj[lo:hi]
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		outOff[v] = written
+		var prev V = -1
+		for _, u := range nb {
+			if u != prev {
+				out = append(out, u)
+				written++
+				prev = u
+			}
+		}
+	}
+	outOff[n] = written
+	// out aliases adj; copy the compacted prefix into a right-sized slice.
+	finalAdj := make([]V, written)
+	copy(finalAdj, out)
+	m := 0
+	for v := 0; v < n; v++ {
+		m += int(outOff[v+1] - outOff[v])
+	}
+	g := &Graph{offsets: outOff, adj: finalAdj, locs: b.locs, m: m / 2}
+	return g
+}

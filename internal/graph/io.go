@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sacsearch/internal/geom"
+)
+
+// The text formats mirror the SNAP-style files the paper's datasets ship in:
+//
+//	edges file:     one "u v" pair per line (undirected, whitespace separated)
+//	locations file: one "v x y" triple per line
+//
+// Lines starting with '#' are comments. Vertex ids must be integers in
+// [0, n).
+
+// WriteEdges writes the edge list of g in "u v" form, each undirected edge
+// once with u < v.
+func WriteEdges(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# sacsearch edge list: n=%d m=%d\n", g.NumVertices(), g.NumEdges())
+	n := g.NumVertices()
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(V(u)) {
+			if V(u) < v {
+				fmt.Fprintf(bw, "%d %d\n", u, v)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteLocations writes the locations of g in "v x y" form.
+func WriteLocations(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# sacsearch locations: n=%d\n", g.NumVertices())
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		p := g.Loc(V(v))
+		fmt.Fprintf(bw, "%d %.9f %.9f\n", v, p.X, p.Y)
+	}
+	return bw.Flush()
+}
+
+// ReadEdges parses an edge list with n vertices into a Builder. The returned
+// builder has no locations set; combine with ReadLocationsInto.
+func ReadEdges(r io.Reader, n int) (*Builder, error) {
+	b := NewBuilder(n)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: edges line %d: want 2 fields, got %q", line, text)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edges line %d: %v", line, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edges line %d: %v", line, err)
+		}
+		if u < 0 || u >= int64(n) || v < 0 || v >= int64(n) {
+			return nil, fmt.Errorf("graph: edges line %d: vertex out of range [0,%d)", line, n)
+		}
+		b.AddEdge(V(u), V(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edges: %v", err)
+	}
+	return b, nil
+}
+
+// ReadLocationsInto parses a locations file into the builder.
+func ReadLocationsInto(r io.Reader, b *Builder) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	line := 0
+	n := b.NumVertices()
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 3 {
+			return fmt.Errorf("graph: locations line %d: want 3 fields, got %q", line, text)
+		}
+		v, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return fmt.Errorf("graph: locations line %d: %v", line, err)
+		}
+		if v < 0 || v >= int64(n) {
+			return fmt.Errorf("graph: locations line %d: vertex out of range [0,%d)", line, n)
+		}
+		x, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return fmt.Errorf("graph: locations line %d: %v", line, err)
+		}
+		y, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return fmt.Errorf("graph: locations line %d: %v", line, err)
+		}
+		b.SetLoc(V(v), geom.Point{X: x, Y: y})
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("graph: reading locations: %v", err)
+	}
+	return nil
+}
+
+// Read loads a graph from an edges reader and a locations reader.
+func Read(edges, locations io.Reader, n int) (*Graph, error) {
+	b, err := ReadEdges(edges, n)
+	if err != nil {
+		return nil, err
+	}
+	if err := ReadLocationsInto(locations, b); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,340 @@
+// Package server implements the system prototype the paper's Section 6
+// plans ("we will also develop a system prototype"): an HTTP JSON API over
+// the SAC search library, the shape a geo-social backend (event
+// recommendation, social marketing) would embed.
+//
+// Endpoints:
+//
+//	GET  /api/health            service and dataset summary
+//	GET  /api/algorithms        available algorithms and their parameters
+//	GET  /api/vertex/{id}       one vertex: location, degree, core number
+//	POST /api/query             one SAC query
+//	POST /api/batch             many SAC queries, answered in parallel
+//	POST /api/checkin           update one vertex's location (dynamic graphs)
+//
+// Concurrency model: the graph's topology and core decomposition are
+// immutable, so queries run on pooled Searcher clones without coordination;
+// locations are mutable (check-ins), guarded by a RWMutex — queries hold the
+// read lock, check-ins the write lock. This mirrors the paper's dynamic
+// setting where "a user's location often changes frequently" while the
+// friendship graph is comparatively stable.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"sacsearch/internal/batch"
+	"sacsearch/internal/core"
+	"sacsearch/internal/geom"
+	"sacsearch/internal/graph"
+)
+
+// Server serves SAC queries over one spatial graph.
+type Server struct {
+	name string
+	g    *graph.Graph
+	base *core.Searcher
+
+	mu   sync.RWMutex // guards vertex locations (check-ins)
+	pool sync.Pool    // *core.Searcher clones for concurrent queries
+
+	mux *http.ServeMux
+}
+
+// New creates a server over g. name labels the dataset in /api/health.
+func New(name string, g *graph.Graph) *Server {
+	base := core.NewSearcher(g)
+	s := &Server{
+		name: name,
+		g:    g,
+		base: base,
+		mux:  http.NewServeMux(),
+	}
+	s.pool.New = func() any { return base.Clone() }
+	s.mux.HandleFunc("GET /api/health", s.handleHealth)
+	s.mux.HandleFunc("GET /api/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("GET /api/vertex/{id}", s.handleVertex)
+	s.mux.HandleFunc("POST /api/query", s.handleQuery)
+	s.mux.HandleFunc("POST /api/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /api/checkin", s.handleCheckin)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler directly.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// --- wire types -----------------------------------------------------------
+
+// CircleJSON is a JSON-friendly circle.
+type CircleJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	R float64 `json:"r"`
+}
+
+// StatsJSON carries the per-query work counters.
+type StatsJSON struct {
+	CandidateSize     int    `json:"candidateSize"`
+	FeasibilityChecks int    `json:"feasibilityChecks"`
+	BinaryIters       int    `json:"binaryIters"`
+	ElapsedMicros     int64  `json:"elapsedMicros"`
+	Algorithm         string `json:"algorithm"`
+}
+
+// QueryRequest is one SAC query.
+type QueryRequest struct {
+	Q    graph.V `json:"q"`
+	K    int     `json:"k"`
+	Algo string  `json:"algo"`           // appfast | appinc | appacc | exact+ | exact | theta
+	EpsF float64 `json:"epsF,omitempty"` // AppFast (default 0.5)
+	EpsA float64 `json:"epsA,omitempty"` // AppAcc / Exact+ (defaults 0.5 / 1e-3)
+	// Theta is θ-SAC's radius (required when algo = "theta").
+	Theta float64 `json:"theta,omitempty"`
+}
+
+// QueryResponse is one SAC answer.
+type QueryResponse struct {
+	Q       graph.V    `json:"q"`
+	K       int        `json:"k"`
+	Members []graph.V  `json:"members"`
+	MCC     CircleJSON `json:"mcc"`
+	Delta   float64    `json:"delta"`
+	Stats   StatsJSON  `json:"stats"`
+}
+
+// BatchRequest is a set of queries answered together.
+type BatchRequest struct {
+	Queries []struct {
+		Q graph.V `json:"q"`
+		K int     `json:"k"`
+	} `json:"queries"`
+	Algo    string  `json:"algo,omitempty"`
+	EpsF    float64 `json:"epsF,omitempty"`
+	EpsA    float64 `json:"epsA,omitempty"`
+	Workers int     `json:"workers,omitempty"`
+}
+
+// BatchResponse carries per-query answers; failed queries have Error set.
+type BatchResponse struct {
+	Items []BatchItemJSON `json:"items"`
+}
+
+// BatchItemJSON is one batch answer.
+type BatchItemJSON struct {
+	Q       graph.V    `json:"q"`
+	K       int        `json:"k"`
+	Members []graph.V  `json:"members,omitempty"`
+	MCC     CircleJSON `json:"mcc"`
+	Error   string     `json:"error,omitempty"`
+}
+
+// CheckinRequest moves one vertex.
+type CheckinRequest struct {
+	V graph.V `json:"v"`
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// errorJSON is the error envelope.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---------------------------------------------------------------
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"dataset":  s.name,
+		"vertices": s.g.NumVertices(),
+		"edges":    s.g.NumEdges(),
+	})
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, []map[string]any{
+		{"name": "appfast", "ratio": "2+epsF", "params": []string{"epsF"}},
+		{"name": "appinc", "ratio": "2", "params": []string{}},
+		{"name": "appacc", "ratio": "1+epsA", "params": []string{"epsA"}},
+		{"name": "exact+", "ratio": "1", "params": []string{"epsA"}},
+		{"name": "exact", "ratio": "1", "params": []string{}},
+		{"name": "theta", "ratio": "-", "params": []string{"theta"}},
+	})
+}
+
+func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 || id >= s.g.NumVertices() {
+		writeJSON(w, http.StatusNotFound, errorJSON{fmt.Sprintf("unknown vertex %q", r.PathValue("id"))})
+		return
+	}
+	v := graph.V(id)
+	s.mu.RLock()
+	loc := s.g.Loc(v)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":     v,
+		"x":      loc.X,
+		"y":      loc.Y,
+		"degree": s.g.Degree(v),
+		"core":   s.base.CoreNumber(v),
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{"invalid JSON: " + err.Error()})
+		return
+	}
+	res, err := s.runQuery(req)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, core.ErrNoCommunity) {
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, errorJSON{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, toQueryResponse(req.Algo, res))
+}
+
+// runQuery dispatches one request on a pooled searcher under the read lock.
+func (s *Server) runQuery(req QueryRequest) (*core.Result, error) {
+	searcher := s.pool.Get().(*core.Searcher)
+	defer s.pool.Put(searcher)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	switch req.Algo {
+	case "", "appfast":
+		epsF := req.EpsF
+		if epsF == 0 {
+			epsF = 0.5
+		}
+		return searcher.AppFast(req.Q, req.K, epsF)
+	case "appinc":
+		return searcher.AppInc(req.Q, req.K)
+	case "appacc":
+		epsA := req.EpsA
+		if epsA == 0 {
+			epsA = 0.5
+		}
+		return searcher.AppAcc(req.Q, req.K, epsA)
+	case "exact+":
+		epsA := req.EpsA
+		if epsA == 0 {
+			epsA = 1e-3
+		}
+		return searcher.ExactPlus(req.Q, req.K, epsA)
+	case "exact":
+		return searcher.Exact(req.Q, req.K)
+	case "theta":
+		if req.Theta <= 0 {
+			return nil, fmt.Errorf("server: algo \"theta\" requires theta > 0")
+		}
+		return searcher.ThetaSAC(req.Q, req.K, req.Theta)
+	default:
+		return nil, fmt.Errorf("server: unknown algorithm %q", req.Algo)
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{"invalid JSON: " + err.Error()})
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorJSON{"empty batch"})
+		return
+	}
+	opt := batch.Options{Workers: req.Workers, EpsF: req.EpsF, EpsA: req.EpsA}
+	switch req.Algo {
+	case "", "appfast":
+		opt.Algorithm = batch.AlgoAppFast
+	case "appinc":
+		opt.Algorithm = batch.AlgoAppInc
+	case "appacc":
+		opt.Algorithm = batch.AlgoAppAcc
+	case "exact+":
+		opt.Algorithm = batch.AlgoExactPlus
+	case "exact":
+		opt.Algorithm = batch.AlgoExact
+	default:
+		writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("unknown algorithm %q", req.Algo)})
+		return
+	}
+	queries := make([]batch.Query, len(req.Queries))
+	for i, q := range req.Queries {
+		queries[i] = batch.Query{Q: q.Q, K: q.K}
+	}
+	s.mu.RLock()
+	items := batch.Run(s.base, queries, opt)
+	s.mu.RUnlock()
+
+	resp := BatchResponse{Items: make([]BatchItemJSON, len(items))}
+	for i, it := range items {
+		out := BatchItemJSON{Q: it.Q, K: it.K}
+		if it.Err != nil {
+			out.Error = it.Err.Error()
+		} else {
+			out.Members = it.Result.Members
+			out.MCC = CircleJSON{X: it.Result.MCC.C.X, Y: it.Result.MCC.C.Y, R: it.Result.MCC.R}
+		}
+		resp.Items[i] = out
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCheckin(w http.ResponseWriter, r *http.Request) {
+	var req CheckinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{"invalid JSON: " + err.Error()})
+		return
+	}
+	if req.V < 0 || int(req.V) >= s.g.NumVertices() {
+		writeJSON(w, http.StatusNotFound, errorJSON{fmt.Sprintf("unknown vertex %d", req.V)})
+		return
+	}
+	s.mu.Lock()
+	s.g.SetLoc(req.V, geom.Point{X: req.X, Y: req.Y})
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// toQueryResponse converts a core result to the wire shape.
+func toQueryResponse(algo string, res *core.Result) QueryResponse {
+	if algo == "" {
+		algo = "appfast"
+	}
+	return QueryResponse{
+		Q:       res.Query,
+		K:       res.K,
+		Members: res.Members,
+		MCC:     CircleJSON{X: res.MCC.C.X, Y: res.MCC.C.Y, R: res.MCC.R},
+		Delta:   res.Delta,
+		Stats: StatsJSON{
+			CandidateSize:     res.Stats.CandidateSize,
+			FeasibilityChecks: res.Stats.FeasibilityChecks,
+			BinaryIters:       res.Stats.BinaryIters,
+			ElapsedMicros:     res.Stats.Elapsed.Microseconds(),
+			Algorithm:         algo,
+		},
+	}
+}
+
+// writeJSON writes v with the given status; encoding errors are reported to
+// the client only through a truncated body (the status line is already out).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,340 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"sacsearch/internal/core"
+	"sacsearch/internal/geom"
+	"sacsearch/internal/graph"
+)
+
+// testGraph plants a handful of spatial cliques; every vertex has a tight
+// community for k up to 4.
+func testGraph() *graph.Graph {
+	rnd := rand.New(rand.NewSource(7))
+	const nc, cs = 6, 6
+	b := graph.NewBuilder(nc * cs)
+	for c := 0; c < nc; c++ {
+		cx, cy := rnd.Float64(), rnd.Float64()
+		for i := 0; i < cs; i++ {
+			v := graph.V(c*cs + i)
+			b.SetLoc(v, geom.Point{
+				X: cx + (rnd.Float64()-0.5)*0.05,
+				Y: cy + (rnd.Float64()-0.5)*0.05,
+			})
+			for j := 0; j < i; j++ {
+				b.AddEdge(v, graph.V(c*cs+j))
+			}
+		}
+	}
+	b.AddEdge(0, 6)
+	b.AddEdge(0, 12)
+	return b.Build()
+}
+
+func newTestServer(t *testing.T) (*httptest.Server, *graph.Graph) {
+	t.Helper()
+	g := testGraph()
+	ts := httptest.NewServer(New("test", g))
+	t.Cleanup(ts.Close)
+	return ts, g
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func getJSON(t *testing.T, url string, into any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestHealth(t *testing.T) {
+	ts, g := newTestServer(t)
+	var out struct {
+		Status   string `json:"status"`
+		Dataset  string `json:"dataset"`
+		Vertices int    `json:"vertices"`
+		Edges    int    `json:"edges"`
+	}
+	resp := getJSON(t, ts.URL+"/api/health", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out.Status != "ok" || out.Dataset != "test" || out.Vertices != g.NumVertices() || out.Edges != g.NumEdges() {
+		t.Fatalf("health = %+v", out)
+	}
+}
+
+func TestAlgorithms(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var out []map[string]any
+	resp := getJSON(t, ts.URL+"/api/algorithms", &out)
+	if resp.StatusCode != http.StatusOK || len(out) != 6 {
+		t.Fatalf("algorithms: status=%d n=%d", resp.StatusCode, len(out))
+	}
+}
+
+func TestVertex(t *testing.T) {
+	ts, g := newTestServer(t)
+	var out struct {
+		ID     graph.V `json:"id"`
+		X      float64 `json:"x"`
+		Y      float64 `json:"y"`
+		Degree int     `json:"degree"`
+		Core   int     `json:"core"`
+	}
+	resp := getJSON(t, ts.URL+"/api/vertex/3", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out.ID != 3 || out.Degree != g.Degree(3) || out.Core < 4 {
+		t.Fatalf("vertex = %+v", out)
+	}
+	if resp := getJSON(t, ts.URL+"/api/vertex/9999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown vertex status = %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/api/vertex/abc", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("garbage vertex status = %d", resp.StatusCode)
+	}
+}
+
+func TestQueryAlgorithms(t *testing.T) {
+	ts, g := newTestServer(t)
+	s := core.NewSearcher(g)
+	for _, algo := range []string{"", "appfast", "appinc", "appacc", "exact+", "exact"} {
+		resp, body := postJSON(t, ts.URL+"/api/query", QueryRequest{Q: 1, K: 4, Algo: algo})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("algo %q: status %d body %s", algo, resp.StatusCode, body)
+		}
+		var out QueryResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("algo %q: %v", algo, err)
+		}
+		if len(out.Members) == 0 || out.MCC.R < 0 {
+			t.Fatalf("algo %q: response %+v", algo, out)
+		}
+		// Every returned community must contain q and be feasible.
+		found := false
+		for _, v := range out.Members {
+			if v == 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("algo %q: community misses q: %v", algo, out.Members)
+		}
+	}
+	// θ-SAC with an explicit radius.
+	want, err := s.ThetaSAC(1, 4, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts.URL+"/api/query", QueryRequest{Q: 1, K: 4, Algo: "theta", Theta: 0.2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("theta: status %d body %s", resp.StatusCode, body)
+	}
+	var out QueryResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Members) != len(want.Members) {
+		t.Fatalf("theta members = %v, want %v", out.Members, want.Members)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// Unknown algorithm.
+	resp, _ := postJSON(t, ts.URL+"/api/query", QueryRequest{Q: 1, K: 4, Algo: "bogus"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bogus algo status = %d", resp.StatusCode)
+	}
+	// θ without a radius.
+	resp, _ = postJSON(t, ts.URL+"/api/query", QueryRequest{Q: 1, K: 4, Algo: "theta"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("theta without radius status = %d", resp.StatusCode)
+	}
+	// No community for absurd k.
+	resp, _ = postJSON(t, ts.URL+"/api/query", QueryRequest{Q: 1, K: 40})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("k=40 status = %d", resp.StatusCode)
+	}
+	// Malformed JSON.
+	r, err := http.Post(ts.URL+"/api/query", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON status = %d", r.StatusCode)
+	}
+	// Wrong method.
+	if resp := getJSON(t, ts.URL+"/api/query", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /api/query status = %d", resp.StatusCode)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	ts, _ := newTestServer(t)
+	req := BatchRequest{Workers: 2}
+	for _, q := range []graph.V{1, 7, 13, 1} { // includes a duplicate
+		req.Queries = append(req.Queries, struct {
+			Q graph.V `json:"q"`
+			K int     `json:"k"`
+		}{q, 4})
+	}
+	resp, body := postJSON(t, ts.URL+"/api/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d body %s", resp.StatusCode, body)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != 4 {
+		t.Fatalf("items = %d, want 4", len(out.Items))
+	}
+	for i, it := range out.Items {
+		if it.Error != "" {
+			t.Fatalf("item %d: %s", i, it.Error)
+		}
+		if len(it.Members) == 0 {
+			t.Fatalf("item %d: empty members", i)
+		}
+	}
+	// Batch with a failing query keeps the others.
+	req.Queries[1].Q = 9999
+	resp, body = postJSON(t, ts.URL+"/api/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mixed batch status = %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Items[1].Error == "" {
+		t.Fatal("invalid query did not error")
+	}
+	if out.Items[0].Error != "" || out.Items[2].Error != "" {
+		t.Fatal("valid queries infected by the failing one")
+	}
+	// Empty batch.
+	resp, _ = postJSON(t, ts.URL+"/api/batch", BatchRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch status = %d", resp.StatusCode)
+	}
+	// Unknown algorithm.
+	req2 := BatchRequest{Algo: "bogus"}
+	req2.Queries = req.Queries[:1]
+	resp, _ = postJSON(t, ts.URL+"/api/batch", req2)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus batch algo status = %d", resp.StatusCode)
+	}
+}
+
+func TestCheckinMovesCommunities(t *testing.T) {
+	ts, g := newTestServer(t)
+	// Query before the move.
+	_, body := postJSON(t, ts.URL+"/api/query", QueryRequest{Q: 0, K: 4, Algo: "exact+"})
+	var before QueryResponse
+	if err := json.Unmarshal(body, &before); err != nil {
+		t.Fatal(err)
+	}
+	// Teleport q across the square.
+	resp, _ := postJSON(t, ts.URL+"/api/checkin", CheckinRequest{V: 0, X: 0.99, Y: 0.99})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkin status = %d", resp.StatusCode)
+	}
+	if loc := g.Loc(0); loc.X != 0.99 || loc.Y != 0.99 {
+		t.Fatalf("location not applied: %v", loc)
+	}
+	// The community's MCC must now be different (q moved away from its
+	// clique, so the circle covering clique+q grows).
+	_, body = postJSON(t, ts.URL+"/api/query", QueryRequest{Q: 0, K: 4, Algo: "exact+"})
+	var after QueryResponse
+	if err := json.Unmarshal(body, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.MCC.R <= before.MCC.R {
+		t.Fatalf("MCC radius did not grow after teleport: %v -> %v", before.MCC.R, after.MCC.R)
+	}
+	// Unknown vertex.
+	resp, _ = postJSON(t, ts.URL+"/api/checkin", CheckinRequest{V: 9999, X: 0.5, Y: 0.5})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown checkin status = %d", resp.StatusCode)
+	}
+}
+
+// Concurrent queries and check-ins must not race (run with -race) and every
+// response must be a valid community.
+func TestConcurrentQueriesAndCheckins(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if w%2 == 0 {
+					q := graph.V((w*10 + i) % 36)
+					buf, _ := json.Marshal(QueryRequest{Q: q, K: 4})
+					resp, err := http.Post(ts.URL+"/api/query", "application/json", bytes.NewReader(buf))
+					if err != nil {
+						errs <- err
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+						errs <- fmt.Errorf("query status %d", resp.StatusCode)
+						return
+					}
+				} else {
+					buf, _ := json.Marshal(CheckinRequest{V: graph.V(i % 36), X: 0.5, Y: 0.5})
+					resp, err := http.Post(ts.URL+"/api/checkin", "application/json", bytes.NewReader(buf))
+					if err != nil {
+						errs <- err
+						return
+					}
+					resp.Body.Close()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+// Package spatial implements a uniform-grid point index over graph vertex
+// locations. SAC search repeatedly gathers "all vertices inside circle
+// O(c, r)" (AppFast line 6, AppAcc line 9, θ-SAC); the grid answers those
+// circle range queries and k-nearest-neighbor queries in time proportional
+// to the number of touched cells instead of the whole vertex set.
+//
+// The index snapshots locations at construction; rebuild after bulk location
+// updates (the dynamic-replay experiment does).
+package spatial
+
+import (
+	"math"
+	"sort"
+
+	"sacsearch/internal/geom"
+	"sacsearch/internal/graph"
+)
+
+// Grid is a uniform bucket grid over a set of points.
+type Grid struct {
+	minX, minY float64
+	cell       float64 // cell edge length
+	cols, rows int
+	buckets    [][]graph.V
+	pts        []geom.Point // snapshot of locations
+}
+
+// NewGrid indexes the given points aiming for roughly targetPerCell points
+// per cell. targetPerCell <= 0 defaults to 4.
+func NewGrid(pts []geom.Point, targetPerCell int) *Grid {
+	if targetPerCell <= 0 {
+		targetPerCell = 4
+	}
+	n := len(pts)
+	g := &Grid{pts: append([]geom.Point(nil), pts...)}
+	if n == 0 {
+		g.cell = 1
+		g.cols, g.rows = 1, 1
+		g.buckets = make([][]graph.V, 1)
+		return g
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	g.minX, g.minY = minX, minY
+	w := maxX - minX
+	h := maxY - minY
+	if w <= 0 {
+		w = 1e-9
+	}
+	if h <= 0 {
+		h = 1e-9
+	}
+	cells := float64(n) / float64(targetPerCell)
+	if cells < 1 {
+		cells = 1
+	}
+	// Square-ish cells: pick the edge so cols*rows ≈ cells.
+	g.cell = math.Sqrt(w * h / cells)
+	if g.cell <= 0 || math.IsNaN(g.cell) {
+		g.cell = math.Max(w, h)
+	}
+	g.cols = int(w/g.cell) + 1
+	g.rows = int(h/g.cell) + 1
+	g.buckets = make([][]graph.V, g.cols*g.rows)
+	for i, p := range pts {
+		g.buckets[g.cellOf(p)] = append(g.buckets[g.cellOf(p)], graph.V(i))
+	}
+	return g
+}
+
+// NewGridForGraph indexes the current locations of g's vertices.
+func NewGridForGraph(gr *graph.Graph, targetPerCell int) *Grid {
+	return NewGrid(gr.Locs(), targetPerCell)
+}
+
+func (g *Grid) cellOf(p geom.Point) int {
+	cx := int((p.X - g.minX) / g.cell)
+	cy := int((p.Y - g.minY) / g.cell)
+	cx = clampInt(cx, 0, g.cols-1)
+	cy = clampInt(cy, 0, g.rows-1)
+	return cy*g.cols + cx
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// NumPoints returns the number of indexed points.
+func (g *Grid) NumPoints() int { return len(g.pts) }
+
+// InCircle appends to dst every indexed point id inside the closed disk c
+// (with geom.Eps tolerance) and returns dst.
+func (g *Grid) InCircle(c geom.Circle, dst []graph.V) []graph.V {
+	if c.R < 0 {
+		return dst
+	}
+	loX := clampInt(int((c.C.X-c.R-g.minX)/g.cell), 0, g.cols-1)
+	hiX := clampInt(int((c.C.X+c.R-g.minX)/g.cell), 0, g.cols-1)
+	loY := clampInt(int((c.C.Y-c.R-g.minY)/g.cell), 0, g.rows-1)
+	hiY := clampInt(int((c.C.Y+c.R-g.minY)/g.cell), 0, g.rows-1)
+	r2 := (c.R + geom.Eps) * (c.R + geom.Eps)
+	for cy := loY; cy <= hiY; cy++ {
+		for cx := loX; cx <= hiX; cx++ {
+			for _, id := range g.buckets[cy*g.cols+cx] {
+				if g.pts[id].Dist2(c.C) <= r2 {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// InAnnulus appends point ids with rInner <= dist(p, center) <= rOuter.
+func (g *Grid) InAnnulus(center geom.Point, rInner, rOuter float64, dst []graph.V) []graph.V {
+	tmp := g.InCircle(geom.Circle{C: center, R: rOuter}, nil)
+	in2 := (rInner - geom.Eps) * (rInner - geom.Eps)
+	if rInner <= 0 {
+		in2 = -1
+	}
+	for _, id := range tmp {
+		if g.pts[id].Dist2(center) >= in2 {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// KNearest returns the ids of the k indexed points nearest to p for which
+// accept returns true (accept == nil accepts everything), ordered by
+// increasing distance. Fewer than k are returned when the index runs out of
+// acceptable points. The search expands ring-by-ring over grid cells.
+func (g *Grid) KNearest(p geom.Point, k int, accept func(graph.V) bool) []graph.V {
+	if k <= 0 || len(g.pts) == 0 {
+		return nil
+	}
+	type cand struct {
+		id graph.V
+		d2 float64
+	}
+	var cands []cand
+	cx := clampInt(int((p.X-g.minX)/g.cell), 0, g.cols-1)
+	cy := clampInt(int((p.Y-g.minY)/g.cell), 0, g.rows-1)
+	maxRing := g.cols + g.rows
+	for ring := 0; ring <= maxRing; ring++ {
+		added := false
+		scan := func(x, y int) {
+			if x < 0 || x >= g.cols || y < 0 || y >= g.rows {
+				return
+			}
+			for _, id := range g.buckets[y*g.cols+x] {
+				if accept != nil && !accept(id) {
+					continue
+				}
+				cands = append(cands, cand{id, g.pts[id].Dist2(p)})
+				added = true
+			}
+		}
+		if ring == 0 {
+			scan(cx, cy)
+		} else {
+			for x := cx - ring; x <= cx+ring; x++ {
+				scan(x, cy-ring)
+				scan(x, cy+ring)
+			}
+			for y := cy - ring + 1; y <= cy+ring-1; y++ {
+				scan(cx-ring, y)
+				scan(cx+ring, y)
+			}
+		}
+		_ = added
+		// Stop once we have k candidates whose distances are certainly not
+		// beaten by points in farther rings: the nearest possible point in
+		// ring r+1 is at least (r)*cell away from p's cell boundary.
+		if len(cands) >= k {
+			sort.Slice(cands, func(i, j int) bool { return cands[i].d2 < cands[j].d2 })
+			safe := float64(ring) * g.cell // lower bound to next ring
+			if math.Sqrt(cands[k-1].d2) <= safe || ring == maxRing {
+				out := make([]graph.V, k)
+				for i := 0; i < k; i++ {
+					out[i] = cands[i].id
+				}
+				return out
+			}
+		}
+	}
+	// Exhausted all rings with fewer than k acceptable points.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d2 < cands[j].d2 })
+	out := make([]graph.V, 0, len(cands))
+	for _, c := range cands {
+		out = append(out, c.id)
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

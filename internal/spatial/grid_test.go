@@ -1,0 +1,246 @@
+package spatial
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sacsearch/internal/geom"
+	"sacsearch/internal/graph"
+)
+
+func randomPoints(n int, seed int64) []geom.Point {
+	rnd := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rnd.Float64(), Y: rnd.Float64()}
+	}
+	return pts
+}
+
+func bruteInCircle(pts []geom.Point, c geom.Circle) []graph.V {
+	var out []graph.V
+	for i, p := range pts {
+		if c.Contains(p) {
+			out = append(out, graph.V(i))
+		}
+	}
+	return out
+}
+
+func sortedIDs(vs []graph.V) []graph.V {
+	out := append([]graph.V(nil), vs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func eqIDs(a, b []graph.V) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyGrid(t *testing.T) {
+	g := NewGrid(nil, 4)
+	if g.NumPoints() != 0 {
+		t.Fatalf("NumPoints = %d", g.NumPoints())
+	}
+	if got := g.InCircle(geom.Circle{C: geom.Point{X: 0.5, Y: 0.5}, R: 10}, nil); len(got) != 0 {
+		t.Fatalf("InCircle on empty = %v", got)
+	}
+	if got := g.KNearest(geom.Point{}, 3, nil); len(got) != 0 {
+		t.Fatalf("KNearest on empty = %v", got)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	g := NewGrid([]geom.Point{{X: 0.3, Y: 0.7}}, 4)
+	got := g.InCircle(geom.Circle{C: geom.Point{X: 0.3, Y: 0.7}, R: 0}, nil)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("InCircle = %v", got)
+	}
+	if got := g.InCircle(geom.Circle{C: geom.Point{X: 0.9, Y: 0.9}, R: 0.1}, nil); len(got) != 0 {
+		t.Fatalf("miss = %v", got)
+	}
+}
+
+func TestInCircleMatchesBrute(t *testing.T) {
+	pts := randomPoints(2000, 42)
+	g := NewGrid(pts, 4)
+	rnd := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 100; trial++ {
+		c := geom.Circle{
+			C: geom.Point{X: rnd.Float64() * 1.2, Y: rnd.Float64() * 1.2},
+			R: rnd.Float64() * 0.4,
+		}
+		got := sortedIDs(g.InCircle(c, nil))
+		want := sortedIDs(bruteInCircle(pts, c))
+		if !eqIDs(got, want) {
+			t.Fatalf("trial %d circle %+v: got %d pts, want %d", trial, c, len(got), len(want))
+		}
+	}
+}
+
+func TestInCircleNegativeRadius(t *testing.T) {
+	g := NewGrid(randomPoints(10, 1), 4)
+	if got := g.InCircle(geom.Circle{C: geom.Point{X: 0.5, Y: 0.5}, R: -1}, nil); len(got) != 0 {
+		t.Fatalf("negative radius = %v", got)
+	}
+}
+
+func TestInAnnulus(t *testing.T) {
+	pts := []geom.Point{
+		{X: 0.5, Y: 0.5},  // center, dist 0
+		{X: 0.6, Y: 0.5},  // dist 0.1
+		{X: 0.8, Y: 0.5},  // dist 0.3
+		{X: 0.95, Y: 0.5}, // dist 0.45
+	}
+	g := NewGrid(pts, 1)
+	got := sortedIDs(g.InAnnulus(geom.Point{X: 0.5, Y: 0.5}, 0.05, 0.35, nil))
+	if !eqIDs(got, []graph.V{1, 2}) {
+		t.Fatalf("annulus = %v, want [1 2]", got)
+	}
+	// Inner radius 0 includes the center point.
+	got = sortedIDs(g.InAnnulus(geom.Point{X: 0.5, Y: 0.5}, 0, 0.35, nil))
+	if !eqIDs(got, []graph.V{0, 1, 2}) {
+		t.Fatalf("annulus with rInner=0 = %v", got)
+	}
+}
+
+func TestKNearestMatchesBrute(t *testing.T) {
+	pts := randomPoints(500, 7)
+	g := NewGrid(pts, 4)
+	rnd := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		p := geom.Point{X: rnd.Float64(), Y: rnd.Float64()}
+		k := 1 + rnd.Intn(20)
+		got := g.KNearest(p, k, nil)
+		if len(got) != k {
+			t.Fatalf("trial %d: got %d ids, want %d", trial, len(got), k)
+		}
+		// Brute force: k smallest distances.
+		type cand struct {
+			id graph.V
+			d  float64
+		}
+		all := make([]cand, len(pts))
+		for i, q := range pts {
+			all[i] = cand{graph.V(i), q.Dist2(p)}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+		for i := 0; i < k; i++ {
+			// Compare distances (ids may tie).
+			if gd := pts[got[i]].Dist2(p); gd != all[i].d {
+				t.Fatalf("trial %d position %d: dist %v, want %v", trial, i, gd, all[i].d)
+			}
+		}
+	}
+}
+
+func TestKNearestWithFilter(t *testing.T) {
+	pts := randomPoints(100, 9)
+	g := NewGrid(pts, 4)
+	even := func(v graph.V) bool { return v%2 == 0 }
+	got := g.KNearest(geom.Point{X: 0.5, Y: 0.5}, 10, even)
+	if len(got) != 10 {
+		t.Fatalf("got %d", len(got))
+	}
+	for _, id := range got {
+		if id%2 != 0 {
+			t.Fatalf("filter violated: %d", id)
+		}
+	}
+	// Request more than available.
+	got = g.KNearest(geom.Point{X: 0.5, Y: 0.5}, 80, even)
+	if len(got) != 50 {
+		t.Fatalf("got %d acceptable points, want all 50 even ids", len(got))
+	}
+}
+
+func TestKNearestZero(t *testing.T) {
+	g := NewGrid(randomPoints(10, 3), 4)
+	if got := g.KNearest(geom.Point{}, 0, nil); got != nil {
+		t.Fatalf("k=0 = %v", got)
+	}
+}
+
+func TestDegenerateAllSamePoint(t *testing.T) {
+	pts := make([]geom.Point, 20)
+	for i := range pts {
+		pts[i] = geom.Point{X: 0.5, Y: 0.5}
+	}
+	g := NewGrid(pts, 4)
+	got := g.InCircle(geom.Circle{C: geom.Point{X: 0.5, Y: 0.5}, R: 0.01}, nil)
+	if len(got) != 20 {
+		t.Fatalf("got %d, want 20", len(got))
+	}
+	if got := g.KNearest(geom.Point{X: 0.5, Y: 0.5}, 5, nil); len(got) != 5 {
+		t.Fatalf("KNearest = %v", got)
+	}
+}
+
+func TestNewGridForGraph(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.SetLoc(0, geom.Point{X: 0, Y: 0})
+	b.SetLoc(1, geom.Point{X: 1, Y: 1})
+	b.SetLoc(2, geom.Point{X: 0.5, Y: 0.5})
+	g := b.Build()
+	grid := NewGridForGraph(g, 1)
+	got := grid.InCircle(geom.Circle{C: geom.Point{X: 0.5, Y: 0.5}, R: 0.1}, nil)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("InCircle = %v", got)
+	}
+}
+
+// Property: InCircle returns exactly the brute-force set for arbitrary
+// circles and point clouds.
+func TestInCircleProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, cxRaw, cyRaw, rRaw uint16) bool {
+		n := int(nRaw%100) + 1
+		pts := randomPoints(n, seed)
+		g := NewGrid(pts, 3)
+		c := geom.Circle{
+			C: geom.Point{X: float64(cxRaw) / 65535, Y: float64(cyRaw) / 65535},
+			R: float64(rRaw) / 65535 * 0.5,
+		}
+		return eqIDs(sortedIDs(g.InCircle(c, nil)), sortedIDs(bruteInCircle(pts, c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInCircleGrid(b *testing.B) {
+	pts := randomPoints(100000, 11)
+	g := NewGrid(pts, 4)
+	c := geom.Circle{C: geom.Point{X: 0.5, Y: 0.5}, R: 0.05}
+	buf := make([]graph.V, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.InCircle(c, buf[:0])
+	}
+}
+
+func BenchmarkInCircleLinearScan(b *testing.B) {
+	pts := randomPoints(100000, 11)
+	c := geom.Circle{C: geom.Point{X: 0.5, Y: 0.5}, R: 0.05}
+	buf := make([]graph.V, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		for j, p := range pts {
+			if c.Contains(p) {
+				buf = append(buf, graph.V(j))
+			}
+		}
+	}
+}

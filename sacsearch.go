@@ -1,0 +1,266 @@
+// Package sacsearch is a Go implementation of spatial-aware community (SAC)
+// search over large spatial graphs, reproducing Fang, Cheng, Li, Luo and Hu,
+// "Effective Community Search over Large Spatial Graphs", PVLDB 10(6), 2017.
+//
+// Given an undirected graph whose vertices carry 2-D locations, a query
+// vertex q and a degree threshold k, SAC search returns a connected subgraph
+// containing q in which every vertex has degree ≥ k, covered by the smallest
+// possible minimum covering circle. The package provides the paper's two
+// exact algorithms (Exact, ExactPlus) and three approximations (AppInc,
+// AppFast, AppAcc), the θ-SAC variant, the Global/Local/GeoModu baselines it
+// compares against, dataset generators, quality metrics, and the harness
+// that regenerates every table and figure of the paper's evaluation.
+//
+// The paper's Section 6 roadmap is implemented as well: alternative
+// structure metrics (k-truss, k-clique percolation), minimum-diameter
+// communities (Searcher.MinDiam2Approx, Searcher.MinDiamLens), batch query
+// processing (BatchSearch, BatchStream), and an HTTP prototype
+// (cmd/sacserver).
+//
+// # Quick start
+//
+//	b := sacsearch.NewBuilder(4)
+//	b.AddEdge(0, 1)
+//	b.AddEdge(1, 2)
+//	b.AddEdge(2, 0)
+//	b.AddEdge(2, 3)
+//	b.SetLoc(0, sacsearch.Point{X: 0.10, Y: 0.10})
+//	b.SetLoc(1, sacsearch.Point{X: 0.11, Y: 0.10})
+//	b.SetLoc(2, sacsearch.Point{X: 0.10, Y: 0.11})
+//	b.SetLoc(3, sacsearch.Point{X: 0.90, Y: 0.90})
+//	g := b.Build()
+//
+//	s := sacsearch.NewSearcher(g)
+//	res, err := s.ExactPlus(0, 2, 0.1) // q=0, k=2, εA=0.1
+//	if err != nil { ... }
+//	fmt.Println(res.Members, res.MCC)
+//
+// Searchers precompute an O(m) core decomposition once and reuse scratch
+// space across queries; they are not safe for concurrent use (Clone one per
+// goroutine).
+package sacsearch
+
+import (
+	"sacsearch/internal/batch"
+	"sacsearch/internal/community"
+	"sacsearch/internal/core"
+	"sacsearch/internal/dataset"
+	"sacsearch/internal/dynamic"
+	"sacsearch/internal/gen"
+	"sacsearch/internal/geom"
+	"sacsearch/internal/graph"
+	"sacsearch/internal/metrics"
+)
+
+// Geometry.
+type (
+	// Point is a 2-D location in the unit square.
+	Point = geom.Point
+	// Circle is a closed disk; SAC results carry their minimum covering
+	// circle as one.
+	Circle = geom.Circle
+)
+
+// MCC returns the minimum covering circle of the given points (expected
+// linear time, deterministic).
+func MCC(pts []Point) Circle { return geom.MCC(pts) }
+
+// Graph model.
+type (
+	// V is the dense vertex id type.
+	V = graph.V
+	// Graph is an immutable-topology spatial graph (locations are mutable,
+	// for dynamic replay).
+	Graph = graph.Graph
+	// Builder accumulates edges and locations for a Graph.
+	Builder = graph.Builder
+)
+
+// NewBuilder creates a graph builder for n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// SAC search (the paper's contribution).
+type (
+	// Searcher runs SAC queries: Exact, ExactPlus, AppInc, AppFast, AppAcc
+	// and ThetaSAC. See each method's documentation for the guarantee and
+	// complexity.
+	Searcher = core.Searcher
+	// Result is one query's outcome: members, MCC, δ and work counters.
+	Result = core.Result
+	// Stats holds the per-query work counters.
+	Stats = core.Stats
+	// Structure selects the structure-cohesiveness metric.
+	Structure = core.Structure
+)
+
+// Structure metrics: minimum degree (default), k-truss, or k-clique
+// percolation.
+const (
+	StructureKCore   = core.StructureKCore
+	StructureKTruss  = core.StructureKTruss
+	StructureKClique = core.StructureKClique
+)
+
+// ErrNoCommunity reports that the query vertex belongs to no feasible
+// community for the requested k.
+var ErrNoCommunity = core.ErrNoCommunity
+
+// NewSearcher prepares SAC search over g with the minimum-degree metric.
+func NewSearcher(g *Graph) *Searcher { return core.NewSearcher(g) }
+
+// NewSearcherWithStructure prepares SAC search with the given structure
+// cohesiveness metric (k-core, k-truss or k-clique).
+func NewSearcherWithStructure(g *Graph, st Structure) *Searcher {
+	return core.NewSearcherWithStructure(g, st)
+}
+
+// Batch processing (Section 6 future work: answering many SAC queries at
+// once with a shared decomposition and parallel workers).
+type (
+	// BatchQuery is one (q, k) request in a batch.
+	BatchQuery = batch.Query
+	// BatchItem is one answered batch query.
+	BatchItem = batch.Item
+	// BatchOptions configures workers, algorithm and parameters of a batch.
+	BatchOptions = batch.Options
+	// BatchAlgo selects the algorithm a batch runs.
+	BatchAlgo = batch.Algo
+)
+
+// Batch algorithm choices.
+const (
+	BatchAppFast   = batch.AlgoAppFast
+	BatchAppInc    = batch.AlgoAppInc
+	BatchAppAcc    = batch.AlgoAppAcc
+	BatchExactPlus = batch.AlgoExactPlus
+	BatchExact     = batch.AlgoExact
+)
+
+// BatchSearch answers every query using cloned searchers on parallel
+// workers, deduplicating identical queries; items come back in input order.
+func BatchSearch(s *Searcher, queries []BatchQuery, opt BatchOptions) []BatchItem {
+	return batch.Run(s, queries, opt)
+}
+
+// BatchStream answers queries from a channel as they arrive, emitting items
+// as they complete; the output channel closes when in closes and all
+// in-flight work is done.
+func BatchStream(s *Searcher, in <-chan BatchQuery, opt BatchOptions) <-chan BatchItem {
+	return batch.Stream(s, in, opt)
+}
+
+// BatchWorkload pairs each query vertex with k.
+func BatchWorkload(qs []V, k int) []BatchQuery { return batch.Workload(qs, k) }
+
+// Baselines (Section 5.2.2 comparisons).
+type (
+	// BaselineSearcher runs the Global [29] and Local [7] community-search
+	// baselines.
+	BaselineSearcher = community.Searcher
+	// Partition is a GeoModu [4] community-detection result.
+	Partition = community.Partition
+)
+
+// NewBaselineSearcher prepares the Global/Local baselines for g.
+func NewBaselineSearcher(g *Graph) *BaselineSearcher { return community.NewSearcher(g) }
+
+// RunGeoModu detects communities by geo-weighted (w = 1/d^µ) modularity
+// maximization; µ is typically 1 or 2.
+func RunGeoModu(g *Graph, mu float64) *Partition { return community.RunGeoModu(g, mu) }
+
+// Datasets and workloads.
+type (
+	// Dataset is a named spatial graph (a Table 4 stand-in or a file load).
+	Dataset = dataset.Dataset
+	// Preset describes one Table 4 dataset.
+	Preset = dataset.Preset
+)
+
+// DatasetPresets lists the Table 4 datasets this package can regenerate.
+func DatasetPresets() []Preset { return dataset.Presets }
+
+// LoadDataset builds the named dataset ("brightkite", "gowalla", "flickr",
+// "foursquare", "syn1", "syn2") at the given scale ∈ (0,1].
+func LoadDataset(name string, scale float64) (*Dataset, error) { return dataset.Load(name, scale) }
+
+// QueryWorkload returns count random query vertices with core number ≥
+// minCore (the paper's workload construction).
+func QueryWorkload(g *Graph, minCore, count int, seed int64) []V {
+	return dataset.QueryWorkload(g, minCore, count, seed)
+}
+
+// Generators.
+
+// GenerateSocialGraph builds a synthetic geo-social graph: power-law degree
+// backbone, planted dense groups, and spatially correlated locations
+// (Section 5.1 recipe). The result is ready for SAC search.
+func GenerateSocialGraph(n, m int, seed int64) *Graph {
+	b := gen.SocialGraph(n, m, seed)
+	gen.PlaceSpatial(b, gen.DefaultDistMean, gen.DefaultDistSigma, seed+1)
+	return b.Build()
+}
+
+// Checkin is a timestamped location report (dynamic experiments).
+type Checkin = gen.Checkin
+
+// GenerateCheckins produces a time-sorted synthetic check-in stream for
+// every vertex of g.
+func GenerateCheckins(g *Graph, seed int64) []Checkin {
+	return gen.Checkins(g, gen.DefaultCheckinConfig(), seed)
+}
+
+// SelectMovers picks up to count users with at least minFriends neighbors,
+// ranked by total travel distance — the dynamic experiment's query users.
+func SelectMovers(g *Graph, checkins []Checkin, minFriends, count int) []V {
+	return gen.SelectMovers(g, checkins, minFriends, count)
+}
+
+// Dynamic replay (Section 5.2.3).
+type (
+	// Snapshot is one tracked community observation during a replay.
+	Snapshot = dynamic.Snapshot
+	// DecayPoint is one (η, CJS, CAO) measurement of Figure 13.
+	DecayPoint = dynamic.DecayPoint
+	// SearchFunc runs one SAC query during a replay.
+	SearchFunc = dynamic.SearchFunc
+)
+
+// Replay applies a check-in stream to g and snapshots the tracked users'
+// communities from splitTime on.
+func Replay(g *Graph, checkins []Checkin, tracked []V, splitTime float64, k int, search SearchFunc) (map[V][]Snapshot, error) {
+	return dynamic.Replay(g, checkins, tracked, splitTime, k, search)
+}
+
+// Decay computes CJS/CAO decay curves over the time gaps etas (days).
+func Decay(timelines map[V][]Snapshot, etas []float64) []DecayPoint {
+	return dynamic.Decay(timelines, etas)
+}
+
+// Quality metrics (Section 5 measures).
+
+// CommunityRadius returns the MCC radius of the members' locations.
+func CommunityRadius(g *Graph, members []V) float64 { return metrics.Radius(g, members) }
+
+// CommunityDistPr returns the average pairwise distance between members.
+func CommunityDistPr(g *Graph, members []V, seed int64) float64 {
+	return metrics.DistPr(g, members, seed)
+}
+
+// CJS is the community Jaccard similarity (Equation 9).
+func CJS(a, b []V) float64 { return metrics.CJS(a, b) }
+
+// CAO is the community area overlap of two MCCs (Equation 10).
+func CAO(a, b Circle) float64 { return metrics.CAO(a, b) }
+
+// AvgInternalDegree returns the mean degree of members within the subgraph
+// they induce.
+func AvgInternalDegree(g *Graph, members []V) float64 {
+	return community.AvgInternalDegree(g, members)
+}
+
+// CommunityDiameter returns the maximum pairwise distance between members —
+// the objective of the minimum-diameter SAC variants (Searcher.MinDiam2Approx
+// and Searcher.MinDiamLens).
+func CommunityDiameter(g *Graph, members []V) float64 {
+	return core.DiameterOf(g, members)
+}

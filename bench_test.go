@@ -357,6 +357,7 @@ func BenchmarkFig12Approx(b *testing.B) {
 	for _, a := range algos {
 		for _, k := range []int{4, 7, 10, 13, 16} {
 			b.Run(fmt.Sprintf("%s/k=%d", a.name, k), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					q := f.query(i)
 					if _, err := a.run(q, k); err != nil && err != sacsearch.ErrNoCommunity {
@@ -368,6 +369,33 @@ func BenchmarkFig12Approx(b *testing.B) {
 	}
 }
 
+// --- Repeated-query throughput: the candidate cache -------------------------
+
+// BenchmarkRepeatedCommunityQueries measures the dominant server/batch
+// pattern — a stream of queries that keep landing in the same few
+// communities — with the candidate cache on (default) and off. The cached
+// path skips the per-query BFS + distance sort once the stream has touched a
+// community; the acceptance bar for the cache is ≥2× on this workload.
+func BenchmarkRepeatedCommunityQueries(b *testing.B) {
+	f := fixture(b)
+	for _, mode := range []struct {
+		name   string
+		cached bool
+	}{{"Cached", true}, {"Uncached", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			s := sacsearch.NewSearcher(f.ds.Graph)
+			s.SetCandidateCaching(mode.cached)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.AppFast(f.query(i), benchK, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Figure 12(f-j): exact algorithms vs k ---------------------------------
 
 // BenchmarkFig12Exact times Exact against Exact+ on queries whose candidate
@@ -376,6 +404,7 @@ func BenchmarkFig12Approx(b *testing.B) {
 func BenchmarkFig12Exact(b *testing.B) {
 	f := exactWorkload(b)
 	b.Run("Exact", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.queries[i%len(f.queries)]
 			if _, err := f.searcher.Exact(q, benchK); err != nil {
@@ -384,6 +413,7 @@ func BenchmarkFig12Exact(b *testing.B) {
 		}
 	})
 	b.Run("ExactPlus", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := f.queries[i%len(f.queries)]
 			if _, err := f.searcher.ExactPlus(q, benchK, 1e-3); err != nil {
@@ -411,6 +441,7 @@ func BenchmarkFig12Scalability(b *testing.B) {
 				b.Skip("subset has no queries with core ≥ 4")
 			}
 			s := sacsearch.NewSearcher(sub.Graph)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := s.AppFast(qs[i%len(qs)], benchK, 0.5); err != nil {
@@ -489,6 +520,7 @@ func BenchmarkFig14ExactPlusEps(b *testing.B) {
 func BenchmarkAblationBinarySearch(b *testing.B) {
 	f := fixture(b)
 	b.Run("IndexAware", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := f.searcher.AppFast(f.query(i), benchK, 0.5); err != nil {
 				b.Fatal(err)
@@ -496,6 +528,7 @@ func BenchmarkAblationBinarySearch(b *testing.B) {
 		}
 	})
 	b.Run("PureBisect", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := f.searcher.AppFastBisect(f.query(i), benchK, 0.5); err != nil {
 				b.Fatal(err)

@@ -1,4 +1,5 @@
-// Command sacbench regenerates the paper's tables and figures.
+// Command sacbench regenerates the paper's tables and figures and tracks
+// the query hot path's performance trajectory.
 //
 // Usage:
 //
@@ -6,8 +7,12 @@
 //	sacbench -exp all -scale 0.1 -queries 200 -datasets brightkite,gowalla
 //	sacbench -list                      # show available experiment ids
 //	sacbench -exp fig12exact -paper     # start from the paper-sized config
+//	sacbench -benchjson BENCH_1.json    # machine-readable perf snapshot
 //
 // Output goes to stdout; redirect to keep a record alongside EXPERIMENTS.md.
+// The -benchjson report records repeated-query ns/op and allocs/op with the
+// candidate cache on/off, the cache speedup, and batch scaling per worker
+// count, so regressions are visible PR over PR.
 package main
 
 import (
@@ -21,14 +26,15 @@ import (
 
 func main() {
 	var (
-		expID    = flag.String("exp", "", "experiment id to run, or 'all'")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		paper    = flag.Bool("paper", false, "start from the paper-sized config (hours) instead of the quick one")
-		datasets = flag.String("datasets", "", "comma-separated dataset names (default from config)")
-		scale    = flag.Float64("scale", 0, "dataset scale in (0,1] (0 = config default)")
-		queries  = flag.Int("queries", 0, "queries per dataset (0 = config default)")
-		k        = flag.Int("k", 0, "default minimum degree (0 = config default)")
-		seed     = flag.Int64("seed", 0, "workload seed (0 = config default)")
+		expID     = flag.String("exp", "", "experiment id to run, or 'all'")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		paper     = flag.Bool("paper", false, "start from the paper-sized config (hours) instead of the quick one")
+		datasets  = flag.String("datasets", "", "comma-separated dataset names (default from config)")
+		scale     = flag.Float64("scale", 0, "dataset scale in (0,1] (0 = config default)")
+		queries   = flag.Int("queries", 0, "queries per dataset (0 = config default)")
+		k         = flag.Int("k", 0, "default minimum degree (0 = config default)")
+		seed      = flag.Int64("seed", 0, "workload seed (0 = config default)")
+		benchJSON = flag.String("benchjson", "", "write the hot-path perf report as JSON to this file ('-' for stdout)")
 	)
 	flag.Parse()
 
@@ -39,8 +45,8 @@ func main() {
 		}
 		return
 	}
-	if *expID == "" {
-		fmt.Fprintln(os.Stderr, "sacbench: -exp is required (try -list)")
+	if *expID == "" && *benchJSON == "" {
+		fmt.Fprintln(os.Stderr, "sacbench: -exp or -benchjson is required (try -list)")
 		os.Exit(2)
 	}
 
@@ -62,6 +68,26 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+
+	if *benchJSON != "" {
+		out := os.Stdout
+		if *benchJSON != "-" {
+			f, err := os.Create(*benchJSON)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sacbench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := exp.WritePerfJSON(cfg, out); err != nil {
+			fmt.Fprintf(os.Stderr, "sacbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *expID == "" {
+			return
+		}
 	}
 
 	var err error

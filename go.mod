@@ -1,0 +1,3 @@
+module sacsearch
+
+go 1.22

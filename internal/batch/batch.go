@@ -5,14 +5,17 @@
 // them one by one because
 //
 //   - the O(m) core decomposition is computed once and shared by every
-//     worker (core.Searcher.Clone shares the immutable decompositions),
+//     worker (core.Pool clones share the immutable decompositions),
 //   - duplicate (q, k) pairs — common when hot users re-query — are
 //     answered once and fanned back out,
-//   - queries run on a configurable number of workers, each owning an
-//     isolated scratch space, so the batch saturates the machine without
-//     data races.
+//   - queries run on a configurable number of workers drawn from a
+//     core.Pool, each owning isolated scratch space and a candidate cache,
+//     so the batch saturates the machine without data races — and when the
+//     caller keeps the pool alive across batches (RunOn/StreamOn), the
+//     workers' warmed caches survive between batches too.
 //
-// Results come back in input order (Run) or as they complete (Stream).
+// Results come back in input order (Run/RunOn) or as they complete
+// (Stream/StreamOn).
 package batch
 
 import (
@@ -130,11 +133,19 @@ func run(s *core.Searcher, q Query, o Options) (*core.Result, error) {
 	}
 }
 
-// Run answers every query and returns the items in input order. Duplicate
-// (q, k) pairs are answered once. The searcher itself is never used
-// directly; each worker gets a Clone, so s may be in use elsewhere as long
-// as the graph's locations are not mutated concurrently.
+// Run answers every query and returns the items in input order, using a
+// transient worker pool over s. Prefer RunOn with a long-lived core.Pool
+// when batches repeat against the same graph — pooled workers keep their
+// warmed candidate caches between batches.
 func Run(s *core.Searcher, queries []Query, opt Options) []Item {
+	return RunOn(core.NewPool(s), queries, opt)
+}
+
+// RunOn answers every query on workers drawn from p and returns the items
+// in input order. Duplicate (q, k) pairs are answered once and fanned back
+// out. The pool's base searcher is never used directly, so it may be in use
+// elsewhere as long as the graph's locations are not mutated concurrently.
+func RunOn(p *core.Pool, queries []Query, opt Options) []Item {
 	items := make([]Item, len(queries))
 
 	// Deduplicate: first occurrence owns the computation.
@@ -158,12 +169,13 @@ func Run(s *core.Searcher, queries []Query, opt Options) []Item {
 		workers = len(order)
 	}
 	if workers <= 1 {
-		// Run inline on a single clone; no goroutines to coordinate.
-		w := s.Clone()
+		// Run inline on a single pooled worker; no goroutines to coordinate.
+		w := p.Get()
 		for _, q := range order {
 			res, err := run(w, q, opt)
 			items[slots[q].first] = Item{Query: q, Result: res, Err: err}
 		}
+		p.Put(w)
 	} else {
 		feed := make(chan Query)
 		var wg sync.WaitGroup
@@ -171,7 +183,8 @@ func Run(s *core.Searcher, queries []Query, opt Options) []Item {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				ws := s.Clone()
+				ws := p.Get()
+				defer p.Put(ws)
 				for q := range feed {
 					res, err := run(ws, q, opt)
 					items[slots[q].first] = Item{Query: q, Result: res, Err: err}
@@ -195,12 +208,18 @@ func Run(s *core.Searcher, queries []Query, opt Options) []Item {
 	return items
 }
 
-// Stream answers queries from in as they arrive and sends items on the
+// Stream answers queries from in as they arrive on a transient worker pool
+// over s; see StreamOn for the pooled variant.
+func Stream(s *core.Searcher, in <-chan Query, opt Options) <-chan Item {
+	return StreamOn(core.NewPool(s), in, opt)
+}
+
+// StreamOn answers queries from in as they arrive and sends items on the
 // returned channel as they complete (not in input order). The channel is
 // closed when in is closed and all in-flight queries have finished.
 // Duplicate queries are not deduplicated — streams are unbounded, so the
 // memory of past answers is the caller's concern.
-func Stream(s *core.Searcher, in <-chan Query, opt Options) <-chan Item {
+func StreamOn(p *core.Pool, in <-chan Query, opt Options) <-chan Item {
 	out := make(chan Item)
 	workers := opt.workers()
 	var wg sync.WaitGroup
@@ -208,7 +227,8 @@ func Stream(s *core.Searcher, in <-chan Query, opt Options) <-chan Item {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ws := s.Clone()
+			ws := p.Get()
+			defer p.Put(ws)
 			for q := range in {
 				res, err := run(ws, q, opt)
 				out <- Item{Query: q, Result: res, Err: err}

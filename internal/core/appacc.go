@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"sacsearch/internal/geom"
 	"sacsearch/internal/graph"
@@ -13,21 +12,31 @@ import (
 const sqrt2 = 1.4142135623730951
 
 // appAccState is everything AppAcc learns about a query; ExactPlus builds
-// its annulus pruning (Section 4.5) on top of it.
+// its annulus pruning (Section 4.5) on top of it. One instance lives inside
+// the Searcher and is reset per query, so the refinement allocates nothing
+// in steady state. The anchor gathers run circle range queries against the
+// Searcher's per-query grid over S instead of sorting S per anchor.
 type appAccState struct {
 	members []graph.V // Γ: best community found
-	mcc     geom.Circle
-	delta   float64 // δ from AppFast(0)
-	gamma   float64 // γ: MCC radius of Φ
-	rcur    float64 // radius of the best (smallest) MCC found
+	delta   float64   // δ from AppFast(0)
+	gamma   float64   // γ: MCC radius of Φ
+	rcur    float64   // radius of the best (smallest) MCC found
 
-	S      []graph.V // the k-ĉore containing q inside O(q, 2γ) — contains Ψ
-	sDists []float64 // scratch: distances of S from the current anchor
-	order  []int     // scratch: index sort of S by those distances
+	S []graph.V // the k-ĉore containing q inside O(q, 2γ) — contains Ψ
 
 	finalCells []quadtree.Cell // surviving anchors of the last processed level
 	finalHalf  float64         // half-width of those cells
 	degenerate bool            // γ == 0: Φ is already optimal
+}
+
+// reset prepares the state for a new query, keeping backing storage.
+func (st *appAccState) reset() {
+	st.members = st.members[:0]
+	st.delta, st.gamma, st.rcur = 0, 0, 0
+	st.S = st.S[:0]
+	st.finalCells = st.finalCells[:0]
+	st.finalHalf = 0
+	st.degenerate = false
 }
 
 // AppAcc is the (1+εA)-approximation of Section 4.4 (Algorithm 4). It first
@@ -67,13 +76,12 @@ func (s *Searcher) appAcc(q graph.V, k int, epsA float64) (*appAccState, error) 
 	phi, delta := s.appFastSearch(cand, q, k, 0)
 	gamma := s.g.MCCOf(phi).R
 
-	st := &appAccState{
-		members: phi,
-		delta:   delta,
-		gamma:   gamma,
-		rcur:    gamma,
-	}
-	st.mcc = s.g.MCCOf(phi)
+	st := &s.acc
+	st.reset()
+	st.members = append(st.members, phi...)
+	st.delta = delta
+	st.gamma = gamma
+	st.rcur = gamma
 	if gamma <= geom.Eps {
 		// All of Φ sits at one point: radius 0 cannot be improved.
 		st.degenerate = true
@@ -84,13 +92,14 @@ func (s *Searcher) appAcc(q graph.V, k int, epsA float64) (*appAccState, error) 
 	// contains the optimal solution Ψ (Algorithm 4, line 3).
 	prefix := cand.prefixWithin(2 * gamma)
 	if c := s.feasible(prefix, q, k); c != nil {
-		st.S = append([]graph.V(nil), c...)
+		st.S = append(st.S, c...)
 	} else {
 		// Cannot happen: Φ ⊆ O(q, δ) ⊆ O(q, 2γ) is feasible. Guard anyway.
-		st.S = append([]graph.V(nil), phi...)
+		st.S = append(st.S, phi...)
 	}
-	st.sDists = make([]float64, len(st.S))
-	st.order = make([]int, len(st.S))
+	// Index S once; every anchor prefix gather below — and ExactPlus's
+	// annulus filter and circle enumeration afterwards — range-query it.
+	s.sGrid.Build(s.g, st.S, gridTargetPerCell)
 
 	// Step 3: level-by-level anchor refinement.
 	qLoc := s.g.Loc(q)
@@ -149,23 +158,11 @@ func (s *Searcher) appAcc(q graph.V, k int, epsA float64) (*appAccState, error) 
 // cell's infeasibility knowledge.
 func (s *Searcher) anchorSearch(st *appAccState, cell *quadtree.Cell, q graph.V, k int, alphaP, cover float64) {
 	p := cell.C
-	// Distances from the anchor to every vertex of S, index-sorted.
-	for i, v := range st.S {
-		st.sDists[i] = p.Dist(s.g.Loc(v))
-		st.order[i] = i
-	}
-	order := st.order
-	sort.Slice(order, func(a, b int) bool { return st.sDists[order[a]] < st.sDists[order[b]] })
-
-	// prefix(r) = S members within distance r of p, reusing subBuf.
+	// prefix(r) = S members within distance r of p, gathered by a circle
+	// range query against the per-query grid over S (output-sensitive; the
+	// old path sorted all of S by anchor distance for every anchor).
 	prefix := func(r float64) []graph.V {
-		s.subBuf = s.subBuf[:0]
-		for _, idx := range order {
-			if st.sDists[idx] > r+geom.Eps {
-				break
-			}
-			s.subBuf = append(s.subBuf, st.S[idx])
-		}
+		s.subBuf = s.sGrid.InCircle(geom.Circle{C: p, R: r}, s.subBuf[:0])
 		return s.subBuf
 	}
 
@@ -179,7 +176,8 @@ func (s *Searcher) anchorSearch(st *appAccState, cell *quadtree.Cell, q graph.V,
 		}
 		return
 	}
-	bestMembers := append([]graph.V(nil), c0...)
+	bestMembers := append(s.anchorBuf[:0], c0...)
+	defer func() { s.anchorBuf = bestMembers[:0] }()
 	l := st.delta / 2 // r_p ≥ ropt ≥ δ/2 (Lemma 3)
 	if cell.InfeasibleR > l {
 		l = cell.InfeasibleR
@@ -202,7 +200,6 @@ func (s *Searcher) anchorSearch(st *appAccState, cell *quadtree.Cell, q graph.V,
 	// MCC may be smaller still.
 	if mcc := s.g.MCCOf(bestMembers); mcc.R < st.rcur {
 		st.rcur = mcc.R
-		st.mcc = mcc
 		st.members = append(st.members[:0], bestMembers...)
 	}
 }

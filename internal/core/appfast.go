@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"sacsearch/internal/graph"
 )
@@ -57,24 +57,39 @@ func (s *Searcher) AppFastBisect(q graph.V, k int, epsF float64) (*Result, error
 	return s.finish(s.buildResult(q, k, members, delta), start), nil
 }
 
+// queryNeighborLowerBound returns the distance to q's needQ-th nearest
+// neighbor inside the candidate set — the lower bound l of Eq (1). It
+// iterates q's adjacency once, O(deg(q) + candidate marking), instead of the
+// old O(|X|·log deg(q)) HasEdge probe per candidate.
+func (s *Searcher) queryNeighborLowerBound(cand *candidateSet, q graph.V, needQ int) float64 {
+	if needQ <= 0 {
+		return 0
+	}
+	s.inX.Reset()
+	s.inX.MarkAll(cand.verts)
+	nbr := s.distBuf[:0]
+	qp := s.g.Loc(q)
+	for _, u := range s.g.Neighbors(q) {
+		if s.inX.Has(u) {
+			nbr = append(nbr, qp.Dist(s.g.Loc(u)))
+		}
+	}
+	slices.Sort(nbr)
+	s.distBuf = nbr
+	if len(nbr) < needQ {
+		return 0
+	}
+	return nbr[needQ-1]
+}
+
 // appFastBisectSearch is appFastSearch without the candidate-distance
 // snapping: pure midpoint bisection with the Lemma 5 stopping gap.
 func (s *Searcher) appFastBisectSearch(cand *candidateSet, q graph.V, k int, epsF float64) ([]graph.V, float64) {
-	needQ := s.minQueryNeighbors(k)
-	var nbrDists []float64
-	for i, v := range cand.verts {
-		if v != q && s.g.HasEdge(q, v) {
-			nbrDists = append(nbrDists, cand.dists[i])
-		}
-	}
-	sort.Float64s(nbrDists)
-	l := 0.0
-	if len(nbrDists) >= needQ && needQ > 0 {
-		l = nbrDists[needQ-1]
-	}
+	l := s.queryNeighborLowerBound(cand, q, s.minQueryNeighbors(k))
 	u := cand.maxDist()
 
-	best := append([]graph.V(nil), cand.verts...)
+	best := append(s.fastBuf[:0], cand.verts...)
+	s.fastBuf = best
 	bestDelta := u
 
 	for u-l > 1e-8 {
@@ -102,27 +117,18 @@ func (s *Searcher) appFastBisectSearch(cand *candidateSet, q graph.V, k int, eps
 // appFastSearch runs the radius binary search over the candidate set and
 // returns the best community found together with the radius δ of the
 // smallest q-centered circle known to contain it. The returned slice is
-// freshly allocated.
+// scratch-owned (valid until the next appFastSearch / appFastBisectSearch
+// call on this Searcher); callers that retain it must copy.
 func (s *Searcher) appFastSearch(cand *candidateSet, q graph.V, k int, epsF float64) ([]graph.V, float64) {
 	// Lower/upper bounds of Eq (1): any feasible solution keeps at least
 	// minQueryNeighbors(k) of q's neighbors inside the circle, so δ is at
 	// least the distance to the needQ-th nearest of them.
-	needQ := s.minQueryNeighbors(k)
-	var nbrDists []float64
-	for i, v := range cand.verts {
-		if v != q && s.g.HasEdge(q, v) {
-			nbrDists = append(nbrDists, cand.dists[i])
-		}
-	}
-	sort.Float64s(nbrDists)
-	l := 0.0
-	if len(nbrDists) >= needQ && needQ > 0 {
-		l = nbrDists[needQ-1]
-	}
+	l := s.queryNeighborLowerBound(cand, q, s.minQueryNeighbors(k))
 	u := cand.maxDist()
 
 	// Λ starts as the whole k-ĉore X (always feasible).
-	best := append([]graph.V(nil), cand.verts...)
+	best := append(s.fastBuf[:0], cand.verts...)
+	s.fastBuf = best
 	bestDelta := u
 
 	// Iterate until the bracket collapses. The guard is an order of

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"sacsearch/internal/graph"
+)
+
+// Candidate-set cache. The candidate set X of a query (q, k) is the
+// connected k-structure (k-ĉore, k-truss community or k-clique community)
+// containing q — a function of the immutable topology only. Server and batch
+// traffic is dominated by repeated queries into the same few communities
+// (hot users re-query, nearby users share a community), so the Searcher
+// memoizes membership per community and per k: every member vertex maps to
+// the same entry, and any later query from any member skips the BFS /
+// decomposition walk entirely.
+//
+// Locations are mutable (check-ins), so distances are NOT part of the
+// membership cache. Each entry additionally keeps the sorted (verts, dists)
+// view of its most recent query vertex, validated against the graph's
+// location epoch: a repeated (q, k) query with no intervening SetLoc reuses
+// the fully sorted candidate set at zero cost, while a moved location or a
+// different query vertex recomputes distances in place (still without
+// re-running the BFS).
+//
+// The cache belongs to one Searcher and inherits its no-concurrent-use
+// contract; Clone starts with an empty cache.
+
+// cacheKey identifies a (vertex, k) membership lookup.
+type cacheKey struct {
+	v graph.V
+	k int32
+}
+
+// sortedView is a community's candidate set ordered by distance from one
+// query vertex, validated by the location epoch it was computed at. The
+// embedded oracle memoizes prefix-feasibility answers for this ordering
+// (see oracle.go); it is rebuilt with the view.
+type sortedView struct {
+	q      graph.V
+	epoch  uint64
+	verts  []graph.V // ascending by distance from q
+	dists  []float64 // parallel to verts
+	oracle prefixOracle
+}
+
+// maxViewsPerEntry bounds the distance-sorted views kept per community —
+// one per recent query vertex. Server traffic concentrates on a modest set
+// of hot users per community; the views list is move-to-front, so the
+// hottest stay resident and the lookup scan stays short in practice (hot
+// vertices are found in the first few slots).
+const maxViewsPerEntry = 32
+
+// cacheEntry is one community's cached state. members is nil for a negative
+// entry (q has no feasible community at this k); negative entries are keyed
+// only by the query vertex itself.
+type cacheEntry struct {
+	members []graph.V // immutable after store; discovery (BFS) order
+
+	// Distance-sorted views of recent query vertices, most recent first.
+	views []sortedView
+
+	// Induced-subgraph CSR over members, in local ids (positions in
+	// members), built lazily on the first feasibility check into the
+	// community. Every candidate set an algorithm peels is a subset of
+	// members, so restricted k-core checks can walk this dense, cross-
+	// community-edge-free adjacency instead of the global CSR — the
+	// feasibility probes of the binary searches are the hot path's hottest
+	// loop. adjOff is nil until built.
+	adjOff   []int32
+	adjLocal []int32
+}
+
+// buildInduced materializes the induced adjacency. localOf must already map
+// every member to its local id, with valid marking membership.
+func (e *cacheEntry) buildInduced(g *graph.Graph, localOf []int32, valid *graph.Marker) {
+	n := len(e.members)
+	e.adjOff = make([]int32, n+1)
+	for i, v := range e.members {
+		d := int32(0)
+		for _, u := range g.Neighbors(v) {
+			if valid.Has(u) {
+				d++
+			}
+		}
+		e.adjOff[i+1] = e.adjOff[i] + d
+	}
+	e.adjLocal = make([]int32, e.adjOff[n])
+	cursor := int32(0)
+	for _, v := range e.members {
+		for _, u := range g.Neighbors(v) {
+			if valid.Has(u) {
+				e.adjLocal[cursor] = localOf[u]
+				cursor++
+			}
+		}
+	}
+}
+
+// maxCachedVertices bounds the total member slots held by one Searcher's
+// cache. When a store would exceed it, the whole cache is dropped — eviction
+// is all-or-nothing because entries are shared by every member vertex and
+// per-entry removal would need reverse indexes the common case never uses.
+const maxCachedVertices = 1 << 20
+
+// candCache memoizes community membership per (member vertex, k).
+type candCache struct {
+	index    map[cacheKey]*cacheEntry
+	vertices int // Σ len(members) over distinct entries
+}
+
+// lookup returns the entry covering (v, k), if any.
+func (c *candCache) lookup(v graph.V, k int) (*cacheEntry, bool) {
+	if c.index == nil {
+		return nil, false
+	}
+	e, ok := c.index[cacheKey{v, int32(k)}]
+	return e, ok
+}
+
+// store records members as the community of (q, k). members == nil records a
+// negative entry for q alone. The slice is retained; callers must not
+// mutate it afterwards.
+//
+// fanout keys the entry by every member, so any later query from the same
+// community hits it. That is sound only when communities partition vertices
+// per k — true for k-core and k-truss (both are connected components of a
+// fixed subgraph) but NOT for k-clique percolation, where communities
+// overlap at shared vertices; overlapping structures must pass fanout=false
+// so the entry is keyed by q alone.
+func (c *candCache) store(q graph.V, k int, members []graph.V, fanout bool) *cacheEntry {
+	if c.index == nil {
+		c.index = make(map[cacheKey]*cacheEntry)
+	}
+	if c.vertices+len(members) > maxCachedVertices {
+		c.index = make(map[cacheKey]*cacheEntry)
+		c.vertices = 0
+	}
+	e := &cacheEntry{members: members}
+	if members == nil || !fanout {
+		c.index[cacheKey{q, int32(k)}] = e
+	} else {
+		for _, v := range members {
+			c.index[cacheKey{v, int32(k)}] = e
+		}
+	}
+	c.vertices += len(members)
+	return e
+}
+
+// viewFor returns the sorted-view slot for query vertex q, moved to the
+// front of the entry's view list. ok reports whether the slot already holds
+// a view for q that is current at epoch; when false the caller must fill
+// verts/dists (backing storage in the slot is reusable) and stamp epoch.
+func (e *cacheEntry) viewFor(q graph.V, epoch uint64) (vw *sortedView, ok bool) {
+	for i := range e.views {
+		if e.views[i].q == q {
+			v := e.views[i]
+			copy(e.views[1:i+1], e.views[:i])
+			e.views[0] = v
+			return &e.views[0], v.epoch == epoch
+		}
+	}
+	// Not present: recycle the tail slot (evicting its owner when full) and
+	// move it to the front.
+	if len(e.views) < maxViewsPerEntry {
+		e.views = append(e.views, sortedView{})
+	}
+	v := e.views[len(e.views)-1]
+	copy(e.views[1:], e.views[:len(e.views)-1])
+	v.q = q
+	v.oracle.built = false
+	e.views[0] = v
+	return &e.views[0], false
+}
+
+// clear drops every entry.
+func (c *candCache) clear() {
+	c.index = nil
+	c.vertices = 0
+}
+
+// entries returns the number of distinct cached communities (negative
+// entries included once per vertex they are keyed by).
+func (c *candCache) entries() int {
+	seen := make(map[*cacheEntry]struct{}, len(c.index))
+	for _, e := range c.index {
+		seen[e] = struct{}{}
+	}
+	return len(seen)
+}

@@ -22,6 +22,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -30,6 +31,7 @@ import (
 	"sacsearch/internal/kclique"
 	"sacsearch/internal/kcore"
 	"sacsearch/internal/ktruss"
+	"sacsearch/internal/spatial"
 )
 
 // ErrNoCommunity is returned when the query vertex belongs to no connected
@@ -76,6 +78,7 @@ type Stats struct {
 	AnchorsPruned     int           // AppAcc anchors cut by Pruning1/Pruning2
 	BinaryIters       int           // binary-search iterations (AppFast, AppAcc)
 	F1Size            int           // |F1| potential fixed vertices (Exact+)
+	CacheHits         int           // candidate sets served from the membership cache
 	Elapsed           time.Duration // wall-clock time of the query
 }
 
@@ -120,13 +123,49 @@ type Searcher struct {
 	trussChk  *ktruss.Checker
 	cliqueChk *kclique.Checker
 
+	// Candidate-set cache (see cache.go). noCache disables it; the repeated-
+	// query benchmarks use the toggle to measure what the cache buys.
+	cache   candCache
+	noCache bool
+
+	// curEntry/curView identify the cache entry and sorted view of the query
+	// in flight (nil when caching is off or the query bypassed the cache);
+	// the k-core feasibility fast paths peel the entry's induced adjacency
+	// and answer prefix probes through the view's oracle.
+	curEntry *cacheEntry
+	curView  *sortedView
+	// Global→local id translation for localEntry's members (see localpeel.go).
+	localEntry *cacheEntry
+	localOf    []int32
+	localValid *graph.Marker
+	lp         localPeeler
+
 	// Scratch buffers shared by the algorithms.
 	distBuf []float64
 	vertBuf []graph.V
 	subBuf  []graph.V
+	fastBuf   []graph.V // appFastSearch's incumbent community Λ
+	bestBuf   []graph.V // Exact's incumbent community
+	anchorBuf []graph.V // anchorSearch's incumbent community
+	f1Buf     []graph.V // ExactPlus's potential fixed vertices F1
 	ptsBuf  []geom.Point
 	inX     *graph.Marker
 	visited *graph.Marker
+
+	// cand is the query's candidate set view. With caching on it aliases the
+	// cache entry's sorted slices; with caching off it owns ownVerts/ownDists.
+	cand     candidateSet
+	ownVerts []graph.V
+	ownDists []float64
+
+	// sGrid indexes the working candidate set of the query in flight: X for
+	// Exact, S (the k-ĉore inside O(q, 2γ)) for AppAcc/ExactPlus. Circle
+	// enumeration and anchor gathers run range queries against it instead of
+	// scanning the whole set per circle.
+	sGrid spatial.SubGrid
+
+	// acc is AppAcc's per-query state, reused across queries.
+	acc appAccState
 
 	// noPruning2 disables AppAcc's inherited-infeasibility pruning; it
 	// exists only so the ablation benchmarks can quantify what Pruning2
@@ -148,6 +187,20 @@ func (s *Searcher) SetPruning2(enabled bool) { s.noPruning2 = !enabled }
 // whole candidate set inside O(q, 2γ), which is Exact restricted by
 // Corollary 2 only. Ablation use only.
 func (s *Searcher) SetAnnulusPruning(enabled bool) { s.noAnnulus = !enabled }
+
+// SetCandidateCaching toggles the candidate-set membership cache (on by
+// default). Turning it off also drops whatever is cached; the repeated-query
+// benchmarks use the toggle to compare against the from-scratch path.
+func (s *Searcher) SetCandidateCaching(enabled bool) {
+	s.noCache = !enabled
+	if !enabled {
+		s.cache.clear()
+	}
+}
+
+// CachedCommunities returns the number of distinct communities currently
+// memoized by the candidate cache.
+func (s *Searcher) CachedCommunities() int { return s.cache.entries() }
 
 // NewSearcher creates a Searcher with the default k-core structure metric.
 func NewSearcher(g *graph.Graph) *Searcher {
@@ -177,18 +230,22 @@ func NewSearcherWithStructure(g *graph.Graph, st Structure) *Searcher {
 }
 
 // Clone returns an independent Searcher over the same graph, sharing the
-// immutable decompositions but not the scratch space, for use from another
-// goroutine.
+// immutable decompositions but not the scratch space or the candidate
+// cache, for use from another goroutine. Ablation and caching toggles carry
+// over; the clone's cache starts empty and warms up independently.
 func (s *Searcher) Clone() *Searcher {
 	n := s.g.NumVertices()
 	c := &Searcher{
-		g:         s.g,
-		structure: s.structure,
-		cores:     s.cores,
-		truss:     s.truss,
-		peeler:    kcore.NewPeeler(s.g),
-		inX:       graph.NewMarker(n),
-		visited:   graph.NewMarker(n),
+		g:          s.g,
+		structure:  s.structure,
+		cores:      s.cores,
+		truss:      s.truss,
+		peeler:     kcore.NewPeeler(s.g),
+		inX:        graph.NewMarker(n),
+		visited:    graph.NewMarker(n),
+		noCache:    s.noCache,
+		noPruning2: s.noPruning2,
+		noAnnulus:  s.noAnnulus,
 	}
 	switch s.structure {
 	case StructureKTruss:
@@ -254,6 +311,19 @@ func (s *Searcher) feasible(S []graph.V, q graph.V, k int) []graph.V {
 	case StructureKClique:
 		return s.cliqueChk.KCliqueWithin(S, q, k)
 	default:
+		// Queries that went through the candidate cache get two fast paths:
+		// distance-prefix probes (the binary searches) are answered by the
+		// view's prefix oracle in O(answer), and arbitrary member subsets
+		// (circle gathers) peel the cached community's induced adjacency —
+		// dense local ids, no cross-community edges. ThetaSAC and uncached
+		// queries take the global peeler (their S is not guaranteed to be a
+		// member subset).
+		if s.curEntry != nil {
+			if vw := s.curView; vw != nil && len(S) > 0 && len(S) <= len(vw.verts) && &S[0] == &vw.verts[0] {
+				return s.prefixFeasible(s.curEntry, vw, len(S), q, k)
+			}
+			return s.kcoreWithinCached(s.curEntry, S, q, k)
+		}
 		return s.peeler.KCoreWithin(S, q, k)
 	}
 }
@@ -296,47 +366,84 @@ func (c *candidateSet) nextDistAfter(r float64) float64 {
 // maxDist returns the largest candidate distance.
 func (c *candidateSet) maxDist() float64 { return c.dists[len(c.dists)-1] }
 
-// candidates builds the candidate set for (q, k), or ErrNoCommunity.
-func (s *Searcher) candidates(q graph.V, k int) (*candidateSet, error) {
-	var members []graph.V
+// communityOf walks the topology for the connected k-structure containing q
+// (nil when none exists). The returned slice is freshly allocated.
+func (s *Searcher) communityOf(q graph.V, k int) []graph.V {
 	switch s.structure {
 	case StructureKTruss:
-		members = ktruss.CommunityOf(s.g, s.truss, q, k)
+		return ktruss.CommunityOf(s.g, s.truss, q, k)
 	case StructureKClique:
-		members = kclique.CommunityOf(s.g, q, k)
+		return kclique.CommunityOf(s.g, q, k)
 	default:
-		members = kcore.CommunityOf(s.g, s.cores, q, k)
+		return kcore.CommunityOf(s.g, s.cores, q, k)
 	}
-	if members == nil {
-		return nil, ErrNoCommunity
-	}
-	cs := &candidateSet{
-		verts: members,
-		dists: make([]float64, len(members)),
-	}
-	qp := s.g.Loc(q)
-	for i, v := range cs.verts {
-		cs.dists[i] = qp.Dist(s.g.Loc(v))
-	}
-	sort.Sort(byDist{cs})
-	s.stats.CandidateSize = len(cs.verts)
-	return cs, nil
 }
 
-type byDist struct{ c *candidateSet }
+// candidates builds the candidate set for (q, k), or ErrNoCommunity.
+//
+// With caching on (the default), membership comes from the per-community
+// cache whenever any member of q's community was queried before at this k —
+// topology is immutable, so membership never goes stale. Distances are
+// location-derived and therefore revalidated against the graph's location
+// epoch: a repeated (q, k) with no intervening SetLoc reuses the sorted view
+// outright; otherwise distances are recomputed and re-sorted in place.
+func (s *Searcher) candidates(q graph.V, k int) (*candidateSet, error) {
+	if s.noCache {
+		members := s.communityOf(q, k)
+		if members == nil {
+			return nil, ErrNoCommunity
+		}
+		s.ownVerts = append(s.ownVerts[:0], members...)
+		s.ownDists = s.ownDists[:0]
+		qp := s.g.Loc(q)
+		for _, v := range s.ownVerts {
+			s.ownDists = append(s.ownDists, qp.Dist(s.g.Loc(v)))
+		}
+		sortByDist(s.ownVerts, s.ownDists)
+		s.cand = candidateSet{verts: s.ownVerts, dists: s.ownDists}
+		s.stats.CandidateSize = len(s.ownVerts)
+		return &s.cand, nil
+	}
 
-func (b byDist) Len() int           { return len(b.c.verts) }
-func (b byDist) Less(i, j int) bool { return b.c.dists[i] < b.c.dists[j] }
-func (b byDist) Swap(i, j int) {
-	b.c.dists[i], b.c.dists[j] = b.c.dists[j], b.c.dists[i]
-	b.c.verts[i], b.c.verts[j] = b.c.verts[j], b.c.verts[i]
+	e, ok := s.cache.lookup(q, k)
+	if !ok {
+		// k-clique communities overlap (clique percolation), so their
+		// entries are keyed by the query vertex alone; k-core and k-truss
+		// communities partition vertices per k and fan out to every member.
+		fanout := s.structure != StructureKClique
+		e = s.cache.store(q, k, s.communityOf(q, k), fanout)
+	} else {
+		s.stats.CacheHits++
+	}
+	if e.members == nil {
+		return nil, ErrNoCommunity
+	}
+	epoch := s.g.LocEpoch()
+	vw, current := e.viewFor(q, epoch)
+	if !current {
+		vw.verts = append(vw.verts[:0], e.members...)
+		vw.dists = vw.dists[:0]
+		qp := s.g.Loc(q)
+		for _, v := range vw.verts {
+			vw.dists = append(vw.dists, qp.Dist(s.g.Loc(v)))
+		}
+		sortByDist(vw.verts, vw.dists)
+		vw.epoch = epoch
+		vw.oracle.built = false
+	}
+	s.curEntry = e
+	s.curView = vw
+	s.bindLocal(e)
+	s.cand = candidateSet{verts: vw.verts, dists: vw.dists}
+	s.stats.CandidateSize = len(vw.verts)
+	return &s.cand, nil
 }
 
 // buildResult copies members, computes their MCC and snapshots the stats.
 func (s *Searcher) buildResult(q graph.V, k int, members []graph.V, delta float64) *Result {
 	ms := make([]graph.V, len(members))
 	copy(ms, members)
-	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	slices.Sort(ms)
 	s.ptsBuf = s.g.Points(ms, s.ptsBuf[:0])
 	res := &Result{
 		Query:   q,
@@ -349,9 +456,11 @@ func (s *Searcher) buildResult(q graph.V, k int, members []graph.V, delta float6
 	return res
 }
 
-// begin resets the per-query stats and returns the start time.
+// begin resets the per-query state and returns the start time.
 func (s *Searcher) begin() time.Time {
 	s.stats = Stats{}
+	s.curEntry = nil
+	s.curView = nil
 	return time.Now()
 }
 

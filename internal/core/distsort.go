@@ -1,0 +1,115 @@
+package core
+
+import "sacsearch/internal/graph"
+
+// sortByDist sorts verts and dists in tandem by ascending distance. It
+// replaces the old sort.Sort(byDist{...}) adapter: the sort.Interface boxing
+// allocated on every query and every comparison went through two interface
+// calls. This is a plain introsort over the two parallel slices — insertion
+// sort below a small threshold, median-of-three quicksort above it, and a
+// heapsort fallback when recursion grows past 2·log₂(n) so crafted inputs
+// cannot go quadratic.
+func sortByDist(verts []graph.V, dists []float64) {
+	n := len(dists)
+	if n < 2 {
+		return
+	}
+	depth := 0
+	for m := n; m > 0; m >>= 1 {
+		depth += 2
+	}
+	quickDist(verts, dists, 0, n-1, depth)
+}
+
+const distInsertionThreshold = 12
+
+func quickDist(verts []graph.V, dists []float64, lo, hi, depth int) {
+	for hi-lo >= distInsertionThreshold {
+		if depth == 0 {
+			heapDist(verts, dists, lo, hi)
+			return
+		}
+		depth--
+		p := partitionDist(verts, dists, lo, hi)
+		// Recurse into the smaller side, loop on the larger: O(log n) stack.
+		if p-lo < hi-p {
+			quickDist(verts, dists, lo, p-1, depth)
+			lo = p + 1
+		} else {
+			quickDist(verts, dists, p+1, hi, depth)
+			hi = p - 1
+		}
+	}
+	insertionDist(verts, dists, lo, hi)
+}
+
+func insertionDist(verts []graph.V, dists []float64, lo, hi int) {
+	for i := lo + 1; i <= hi; i++ {
+		d, v := dists[i], verts[i]
+		j := i - 1
+		for j >= lo && dists[j] > d {
+			dists[j+1], verts[j+1] = dists[j], verts[j]
+			j--
+		}
+		dists[j+1], verts[j+1] = d, v
+	}
+}
+
+// partitionDist picks a median-of-three pivot, moves it to hi, and does a
+// standard Lomuto partition.
+func partitionDist(verts []graph.V, dists []float64, lo, hi int) int {
+	mid := int(uint(lo+hi) >> 1)
+	if dists[mid] < dists[lo] {
+		swapDist(verts, dists, mid, lo)
+	}
+	if dists[hi] < dists[lo] {
+		swapDist(verts, dists, hi, lo)
+	}
+	if dists[hi] < dists[mid] {
+		swapDist(verts, dists, hi, mid)
+	}
+	swapDist(verts, dists, mid, hi-1)
+	pivot := dists[hi-1]
+	i := lo
+	for j := lo; j < hi-1; j++ {
+		if dists[j] < pivot {
+			swapDist(verts, dists, i, j)
+			i++
+		}
+	}
+	swapDist(verts, dists, i, hi-1)
+	return i
+}
+
+func heapDist(verts []graph.V, dists []float64, lo, hi int) {
+	n := hi - lo + 1
+	for root := n/2 - 1; root >= 0; root-- {
+		siftDist(verts, dists, lo, root, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		swapDist(verts, dists, lo, lo+end)
+		siftDist(verts, dists, lo, 0, end)
+	}
+}
+
+func siftDist(verts []graph.V, dists []float64, lo, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && dists[lo+child] < dists[lo+child+1] {
+			child++
+		}
+		if dists[lo+root] >= dists[lo+child] {
+			return
+		}
+		swapDist(verts, dists, lo+root, lo+child)
+		root = child
+	}
+}
+
+func swapDist(verts []graph.V, dists []float64, i, j int) {
+	dists[i], dists[j] = dists[j], dists[i]
+	verts[i], verts[j] = verts[j], verts[i]
+}

@@ -34,8 +34,13 @@ func (s *Searcher) Exact(q graph.V, k int) (*Result, error) {
 	d := cand.dists
 	qLoc := s.g.Loc(q)
 
+	// Index the candidate set once; every enumerated circle then gathers its
+	// members with an output-sensitive range query instead of scanning X.
+	s.sGrid.Build(s.g, X, gridTargetPerCell)
+
 	rcur := math.Inf(1)
-	var best []graph.V
+	best := s.bestBuf[:0]
+	found := false
 
 	// tryCircle tests one fixed circle and updates the incumbent.
 	tryCircle := func(cc geom.Circle) {
@@ -47,12 +52,13 @@ func (s *Searcher) Exact(q graph.V, k int) (*Result, error) {
 		if !cc.Contains(qLoc) {
 			return
 		}
-		R := s.verticesInCircle(X, cc)
+		R := s.circleMembers(cc)
 		if c := s.feasible(R, q, k); c != nil {
 			mcc := s.g.MCCOf(c)
 			if mcc.R < rcur {
 				rcur = mcc.R
 				best = append(best[:0], c...)
+				found = true
 			}
 		}
 	}
@@ -83,7 +89,8 @@ func (s *Searcher) Exact(q graph.V, k int) (*Result, error) {
 	if len(X) >= 2 {
 		tryCircle(geom.CircleFrom2(s.g.Loc(X[0]), s.g.Loc(X[1])))
 	}
-	if best == nil {
+	s.bestBuf = best
+	if !found {
 		// Unreachable: X itself is feasible and its MCC is fixed by ≤ 3 of
 		// its vertices, which the enumeration covers.
 		return nil, ErrNoCommunity
@@ -92,14 +99,15 @@ func (s *Searcher) Exact(q graph.V, k int) (*Result, error) {
 	return s.finish(res, start), nil
 }
 
-// verticesInCircle appends to the scratch buffer every candidate whose
-// location lies in the circle and returns it.
-func (s *Searcher) verticesInCircle(X []graph.V, cc geom.Circle) []graph.V {
-	s.vertBuf = s.vertBuf[:0]
-	for _, v := range X {
-		if cc.Contains(s.g.Loc(v)) {
-			s.vertBuf = append(s.vertBuf, v)
-		}
-	}
+// gridTargetPerCell is the bucket occupancy the per-query candidate grid
+// aims for; ~4 keeps range queries touching a handful of cells.
+const gridTargetPerCell = 4
+
+// circleMembers gathers the working candidate set's vertices inside cc via
+// the per-query grid (built by Exact over X, by appAcc over S), appending to
+// the shared scratch buffer. Output-sensitive: cost is proportional to the
+// grid cells the circle touches, not the candidate-set size.
+func (s *Searcher) circleMembers(cc geom.Circle) []graph.V {
+	s.vertBuf = s.sGrid.InCircle(cc, s.vertBuf[:0])
 	return s.vertBuf
 }

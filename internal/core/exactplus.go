@@ -46,29 +46,30 @@ func (s *Searcher) ExactPlus(q graph.V, k int, epsA float64) (*Result, error) {
 		rMinus = 0
 	}
 
-	// F1: vertices of S inside the annulus of at least one surviving anchor.
-	var f1 []graph.V
+	// F1: vertices of S inside the annulus of at least one surviving anchor,
+	// gathered by annulus range queries against the grid appAcc built over S
+	// (the old path scanned all of S once per surviving anchor). The marker
+	// deduplicates vertices that fall in several anchors' annuli.
+	f1 := s.f1Buf[:0]
 	if s.noAnnulus {
 		f1 = append(f1, st.S...)
 	} else {
 		s.inX.Reset()
 		for _, cell := range st.finalCells {
-			for _, v := range st.S {
-				if s.inX.Has(v) {
-					continue
-				}
-				d := cell.C.Dist(s.g.Loc(v))
-				if d >= rMinus-geom.Eps && d <= rPlus+geom.Eps {
+			s.subBuf = s.sGrid.InAnnulus(cell.C, rMinus, rPlus, s.subBuf[:0])
+			for _, v := range s.subBuf {
+				if !s.inX.Has(v) {
 					s.inX.Mark(v)
 					f1 = append(f1, v)
 				}
 			}
 		}
 	}
+	s.f1Buf = f1
 	s.stats.F1Size = len(f1)
 
 	rcur := st.rcur
-	best := append([]graph.V(nil), st.members...)
+	best := append(s.bestBuf[:0], st.members...)
 	qLoc := s.g.Loc(q)
 
 	tryCircle := func(cc geom.Circle) {
@@ -76,7 +77,7 @@ func (s *Searcher) ExactPlus(q graph.V, k int, epsA float64) (*Result, error) {
 		if cc.R >= rcur || !cc.Contains(qLoc) {
 			return
 		}
-		R := s.verticesInCircle(st.S, cc)
+		R := s.circleMembers(cc)
 		if c := s.feasible(R, q, k); c != nil {
 			mcc := s.g.MCCOf(c)
 			if mcc.R < rcur {
@@ -118,6 +119,7 @@ func (s *Searcher) ExactPlus(q graph.V, k int, epsA float64) (*Result, error) {
 			}
 		}
 	}
+	s.bestBuf = best
 	res := s.buildResult(q, k, best, rcur)
 	return s.finish(res, start), nil
 }

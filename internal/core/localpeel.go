@@ -1,0 +1,131 @@
+package core
+
+import "sacsearch/internal/graph"
+
+// localPeeler answers restricted k-core feasibility queries against a cached
+// community's induced adjacency (cacheEntry.adjOff/adjLocal). It mirrors
+// kcore.Peeler but works in local ids — positions in the entry's member
+// slice — so buffers are sized to the community, the adjacency it walks has
+// no cross-community edges, and memory access stays dense. The feasibility
+// probes of the binary searches call this thousands of times per query
+// stream; it is the hottest loop of the cached hot path.
+type localPeeler struct {
+	inS     *graph.Marker // candidate-set membership, local ids
+	visited *graph.Marker // BFS visited set, local ids
+	deg     []int32       // degree within the surviving candidate set
+	sLocal  []int32       // candidate set translated to local ids
+	queue   []int32       // peeling / BFS queue, local ids
+	out     []graph.V     // result buffer, global ids
+}
+
+// ensure sizes the buffers for a community of n members.
+func (p *localPeeler) ensure(n int) {
+	if p.inS == nil || p.inS.Len() < n {
+		p.inS = graph.NewMarker(n)
+		p.visited = graph.NewMarker(n)
+		p.deg = make([]int32, n)
+	}
+}
+
+// kcoreWithinCached returns the connected k-core of G[S] containing q, or
+// nil, where S ⊆ e.members. The returned slice is scratch-owned and valid
+// until the next call; callers that retain it must copy. Semantics match
+// kcore.Peeler.KCoreWithin exactly — only the adjacency representation
+// differs.
+func (s *Searcher) kcoreWithinCached(e *cacheEntry, S []graph.V, q graph.V, k int) []graph.V {
+	if e.adjOff == nil {
+		e.buildInduced(s.g, s.localOf, s.localValid)
+	}
+	p := &s.lp
+	p.ensure(len(e.members))
+	p.inS.Reset()
+	p.sLocal = p.sLocal[:0]
+	qSeen := false
+	for _, v := range S {
+		lv := s.localOf[v]
+		p.inS.Mark(lv)
+		p.sLocal = append(p.sLocal, lv)
+		if v == q {
+			qSeen = true
+		}
+	}
+	if !qSeen {
+		return nil
+	}
+	qLocal := s.localOf[q]
+
+	// Degrees within S over the induced adjacency.
+	p.queue = p.queue[:0]
+	for _, lv := range p.sLocal {
+		d := int32(0)
+		for _, lu := range e.adjLocal[e.adjOff[lv]:e.adjOff[lv+1]] {
+			if p.inS.Has(lu) {
+				d++
+			}
+		}
+		p.deg[lv] = d
+		if d < int32(k) {
+			p.queue = append(p.queue, lv)
+		}
+	}
+	// Peel vertices whose in-S degree dropped below k.
+	for head := 0; head < len(p.queue); head++ {
+		lv := p.queue[head]
+		if !p.inS.Has(lv) {
+			continue
+		}
+		p.inS.Unmark(lv)
+		if lv == qLocal {
+			return nil
+		}
+		for _, lu := range e.adjLocal[e.adjOff[lv]:e.adjOff[lv+1]] {
+			if !p.inS.Has(lu) {
+				continue
+			}
+			p.deg[lu]--
+			if p.deg[lu] == int32(k)-1 {
+				p.queue = append(p.queue, lu)
+			}
+		}
+	}
+	if !p.inS.Has(qLocal) {
+		return nil
+	}
+	// Connected component of q within the survivors (every survivor keeps
+	// ≥ k surviving neighbors, so the component has minimum degree ≥ k).
+	p.visited.Reset()
+	p.visited.Mark(qLocal)
+	p.out = p.out[:0]
+	p.queue = append(p.queue[:0], qLocal)
+	for head := 0; head < len(p.queue); head++ {
+		lv := p.queue[head]
+		p.out = append(p.out, e.members[lv])
+		for _, lu := range e.adjLocal[e.adjOff[lv]:e.adjOff[lv+1]] {
+			if p.inS.Has(lu) && !p.visited.Has(lu) {
+				p.visited.Mark(lu)
+				p.queue = append(p.queue, lu)
+			}
+		}
+	}
+	return p.out
+}
+
+// bindLocal points the Searcher's global→local id translation at e. Binding
+// is O(|members|) and skipped when e is already bound, so repeated queries
+// into the same community pay nothing.
+func (s *Searcher) bindLocal(e *cacheEntry) {
+	if s.localEntry == e {
+		return
+	}
+	if s.localOf == nil {
+		n := s.g.NumVertices()
+		s.localOf = make([]int32, n)
+		s.localValid = graph.NewMarker(n)
+	}
+	s.localValid.Reset()
+	for i, v := range e.members {
+		s.localOf[v] = int32(i)
+		s.localValid.Mark(v)
+	}
+	s.localEntry = e
+}

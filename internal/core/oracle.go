@@ -1,0 +1,206 @@
+package core
+
+import (
+	"sort"
+
+	"sacsearch/internal/graph"
+)
+
+// Prefix-feasibility oracle. The binary searches of AppInc/AppFast/AppAcc
+// probe "does the distance-prefix X[:i] contain a connected k-core with q?"
+// over nested prefixes of one sorted candidate view. Maximal-k-core
+// membership is monotone in the prefix (core(X[:i]) ⊆ core(X[:j]) for
+// i ≤ j), so a single reverse-deletion sweep over the cached community's
+// induced adjacency answers EVERY prefix probe at once:
+//
+//   - coreAt[v]: the smallest i with v ∈ core(X[:i]) — computed by deleting
+//     vertices farthest-first and cascading the k-core peel; each vertex
+//     dies exactly once, so the sweep is O(E_induced).
+//   - joinAt[v]: the smallest i with v in q's connected component of
+//     core(X[:i]) — computed by activating vertices in ascending coreAt
+//     order under a union-find and stamping sets the moment they merge with
+//     q's set; each vertex is stamped once, so this is O(E α(n)).
+//
+// A probe at prefix i then reduces to one binary search: infeasible iff
+// i < joinAt[q], otherwise the community is the joinAt-ascending vertex
+// list truncated at i. Repeated queries into a cached community skip the
+// per-probe peeling entirely — the payoff of candidate caching beyond
+// skipping the BFS.
+//
+// The oracle is exact, not approximate: its answers equal
+// kcore.Peeler.KCoreWithin on the same prefix (as sets; callers never
+// depend on member order). It applies only to the k-core structure metric
+// and only to probes whose S is literally a prefix of the current sorted
+// view; everything else (circle subsets, θ-SAC, k-truss/k-clique) takes the
+// generic peelers.
+type prefixOracle struct {
+	built       bool
+	minFeasible int32     // joinAt[q]: smallest feasible prefix length
+	comm        []graph.V // q's community members in ascending joinAt order
+	joinAt      []int32   // parallel to comm, ascending
+}
+
+// prefixFeasible answers feasible(view.verts[:i], q, k) via the oracle,
+// building it on first use. The returned slice is oracle-owned; callers
+// that retain it must copy (they already must, for every feasible path).
+func (s *Searcher) prefixFeasible(e *cacheEntry, vw *sortedView, i int, q graph.V, k int) []graph.V {
+	if !vw.oracle.built {
+		s.buildPrefixOracle(e, vw, q, k)
+	}
+	o := &vw.oracle
+	if int32(i) < o.minFeasible {
+		return nil
+	}
+	cnt := sort.Search(len(o.joinAt), func(j int) bool { return o.joinAt[j] > int32(i) })
+	return o.comm[:cnt]
+}
+
+// buildPrefixOracle runs the reverse-deletion sweep and the union-find
+// joining pass for (vw, k). Runs once per view per location epoch; cost is
+// O(E_induced + n α(n)).
+func (s *Searcher) buildPrefixOracle(e *cacheEntry, vw *sortedView, q graph.V, k int) {
+	if e.adjOff == nil {
+		e.buildInduced(s.g, s.localOf, s.localValid)
+	}
+	n := len(vw.verts)
+	o := &vw.oracle
+	o.built = true
+	o.comm = o.comm[:0]
+	o.joinAt = o.joinAt[:0]
+
+	// localAt[pos] = local id of the vertex at sorted position pos.
+	localAt := make([]int32, n)
+	for pos, v := range vw.verts {
+		localAt[pos] = s.localOf[v]
+	}
+
+	// Reverse deletion: coreAt[lv] = smallest prefix length whose maximal
+	// k-core contains lv. The full set is the connected k-ĉore, so every
+	// vertex starts with induced degree ≥ k and alive.
+	deg := make([]int32, n)
+	for lv := 0; lv < n; lv++ {
+		deg[lv] = e.adjOff[lv+1] - e.adjOff[lv]
+	}
+	coreAt := make([]int32, n)
+	removed := make([]bool, n)
+	stack := make([]int32, 0, n)
+	for i := n; i >= 1; i-- {
+		w := localAt[i-1]
+		if removed[w] {
+			continue
+		}
+		// Deleting position i-1 shrinks the prefix below i: w dies here, and
+		// so does everything its removal cascades.
+		stack = append(stack[:0], w)
+		removed[w] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			coreAt[x] = int32(i)
+			for _, y := range e.adjLocal[e.adjOff[x]:e.adjOff[x+1]] {
+				if removed[y] {
+					continue
+				}
+				deg[y]--
+				if deg[y] == int32(k)-1 {
+					removed[y] = true
+					stack = append(stack, y)
+				}
+			}
+		}
+	}
+
+	// Forward joining pass: activate vertices in ascending coreAt (position
+	// order breaks ties deterministically), union with active neighbors, and
+	// stamp a set's members the moment it merges with q's set.
+	qLocal := s.localOf[q]
+	actOrder := make([]int32, n)
+	for pos := range actOrder {
+		actOrder[pos] = localAt[pos]
+	}
+	sort.SliceStable(actOrder, func(a, b int) bool { return coreAt[actOrder[a]] < coreAt[actOrder[b]] })
+
+	parent := make([]int32, n)
+	size := make([]int32, n)
+	hasQ := make([]bool, n)
+	head := make([]int32, n) // member-list head per root
+	next := make([]int32, n) // member-list links
+	tail := make([]int32, n)
+	active := removed        // reuse: reset to false = inactive
+	joined := make([]int32, n)
+	for lv := 0; lv < n; lv++ {
+		active[lv] = false
+		parent[lv] = int32(lv)
+		size[lv] = 1
+		head[lv] = int32(lv)
+		tail[lv] = int32(lv)
+		next[lv] = -1
+		joined[lv] = -1
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	stamp := func(root, at int32) {
+		for m := head[root]; m >= 0; m = next[m] {
+			joined[m] = at
+		}
+	}
+	union := func(a, b, at int32) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if hasQ[ra] {
+			stamp(rb, at)
+		} else if hasQ[rb] {
+			stamp(ra, at)
+		}
+		if size[ra] < size[rb] {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+		size[ra] += size[rb]
+		hasQ[ra] = hasQ[ra] || hasQ[rb]
+		next[tail[ra]] = head[rb]
+		tail[ra] = tail[rb]
+	}
+	for _, lv := range actOrder {
+		at := coreAt[lv]
+		active[lv] = true
+		if lv == qLocal {
+			hasQ[lv] = true
+			joined[lv] = at
+			// Everything already merged into q's singleton-to-be cannot
+			// exist: q activates alone, neighbors union below.
+		}
+		for _, lu := range e.adjLocal[e.adjOff[lv]:e.adjOff[lv+1]] {
+			if active[lu] && coreAt[lu] <= at {
+				union(lv, lu, at)
+			}
+		}
+	}
+
+	// Emit q's community in ascending join order. Every member joins by
+	// prefix n (the full set is connected), so joined is set for all of
+	// q's final component; vertices outside it keep joined = -1 — they are
+	// never in any feasible prefix answer... they ARE in the k-core for
+	// large prefixes but not in q's component, which is exactly what
+	// KCoreWithin excludes.
+	o.minFeasible = joined[qLocal]
+	idx := make([]int32, 0, n)
+	for lv := int32(0); lv < int32(n); lv++ {
+		if joined[lv] >= 0 {
+			idx = append(idx, lv)
+		}
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return joined[idx[a]] < joined[idx[b]] })
+	for _, lv := range idx {
+		o.comm = append(o.comm, e.members[lv])
+		o.joinAt = append(o.joinAt, joined[lv])
+	}
+}

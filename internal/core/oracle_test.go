@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sacsearch/internal/graph"
+	"sacsearch/internal/kcore"
+)
+
+// TestPrefixOracleMatchesPeeler compares the prefix-feasibility oracle
+// against kcore.Peeler.KCoreWithin on every prefix of real candidate views,
+// across random clustered graphs and several k. The oracle must agree as a
+// set for every single prefix length — it is a memoization, not an
+// approximation.
+func TestPrefixOracleMatchesPeeler(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		g := clusteredGraph(seed, 5, 8, 40)
+		s := NewSearcher(g)
+		peeler := kcore.NewPeeler(g)
+		rnd := rand.New(rand.NewSource(seed * 7))
+		for trial := 0; trial < 3; trial++ {
+			q := graph.V(rnd.Intn(g.NumVertices()))
+			k := 2 + rnd.Intn(3)
+			if s.CoreNumber(q) < k {
+				continue
+			}
+			cand, err := s.candidates(q, k)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			vw := s.curView
+			if vw == nil {
+				t.Fatal("cached candidates did not set the current view")
+			}
+			for i := 0; i <= len(cand.verts); i++ {
+				var oracle []graph.V
+				if i > 0 {
+					oracle = s.prefixFeasible(s.curEntry, vw, i, q, k)
+				}
+				want := peeler.KCoreWithin(cand.verts[:i], q, k)
+				if (oracle == nil) != (want == nil) {
+					t.Fatalf("seed %d q=%d k=%d prefix %d: oracle feasible=%v, peeler=%v",
+						seed, q, k, i, oracle != nil, want != nil)
+				}
+				if want == nil {
+					continue
+				}
+				a := append([]graph.V(nil), oracle...)
+				b := append([]graph.V(nil), want...)
+				sort.Slice(a, func(x, y int) bool { return a[x] < a[y] })
+				sort.Slice(b, func(x, y int) bool { return b[x] < b[y] })
+				if len(a) != len(b) {
+					t.Fatalf("seed %d q=%d k=%d prefix %d: oracle %d members, peeler %d",
+						seed, q, k, i, len(a), len(b))
+				}
+				for x := range a {
+					if a[x] != b[x] {
+						t.Fatalf("seed %d q=%d k=%d prefix %d: oracle %v != peeler %v",
+							seed, q, k, i, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCachedMatchesUncachedAlgorithms runs every algorithm with caching on
+// and off on the same graphs and requires identical members and radii —
+// the cache fast paths must be behavior-preserving.
+func TestCachedMatchesUncachedAlgorithms(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := clusteredGraph(seed+50, 6, 8, 35)
+		cached := NewSearcher(g)
+		uncached := NewSearcher(g)
+		uncached.SetCandidateCaching(false)
+		rnd := rand.New(rand.NewSource(seed * 13))
+		for trial := 0; trial < 3; trial++ {
+			q := graph.V(rnd.Intn(g.NumVertices()))
+			k := 2 + rnd.Intn(3)
+			for _, algo := range []struct {
+				name string
+				run  func(s *Searcher) (*Result, error)
+			}{
+				{"AppInc", func(s *Searcher) (*Result, error) { return s.AppInc(q, k) }},
+				{"AppFast0", func(s *Searcher) (*Result, error) { return s.AppFast(q, k, 0) }},
+				{"AppFast05", func(s *Searcher) (*Result, error) { return s.AppFast(q, k, 0.5) }},
+				{"AppFastBisect", func(s *Searcher) (*Result, error) { return s.AppFastBisect(q, k, 0.5) }},
+				{"AppAcc", func(s *Searcher) (*Result, error) { return s.AppAcc(q, k, 0.4) }},
+				{"Exact", func(s *Searcher) (*Result, error) { return s.Exact(q, k) }},
+				{"ExactPlus", func(s *Searcher) (*Result, error) { return s.ExactPlus(q, k, 0.2) }},
+			} {
+				rc, errC := algo.run(cached)
+				ru, errU := algo.run(uncached)
+				if (errC == nil) != (errU == nil) {
+					t.Fatalf("seed %d %s q=%d k=%d: cached err %v, uncached err %v",
+						seed, algo.name, q, k, errC, errU)
+				}
+				if errC != nil {
+					continue
+				}
+				if !membersEqual(rc.Members, ru.Members...) {
+					t.Fatalf("seed %d %s q=%d k=%d: cached members %v != uncached %v",
+						seed, algo.name, q, k, rc.Members, ru.Members)
+				}
+				if rc.MCC != ru.MCC || rc.Delta != ru.Delta {
+					t.Fatalf("seed %d %s q=%d k=%d: cached MCC/δ %v/%v != uncached %v/%v",
+						seed, algo.name, q, k, rc.MCC, rc.Delta, ru.MCC, ru.Delta)
+				}
+			}
+		}
+	}
+}

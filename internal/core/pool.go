@@ -1,0 +1,45 @@
+package core
+
+import "sync"
+
+// Pool is a concurrency-safe pool of Searcher clones over one graph — the
+// parallel execution substrate for batch and server traffic. A single
+// Searcher is cheap to query repeatedly but owns mutable scratch space and a
+// candidate cache, so it must not be shared across goroutines; Pool hands
+// each concurrent caller its own clone (sharing the immutable core/truss
+// decompositions) and recycles clones across requests so their scratch
+// buffers and warmed candidate caches survive between queries — the
+// property that makes repeated-community server traffic cheap.
+//
+// The zero Pool is not usable; create one with NewPool. All methods are safe
+// for concurrent use.
+type Pool struct {
+	base *Searcher
+	p    sync.Pool
+}
+
+// NewPool creates a pool of clones of base. base itself is never handed
+// out, so it remains safe to use on the caller's own goroutine.
+func NewPool(base *Searcher) *Pool {
+	pl := &Pool{base: base}
+	pl.p.New = func() any { return base.Clone() }
+	return pl
+}
+
+// Base returns the Searcher the pool clones from.
+func (p *Pool) Base() *Searcher { return p.base }
+
+// Get returns a Searcher for exclusive use by the calling goroutine. Return
+// it with Put when done; Searchers that are never Put are simply collected.
+func (p *Pool) Get() *Searcher { return p.p.Get().(*Searcher) }
+
+// Put returns a Searcher obtained from Get to the pool.
+func (p *Pool) Put(s *Searcher) { p.p.Put(s) }
+
+// Do runs f with a pooled Searcher, returning the Searcher afterwards even
+// if f panics.
+func (p *Pool) Do(f func(*Searcher) error) error {
+	s := p.Get()
+	defer p.Put(s)
+	return f(s)
+}

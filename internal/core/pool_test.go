@@ -1,0 +1,121 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"sacsearch/internal/graph"
+)
+
+// TestPoolMatchesSequential runs the same query stream through concurrent
+// Pool workers and through one sequential Searcher and requires identical
+// Members and MCC for every query. Run under -race this also exercises the
+// no-shared-mutable-state property of pooled clones.
+func TestPoolMatchesSequential(t *testing.T) {
+	g := clusteredGraph(13, 8, 9, 60)
+	base := NewSearcher(g)
+	pool := NewPool(base)
+
+	type query struct {
+		q graph.V
+		k int
+	}
+	var stream []query
+	for v := 0; v < g.NumVertices(); v += 3 {
+		for _, k := range []int{2, 3, 4} {
+			stream = append(stream, query{graph.V(v), k})
+		}
+	}
+	// Repeat the stream so pooled workers see warm-cache queries too.
+	stream = append(stream, stream...)
+
+	seq := NewSearcher(g)
+	want := make([]*Result, len(stream))
+	wantErr := make([]error, len(stream))
+	for i, qu := range stream {
+		want[i], wantErr[i] = seq.AppFast(qu.q, qu.k, 0.5)
+	}
+
+	got := make([]*Result, len(stream))
+	gotErr := make([]error, len(stream))
+	var wg sync.WaitGroup
+	const workers = 8
+	feed := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := pool.Get()
+			defer pool.Put(ws)
+			for i := range feed {
+				got[i], gotErr[i] = ws.AppFast(stream[i].q, stream[i].k, 0.5)
+			}
+		}()
+	}
+	for i := range stream {
+		feed <- i
+	}
+	close(feed)
+	wg.Wait()
+
+	for i := range stream {
+		if (wantErr[i] == nil) != (gotErr[i] == nil) {
+			t.Fatalf("query %d: err mismatch: seq %v, pool %v", i, wantErr[i], gotErr[i])
+		}
+		if wantErr[i] != nil {
+			continue
+		}
+		if len(want[i].Members) != len(got[i].Members) {
+			t.Fatalf("query %d: member count %d vs %d", i, len(want[i].Members), len(got[i].Members))
+		}
+		for j := range want[i].Members {
+			if want[i].Members[j] != got[i].Members[j] {
+				t.Fatalf("query %d: members differ: %v vs %v", i, want[i].Members, got[i].Members)
+			}
+		}
+		if want[i].MCC != got[i].MCC {
+			t.Fatalf("query %d: MCC differs: %+v vs %+v", i, want[i].MCC, got[i].MCC)
+		}
+	}
+}
+
+// TestPoolDo exercises the convenience wrapper and clone recycling.
+func TestPoolDo(t *testing.T) {
+	g := figure3()
+	pool := NewPool(NewSearcher(g))
+	if pool.Base() == nil {
+		t.Fatal("Base is nil")
+	}
+	var members []graph.V
+	err := pool.Do(func(s *Searcher) error {
+		res, err := s.Exact(vQ, 2)
+		if err != nil {
+			return err
+		}
+		members = append(members[:0], res.Members...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !membersEqual(members, vQ, vC, vD) {
+		t.Fatalf("Pool.Do result = %v", members)
+	}
+	// Workers warm their caches while checked out; whether a particular
+	// Get returns a recycled or fresh clone is up to sync.Pool (race mode
+	// deliberately randomizes retention), so only the warm-while-held
+	// property is asserted.
+	w := pool.Get()
+	if _, err := w.AppFast(vQ, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if w.CachedCommunities() == 0 {
+		t.Fatal("worker did not warm its cache")
+	}
+	pool.Put(w)
+	w2 := pool.Get()
+	defer pool.Put(w2)
+	if _, err := w2.AppFast(vQ, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+}

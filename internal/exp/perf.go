@@ -1,0 +1,170 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"sacsearch/internal/batch"
+	"sacsearch/internal/core"
+	"sacsearch/internal/dataset"
+)
+
+// Perf tracking. `sacbench -benchjson <path>` emits a machine-readable
+// snapshot of the query hot path — repeated-query throughput with the
+// candidate cache on/off, hot-path allocations, and batch scaling across
+// worker counts — so the performance trajectory is recorded PR over PR
+// (BENCH_1.json is the first point). Measurements use testing.Benchmark so
+// ns/op and allocs/op match what `go test -bench` reports.
+
+// PerfPoint is one measured configuration.
+type PerfPoint struct {
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+}
+
+// BatchScalePoint is one worker-count measurement of a fixed batch.
+type BatchScalePoint struct {
+	Workers    int     `json:"workers"`
+	NsPerQuery float64 `json:"nsPerQuery"`
+	// Speedup is sequential ns/query divided by this point's ns/query;
+	// near-linear scaling approaches Workers (bounded by GOMAXPROCS).
+	Speedup float64 `json:"speedup"`
+}
+
+// PerfReport is the full snapshot sacbench writes as JSON.
+type PerfReport struct {
+	Schema     string `json:"schema"` // "sacsearch-bench/1"
+	Dataset    string `json:"dataset"`
+	Scale      float64 `json:"scale"`
+	Queries    int     `json:"queries"`
+	K          int     `json:"k"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"numcpu"`
+
+	// Repeated same-community query stream (AppFast 0.5), cache on vs off.
+	RepeatedCached   PerfPoint `json:"repeatedCached"`
+	RepeatedUncached PerfPoint `json:"repeatedUncached"`
+	// CacheSpeedup = uncached ns/op ÷ cached ns/op.
+	CacheSpeedup float64 `json:"cacheSpeedup"`
+
+	// Batch execution of the workload across worker counts.
+	BatchScaling []BatchScalePoint `json:"batchScaling"`
+
+	ElapsedMillis int64 `json:"elapsedMillis"`
+}
+
+// Perf measures the report on cfg's first dataset.
+func Perf(cfg Config) (*PerfReport, error) {
+	start := time.Now()
+	name := "brightkite"
+	if len(cfg.Datasets) > 0 {
+		name = cfg.Datasets[0]
+	}
+	ds, err := dataset.Load(name, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	queries := dataset.QueryWorkload(ds.Graph, cfg.MinCore, cfg.Queries, cfg.Seed)
+	if len(queries) == 0 {
+		return nil, errNoQueries(name)
+	}
+	rep := &PerfReport{
+		Schema:     "sacsearch-bench/1",
+		Dataset:    name,
+		Scale:      cfg.Scale,
+		Queries:    len(queries),
+		K:          cfg.K,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	// Repeated-query stream, cached vs uncached.
+	measure := func(cached bool) PerfPoint {
+		s := core.NewSearcher(ds.Graph)
+		s.SetCandidateCaching(cached)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.AppFast(queries[i%len(queries)], cfg.K, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return PerfPoint{
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	rep.RepeatedCached = measure(true)
+	rep.RepeatedUncached = measure(false)
+	if rep.RepeatedCached.NsPerOp > 0 {
+		rep.CacheSpeedup = rep.RepeatedUncached.NsPerOp / rep.RepeatedCached.NsPerOp
+	}
+
+	// Batch scaling: a widened workload (batch.RunOn deduplicates identical
+	// (q, k) pairs, so the batch needs distinct query vertices to measure
+	// real work) run at growing worker counts over a persistent pool.
+	wide := dataset.QueryWorkload(ds.Graph, cfg.MinCore, cfg.Queries*10, cfg.Seed+1)
+	if len(wide) == 0 {
+		wide = queries
+	}
+	work := make([]batch.Query, 0, len(wide))
+	for _, q := range wide {
+		work = append(work, batch.Query{Q: q, K: cfg.K})
+	}
+	base := core.NewSearcher(ds.Graph)
+	maxWorkers := runtime.GOMAXPROCS(0)
+	var workerCounts []int
+	for w := 1; w < maxWorkers; w *= 2 {
+		workerCounts = append(workerCounts, w)
+	}
+	workerCounts = append(workerCounts, maxWorkers)
+	var seqNs float64
+	for _, w := range workerCounts {
+		pool := core.NewPool(base)
+		opt := batch.Options{Workers: w, Algorithm: batch.AlgoAppFast, EpsF: 0.5}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				batch.RunOn(pool, work, opt)
+			}
+		})
+		nsPerQuery := float64(r.NsPerOp()) / float64(len(work))
+		if w == 1 {
+			seqNs = nsPerQuery
+		}
+		sp := 0.0
+		if nsPerQuery > 0 {
+			sp = seqNs / nsPerQuery
+		}
+		rep.BatchScaling = append(rep.BatchScaling, BatchScalePoint{
+			Workers:    w,
+			NsPerQuery: nsPerQuery,
+			Speedup:    sp,
+		})
+	}
+
+	rep.ElapsedMillis = time.Since(start).Milliseconds()
+	return rep, nil
+}
+
+// WritePerfJSON runs Perf and writes the indented JSON report to w.
+func WritePerfJSON(cfg Config, w io.Writer) error {
+	rep, err := Perf(cfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+type errNoQueries string
+
+func (e errNoQueries) Error() string {
+	return "exp: no workload queries with the configured core bound in " + string(e)
+}

@@ -21,7 +21,13 @@ type Point struct {
 
 // Dist returns the Euclidean distance between p and o.
 func (p Point) Dist(o Point) float64 {
-	return math.Hypot(p.X-o.X, p.Y-o.Y)
+	// Plain sqrt(dx²+dy²), not math.Hypot: coordinates live in the unit
+	// square (or modest multiples of it), so Hypot's overflow/underflow
+	// guards buy nothing and cost ~2× on the query hot path, which computes
+	// millions of distances.
+	dx := p.X - o.X
+	dy := p.Y - o.Y
+	return math.Sqrt(dx*dx + dy*dy)
 }
 
 // Dist2 returns the squared Euclidean distance between p and o. It is cheaper

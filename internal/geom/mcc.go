@@ -2,7 +2,6 @@ package geom
 
 import (
 	"math"
-	"math/rand"
 )
 
 // mccSeed makes the Welzl shuffle deterministic so that repeated runs over
@@ -28,8 +27,22 @@ func MCC(pts []Point) Circle {
 	}
 	p := make([]Point, len(pts))
 	copy(p, pts)
-	rnd := rand.New(rand.NewSource(mccSeed))
-	rnd.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	// Deterministic in-place Fisher–Yates driven by splitmix64. MCC sits on
+	// the query hot path (once per result, once per improving circle in the
+	// exact algorithms); seeding a math/rand source per call cost more than
+	// the Welzl walk itself on typical community sizes.
+	state := uint64(mccSeed)
+	for i := len(p) - 1; i > 0; i-- {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		j := int(z % uint64(i+1))
+		p[i], p[j] = p[j], p[i]
+	}
 
 	c := CircleFrom2(p[0], p[1])
 	for i := 2; i < len(p); i++ {

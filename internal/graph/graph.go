@@ -11,6 +11,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"sacsearch/internal/geom"
@@ -27,6 +28,12 @@ type Graph struct {
 	locs    []geom.Point
 	m       int      // number of undirected edges
 	labels  []string // optional external vertex names; may be nil
+
+	// locEpoch counts SetLoc calls. Location-derived caches (sorted candidate
+	// distances, spatial indexes) validate against it instead of re-deriving
+	// from scratch on every query: topology is immutable, so a cache is stale
+	// only when the epoch moved.
+	locEpoch uint64
 }
 
 // NumVertices returns |V|.
@@ -60,7 +67,15 @@ func (g *Graph) Loc(v V) geom.Point { return g.locs[v] }
 
 // SetLoc updates the location of v. It is not safe for concurrent use with
 // readers.
-func (g *Graph) SetLoc(v V, p geom.Point) { g.locs[v] = p }
+func (g *Graph) SetLoc(v V, p geom.Point) {
+	g.locs[v] = p
+	g.locEpoch++
+}
+
+// LocEpoch returns the location version: it changes whenever SetLoc is
+// called. Consumers that cache location-derived data compare epochs to
+// decide whether the cache is still valid.
+func (g *Graph) LocEpoch() uint64 { return g.locEpoch }
 
 // Locs returns the backing location slice (shared, do not resize). It exists
 // so bulk consumers (spatial index, generators) avoid per-vertex calls.
@@ -135,7 +150,7 @@ func (g *Graph) Clone() *Graph {
 		labels = make([]string, len(g.labels))
 		copy(labels, g.labels)
 	}
-	return &Graph{offsets: g.offsets, adj: g.adj, locs: locs, m: g.m, labels: labels}
+	return &Graph{offsets: g.offsets, adj: g.adj, locs: locs, m: g.m, labels: labels, locEpoch: g.locEpoch}
 }
 
 // Builder accumulates edges and locations, then produces an immutable Graph.
@@ -219,7 +234,7 @@ func (b *Builder) Build() *Graph {
 	for v := 0; v < n; v++ {
 		lo, hi := offsets[v], offsets[v+1]
 		nb := adj[lo:hi]
-		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		slices.Sort(nb)
 		outOff[v] = written
 		var prev V = -1
 		for _, u := range nb {

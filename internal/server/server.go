@@ -13,11 +13,14 @@
 //	POST /api/checkin           update one vertex's location (dynamic graphs)
 //
 // Concurrency model: the graph's topology and core decomposition are
-// immutable, so queries run on pooled Searcher clones without coordination;
-// locations are mutable (check-ins), guarded by a RWMutex — queries hold the
-// read lock, check-ins the write lock. This mirrors the paper's dynamic
-// setting where "a user's location often changes frequently" while the
-// friendship graph is comparatively stable.
+// immutable, so queries run on core.Pool workers without coordination —
+// each pooled Searcher keeps its scratch space and warmed candidate cache
+// across requests, and batch requests fan out over the same pool. Locations
+// are mutable (check-ins), guarded by a RWMutex — queries hold the read
+// lock, check-ins the write lock; the graph's location epoch invalidates
+// the workers' cached distance orderings automatically. This mirrors the
+// paper's dynamic setting where "a user's location often changes
+// frequently" while the friendship graph is comparatively stable.
 package server
 
 import (
@@ -41,7 +44,7 @@ type Server struct {
 	base *core.Searcher
 
 	mu   sync.RWMutex // guards vertex locations (check-ins)
-	pool sync.Pool    // *core.Searcher clones for concurrent queries
+	pool *core.Pool   // searcher workers for concurrent queries and batches
 
 	mux *http.ServeMux
 }
@@ -53,9 +56,9 @@ func New(name string, g *graph.Graph) *Server {
 		name: name,
 		g:    g,
 		base: base,
+		pool: core.NewPool(base),
 		mux:  http.NewServeMux(),
 	}
-	s.pool.New = func() any { return base.Clone() }
 	s.mux.HandleFunc("GET /api/health", s.handleHealth)
 	s.mux.HandleFunc("GET /api/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("GET /api/vertex/{id}", s.handleVertex)
@@ -209,7 +212,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 // runQuery dispatches one request on a pooled searcher under the read lock.
 func (s *Server) runQuery(req QueryRequest) (*core.Result, error) {
-	searcher := s.pool.Get().(*core.Searcher)
+	searcher := s.pool.Get()
 	defer s.pool.Put(searcher)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -277,7 +280,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		queries[i] = batch.Query{Q: q.Q, K: q.K}
 	}
 	s.mu.RLock()
-	items := batch.Run(s.base, queries, opt)
+	items := batch.RunOn(s.pool, queries, opt)
 	s.mu.RUnlock()
 
 	resp := BatchResponse{Items: make([]BatchItemJSON, len(items))}

@@ -126,9 +126,11 @@ func (g *Grid) InCircle(c geom.Circle, dst []graph.V) []graph.V {
 // InAnnulus appends point ids with rInner <= dist(p, center) <= rOuter.
 func (g *Grid) InAnnulus(center geom.Point, rInner, rOuter float64, dst []graph.V) []graph.V {
 	tmp := g.InCircle(geom.Circle{C: center, R: rOuter}, nil)
-	in2 := (rInner - geom.Eps) * (rInner - geom.Eps)
-	if rInner <= 0 {
-		in2 = -1
+	// See SubGrid.InAnnulus: an inner bound within tolerance of zero must
+	// not be squared into a positive cutoff.
+	in2 := -1.0
+	if rInner > geom.Eps {
+		in2 = (rInner - geom.Eps) * (rInner - geom.Eps)
 	}
 	for _, id := range tmp {
 		if g.pts[id].Dist2(center) >= in2 {

@@ -1,0 +1,183 @@
+package spatial
+
+import (
+	"math"
+
+	"sacsearch/internal/geom"
+	"sacsearch/internal/graph"
+)
+
+// SubGrid is a uniform bucket grid over a subset of a graph's vertices,
+// designed for the SAC query hot path: it is rebuilt once per query over the
+// candidate set and probed by many circle range queries (Exact and Exact+
+// enumerate O(|X|²)–O(|X|³) circles; AppAcc gathers a prefix per
+// binary-search probe per anchor). Unlike Grid it stores its buckets in CSR
+// form — three flat slices reused across Build calls — so steady-state
+// rebuilds allocate nothing and queries touch contiguous memory.
+//
+// A SubGrid snapshots the subset's locations at Build time; rebuild after
+// location updates. It is not safe for concurrent use.
+type SubGrid struct {
+	minX, minY float64
+	cell       float64 // cell edge length
+	cols, rows int
+
+	start []int32      // CSR offsets, len cols*rows+1; bucket c is items[start[c]:start[c+1]]
+	ids   []graph.V    // vertex ids grouped by cell
+	pts   []geom.Point // locations parallel to ids
+
+	cellIdx []int32 // scratch: cell index per input vertex during Build
+}
+
+// Len returns the number of indexed vertices.
+func (sg *SubGrid) Len() int { return len(sg.ids) }
+
+// Build indexes the current locations of vs in gr, aiming for roughly
+// targetPerCell vertices per cell (<= 0 defaults to 4). Previous contents
+// are discarded; backing storage is reused.
+func (sg *SubGrid) Build(gr *graph.Graph, vs []graph.V, targetPerCell int) {
+	if targetPerCell <= 0 {
+		targetPerCell = 4
+	}
+	n := len(vs)
+	sg.ids = sg.ids[:0]
+	sg.pts = sg.pts[:0]
+	if n == 0 {
+		sg.cell = 1
+		sg.cols, sg.rows = 1, 1
+		sg.start = append(sg.start[:0], 0, 0)
+		return
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, v := range vs {
+		p := gr.Loc(v)
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	sg.minX, sg.minY = minX, minY
+	w := maxX - minX
+	h := maxY - minY
+	if w <= 0 {
+		w = 1e-9
+	}
+	if h <= 0 {
+		h = 1e-9
+	}
+	cells := float64(n) / float64(targetPerCell)
+	if cells < 1 {
+		cells = 1
+	}
+	// Area-based sizing alone explodes the cell count on anisotropic input
+	// (members sharing one coordinate make one extent collapse towards the
+	// 1e-9 floor, so sqrt(w·h/cells) shrinks without bound); the w/cells and
+	// h/cells terms keep each axis at O(cells) columns/rows, so the total
+	// stays O(n) regardless of aspect ratio.
+	sg.cell = math.Max(math.Sqrt(w*h/cells), math.Max(w, h)/cells)
+	if sg.cell <= 0 || math.IsNaN(sg.cell) {
+		sg.cell = math.Max(w, h)
+	}
+	sg.cols = int(w/sg.cell) + 1
+	sg.rows = int(h/sg.cell) + 1
+	nc := sg.cols * sg.rows
+
+	// Counting sort into CSR: count, prefix-sum, place.
+	sg.start = sg.start[:0]
+	for i := 0; i <= nc; i++ {
+		sg.start = append(sg.start, 0)
+	}
+	sg.cellIdx = sg.cellIdx[:0]
+	for _, v := range vs {
+		c := sg.cellOf(gr.Loc(v))
+		sg.cellIdx = append(sg.cellIdx, int32(c))
+		sg.start[c+1]++
+	}
+	for c := 0; c < nc; c++ {
+		sg.start[c+1] += sg.start[c]
+	}
+	if cap(sg.ids) < n {
+		sg.ids = make([]graph.V, n)
+		sg.pts = make([]geom.Point, n)
+	} else {
+		sg.ids = sg.ids[:n]
+		sg.pts = sg.pts[:n]
+	}
+	// start doubles as the placement cursor; shift it back afterwards.
+	for i, v := range vs {
+		c := sg.cellIdx[i]
+		at := sg.start[c]
+		sg.ids[at] = v
+		sg.pts[at] = gr.Loc(v)
+		sg.start[c]++
+	}
+	for c := nc; c > 0; c-- {
+		sg.start[c] = sg.start[c-1]
+	}
+	sg.start[0] = 0
+}
+
+func (sg *SubGrid) cellOf(p geom.Point) int {
+	cx := clampInt(int((p.X-sg.minX)/sg.cell), 0, sg.cols-1)
+	cy := clampInt(int((p.Y-sg.minY)/sg.cell), 0, sg.rows-1)
+	return cy*sg.cols + cx
+}
+
+// InCircle appends every indexed vertex inside the closed disk c (with
+// geom.Eps tolerance, matching Grid.InCircle) to dst and returns dst.
+func (sg *SubGrid) InCircle(c geom.Circle, dst []graph.V) []graph.V {
+	if c.R < 0 || len(sg.ids) == 0 {
+		return dst
+	}
+	loX := clampInt(int((c.C.X-c.R-sg.minX)/sg.cell), 0, sg.cols-1)
+	hiX := clampInt(int((c.C.X+c.R-sg.minX)/sg.cell), 0, sg.cols-1)
+	loY := clampInt(int((c.C.Y-c.R-sg.minY)/sg.cell), 0, sg.rows-1)
+	hiY := clampInt(int((c.C.Y+c.R-sg.minY)/sg.cell), 0, sg.rows-1)
+	r2 := (c.R + geom.Eps) * (c.R + geom.Eps)
+	for cy := loY; cy <= hiY; cy++ {
+		row := cy * sg.cols
+		for cx := loX; cx <= hiX; cx++ {
+			lo, hi := sg.start[row+cx], sg.start[row+cx+1]
+			for i := lo; i < hi; i++ {
+				if sg.pts[i].Dist2(c.C) <= r2 {
+					dst = append(dst, sg.ids[i])
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// InAnnulus appends vertices with rInner <= dist(p, center) <= rOuter (with
+// geom.Eps tolerance on both bounds) to dst and returns dst.
+func (sg *SubGrid) InAnnulus(center geom.Point, rInner, rOuter float64, dst []graph.V) []graph.V {
+	if rOuter < 0 || len(sg.ids) == 0 {
+		return dst
+	}
+	loX := clampInt(int((center.X-rOuter-sg.minX)/sg.cell), 0, sg.cols-1)
+	hiX := clampInt(int((center.X+rOuter-sg.minX)/sg.cell), 0, sg.cols-1)
+	loY := clampInt(int((center.Y-rOuter-sg.minY)/sg.cell), 0, sg.rows-1)
+	hiY := clampInt(int((center.Y+rOuter-sg.minY)/sg.cell), 0, sg.rows-1)
+	out2 := (rOuter + geom.Eps) * (rOuter + geom.Eps)
+	// An inner bound at or below the tolerance excludes nothing: squaring
+	// (rInner - Eps) would flip a tiny negative bound positive and wrongly
+	// drop near-center vertices.
+	in2 := -1.0
+	if rInner > geom.Eps {
+		in2 = (rInner - geom.Eps) * (rInner - geom.Eps)
+	}
+	for cy := loY; cy <= hiY; cy++ {
+		row := cy * sg.cols
+		for cx := loX; cx <= hiX; cx++ {
+			lo, hi := sg.start[row+cx], sg.start[row+cx+1]
+			for i := lo; i < hi; i++ {
+				d2 := sg.pts[i].Dist2(center)
+				if d2 <= out2 && d2 >= in2 {
+					dst = append(dst, sg.ids[i])
+				}
+			}
+		}
+	}
+	return dst
+}

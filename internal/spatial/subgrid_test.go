@@ -1,0 +1,172 @@
+package spatial
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"sacsearch/internal/geom"
+	"sacsearch/internal/graph"
+)
+
+// randomSubsetGraph builds a graph of n isolated vertices at random unit-
+// square locations and returns it with a random subset of its vertex ids.
+func randomSubsetGraph(t *testing.T, rng *rand.Rand, n int) (*graph.Graph, []graph.V) {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetLoc(graph.V(v), geom.Point{X: rng.Float64(), Y: rng.Float64()})
+	}
+	g := b.Build()
+	var subset []graph.V
+	for v := 0; v < n; v++ {
+		if rng.Intn(3) != 0 {
+			subset = append(subset, graph.V(v))
+		}
+	}
+	return g, subset
+}
+
+func TestSubGridInCircleMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var sg SubGrid
+	for trial := 0; trial < 20; trial++ {
+		g, subset := randomSubsetGraph(t, rng, 200)
+		sg.Build(g, subset, 4)
+		if sg.Len() != len(subset) {
+			t.Fatalf("Len = %d, want %d", sg.Len(), len(subset))
+		}
+		for probe := 0; probe < 10; probe++ {
+			c := geom.Circle{
+				C: geom.Point{X: rng.Float64(), Y: rng.Float64()},
+				R: rng.Float64() * 0.3,
+			}
+			got := sg.InCircle(c, nil)
+			var want []graph.V
+			for _, v := range subset {
+				if c.Contains(g.Loc(v)) {
+					want = append(want, v)
+				}
+			}
+			slices.Sort(got)
+			slices.Sort(want)
+			if !slices.Equal(got, want) {
+				t.Fatalf("trial %d probe %d: InCircle = %v, want %v", trial, probe, got, want)
+			}
+		}
+	}
+}
+
+func TestSubGridInAnnulusMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var sg SubGrid
+	for trial := 0; trial < 20; trial++ {
+		g, subset := randomSubsetGraph(t, rng, 150)
+		sg.Build(g, subset, 4)
+		for probe := 0; probe < 10; probe++ {
+			center := geom.Point{X: rng.Float64(), Y: rng.Float64()}
+			rOuter := 0.05 + rng.Float64()*0.3
+			rInner := rOuter * rng.Float64()
+			got := sg.InAnnulus(center, rInner, rOuter, nil)
+			var want []graph.V
+			for _, v := range subset {
+				d := center.Dist(g.Loc(v))
+				if d >= rInner-geom.Eps && d <= rOuter+geom.Eps {
+					want = append(want, v)
+				}
+			}
+			slices.Sort(got)
+			slices.Sort(want)
+			if !slices.Equal(got, want) {
+				t.Fatalf("trial %d probe %d: InAnnulus = %v, want %v", trial, probe, got, want)
+			}
+		}
+	}
+}
+
+func TestSubGridRebuildReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, subset := randomSubsetGraph(t, rng, 400)
+	var sg SubGrid
+	sg.Build(g, subset, 4)
+	// Rebuilding over a smaller subset must fully replace the contents.
+	small := subset[:10]
+	sg.Build(g, small, 4)
+	if sg.Len() != len(small) {
+		t.Fatalf("Len after rebuild = %d, want %d", sg.Len(), len(small))
+	}
+	all := sg.InCircle(geom.Circle{C: geom.Point{X: 0.5, Y: 0.5}, R: 2}, nil)
+	slices.Sort(all)
+	want := append([]graph.V(nil), small...)
+	slices.Sort(want)
+	if !slices.Equal(all, want) {
+		t.Fatalf("rebuilt grid contents = %v, want %v", all, want)
+	}
+	// Steady-state rebuilds should not allocate.
+	allocs := testing.AllocsPerRun(20, func() {
+		sg.Build(g, subset, 4)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Build allocates %v times per run", allocs)
+	}
+	// Empty and degenerate inputs.
+	sg.Build(g, nil, 4)
+	if sg.Len() != 0 {
+		t.Fatal("empty build not empty")
+	}
+	if out := sg.InCircle(geom.Circle{C: geom.Point{}, R: 1}, nil); len(out) != 0 {
+		t.Fatalf("empty grid returned %v", out)
+	}
+	sg.Build(g, subset[:1], 4)
+	if out := sg.InCircle(geom.Circle{C: g.Loc(subset[0]), R: 0}, nil); len(out) != 1 {
+		t.Fatalf("single-point grid query = %v", out)
+	}
+}
+
+// TestSubGridAnisotropicBounded pins the cell-count bound on degenerate
+// input: collinear points collapse one extent, and area-based cell sizing
+// alone would create hundreds of thousands of cells for a handful of
+// vertices. The CSR offsets slice is the cell count plus one.
+func TestSubGridAnisotropicBounded(t *testing.T) {
+	n := 100
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetLoc(graph.V(v), geom.Point{X: float64(v) / float64(n), Y: 0.5})
+	}
+	g := b.Build()
+	vs := make([]graph.V, n)
+	for v := range vs {
+		vs[v] = graph.V(v)
+	}
+	var sg SubGrid
+	sg.Build(g, vs, 4)
+	if cells := len(sg.start) - 1; cells > 4*n {
+		t.Fatalf("anisotropic build created %d cells for %d vertices", cells, n)
+	}
+	got := sg.InCircle(geom.Circle{C: geom.Point{X: 0.5, Y: 0.5}, R: 0.1}, nil)
+	var want int
+	for _, v := range vs {
+		if g.Loc(v).Dist(geom.Point{X: 0.5, Y: 0.5}) <= 0.1+geom.Eps {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("collinear InCircle returned %d, want %d", len(got), want)
+	}
+}
+
+// TestSubGridAnnulusTinyInner pins the near-zero inner-bound guard: an
+// rInner within tolerance of zero must exclude nothing, in particular not
+// a vertex sitting exactly at the center.
+func TestSubGridAnnulusTinyInner(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.SetLoc(0, geom.Point{X: 0.5, Y: 0.5})
+	b.SetLoc(1, geom.Point{X: 0.6, Y: 0.5})
+	g := b.Build()
+	var sg SubGrid
+	sg.Build(g, []graph.V{0, 1}, 4)
+	got := sg.InAnnulus(geom.Point{X: 0.5, Y: 0.5}, 5e-10, 0.2, nil)
+	if len(got) != 2 {
+		t.Fatalf("tiny rInner dropped the center vertex: got %v", got)
+	}
+}

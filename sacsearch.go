@@ -114,6 +114,14 @@ func NewSearcherWithStructure(g *Graph, st Structure) *Searcher {
 	return core.NewSearcherWithStructure(g, st)
 }
 
+// Pool is a concurrency-safe pool of Searcher clones — the parallel
+// execution layer batch and server traffic run on. Pooled workers keep
+// their scratch space and warmed candidate caches across queries.
+type Pool = core.Pool
+
+// NewPool creates a worker pool of clones of s.
+func NewPool(s *Searcher) *Pool { return core.NewPool(s) }
+
 // Batch processing (Section 6 future work: answering many SAC queries at
 // once with a shared decomposition and parallel workers).
 type (
@@ -147,6 +155,17 @@ func BatchSearch(s *Searcher, queries []BatchQuery, opt BatchOptions) []BatchIte
 // in-flight work is done.
 func BatchStream(s *Searcher, in <-chan BatchQuery, opt BatchOptions) <-chan BatchItem {
 	return batch.Stream(s, in, opt)
+}
+
+// BatchSearchOn is BatchSearch over an existing worker pool; reusing one
+// pool across batches keeps the workers' candidate caches warm.
+func BatchSearchOn(p *Pool, queries []BatchQuery, opt BatchOptions) []BatchItem {
+	return batch.RunOn(p, queries, opt)
+}
+
+// BatchStreamOn is BatchStream over an existing worker pool.
+func BatchStreamOn(p *Pool, in <-chan BatchQuery, opt BatchOptions) <-chan BatchItem {
+	return batch.StreamOn(p, in, opt)
 }
 
 // BatchWorkload pairs each query vertex with k.

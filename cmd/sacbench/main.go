@@ -7,12 +7,13 @@
 //	sacbench -exp all -scale 0.1 -queries 200 -datasets brightkite,gowalla
 //	sacbench -list                      # show available experiment ids
 //	sacbench -exp fig12exact -paper     # start from the paper-sized config
-//	sacbench -benchjson BENCH_1.json    # machine-readable perf snapshot
+//	sacbench -benchjson BENCH_2.json    # machine-readable perf snapshot
 //
 // Output goes to stdout; redirect to keep a record alongside EXPERIMENTS.md.
 // The -benchjson report records repeated-query ns/op and allocs/op with the
-// candidate cache on/off, the cache speedup, and batch scaling per worker
-// count, so regressions are visible PR over PR.
+// candidate cache on/off, the cache speedup, batch scaling per worker
+// count, and edge-churn throughput (incremental core maintenance vs
+// re-decomposition), so regressions are visible PR over PR.
 package main
 
 import (

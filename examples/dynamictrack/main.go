@@ -5,6 +5,12 @@
 // turning over as she moves — plus the CJS/CAO decay curve over all movers
 // (the Figure 13 measurement).
 //
+// Going beyond the paper, the replay also churns friendships: a synthetic
+// edge-event stream (triadic-closure ties forming, old ties dissolving)
+// interleaves with the check-ins, applied through the searcher's
+// incremental core maintenance, so each snapshot reflects both where the
+// users are and who they currently know.
+//
 //	go run ./examples/dynamictrack
 package main
 
@@ -18,12 +24,13 @@ import (
 func main() {
 	g := sacsearch.GenerateSocialGraph(3000, 18000, 99)
 	checkins := sacsearch.GenerateCheckins(g, 100)
+	churn := sacsearch.GenerateEdgeChurn(g, 800, 101)
 	movers := sacsearch.SelectMovers(g, checkins, 8, 10)
 	if len(movers) == 0 {
 		log.Fatal("no movers")
 	}
-	fmt.Printf("replaying %d check-ins over %d users; tracking %d movers\n\n",
-		len(checkins), g.NumVertices(), len(movers))
+	fmt.Printf("replaying %d check-ins and %d friendship events over %d users; tracking %d movers\n\n",
+		len(checkins), len(churn), g.NumVertices(), len(movers))
 
 	s := sacsearch.NewSearcher(g)
 	search := func(q sacsearch.V, k int) ([]sacsearch.V, sacsearch.Circle, error) {
@@ -34,7 +41,8 @@ func main() {
 		return res.Members, res.MCC, nil
 	}
 	const k = 3
-	timelines, err := sacsearch.Replay(g, checkins, movers, 200 /* warm-up days */, k, search)
+	timelines, err := sacsearch.ReplayWithEdges(g, checkins, churn, movers,
+		200 /* warm-up days */, k, search, sacsearch.ApplyEdgesVia(s))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -174,3 +174,54 @@ func TestFacadeBatchEquivalenceProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFacadeDynamicTopology exercises the public dynamic-topology surface:
+// edge churn through the Searcher, churn-aware replay, and the epoch
+// accessors.
+func TestFacadeDynamicTopology(t *testing.T) {
+	g := sacsearch.GenerateSocialGraph(600, 3600, 12)
+	s := sacsearch.NewSearcher(g)
+	epoch := g.TopoEpoch()
+	churn := sacsearch.GenerateEdgeChurn(g, 60, 13)
+	if len(churn) != 60 {
+		t.Fatalf("churn events = %d", len(churn))
+	}
+	checkins := sacsearch.GenerateCheckins(g, 14)
+	movers := sacsearch.SelectMovers(g, checkins, 5, 4)
+	if len(movers) == 0 {
+		t.Skip("no movers in fixture")
+	}
+	search := func(q sacsearch.V, k int) ([]sacsearch.V, sacsearch.Circle, error) {
+		res, err := s.AppFast(q, k, 0.5)
+		if err != nil {
+			return nil, sacsearch.Circle{}, err
+		}
+		return res.Members, res.MCC, nil
+	}
+	timelines, err := sacsearch.ReplayWithEdges(g, checkins, churn, movers, 450, 2, search, sacsearch.ApplyEdgesVia(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TopoEpoch() == epoch {
+		t.Fatal("replay applied no topology changes")
+	}
+	total := 0
+	for _, snaps := range timelines {
+		total += len(snaps)
+	}
+	if total == 0 {
+		t.Fatal("no snapshots recorded")
+	}
+	// Replayed searcher agrees with one built fresh on the final state.
+	fresh := sacsearch.NewSearcher(g)
+	for _, q := range movers {
+		rw, errW := s.AppFast(q, 2, 0.5)
+		rc, errC := fresh.AppFast(q, 2, 0.5)
+		if (errW == nil) != (errC == nil) {
+			t.Fatalf("q=%d: replayed err %v, fresh err %v", q, errW, errC)
+		}
+		if errW == nil && rw.MCC != rc.MCC {
+			t.Fatalf("q=%d: replayed MCC %+v != fresh %+v", q, rw.MCC, rc.MCC)
+		}
+	}
+}

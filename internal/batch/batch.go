@@ -69,6 +69,11 @@ type Query struct {
 }
 
 // Item is one answered query. Exactly one of Result and Err is set.
+//
+// Deduplicated batches alias: every occurrence of the same (q, k) in a
+// Run/RunOn batch carries the SAME *core.Result pointer. Results are
+// read-only by contract, so the sharing is safe; callers that mutate a
+// result (sorting Members in place, say) must copy it first.
 type Item struct {
 	Query
 	Result *core.Result
@@ -170,12 +175,17 @@ func RunOn(p *core.Pool, queries []Query, opt Options) []Item {
 	}
 	if workers <= 1 {
 		// Run inline on a single pooled worker; no goroutines to coordinate.
-		w := p.Get()
-		for _, q := range order {
-			res, err := run(w, q, opt)
-			items[slots[q].first] = Item{Query: q, Result: res, Err: err}
-		}
-		p.Put(w)
+		// The deferred Put matches the worker-goroutine path: if run panics
+		// (a searcher bug surfaced by a query), the worker still returns to
+		// the pool instead of leaking.
+		func() {
+			w := p.Get()
+			defer p.Put(w)
+			for _, q := range order {
+				res, err := run(w, q, opt)
+				items[slots[q].first] = Item{Query: q, Result: res, Err: err}
+			}
+		}()
 	} else {
 		feed := make(chan Query)
 		var wg sync.WaitGroup

@@ -102,6 +102,38 @@ func TestRunDeduplicates(t *testing.T) {
 	}
 }
 
+// TestRunDeduplicatedAliasingSafe pins the documented Item aliasing: all
+// occurrences of a deduplicated (q, k) share one *core.Result, and that
+// shared result is a stable copy — it must survive later batches run on the
+// same pool (whose workers reuse their scratch space) bit-for-bit.
+func TestRunDeduplicatedAliasingSafe(t *testing.T) {
+	g := clusteredGraph(11, 6, 6, 8)
+	pool := core.NewPool(core.NewSearcher(g))
+	queries := []Query{{Q: 0, K: 4}, {Q: 0, K: 4}, {Q: 0, K: 4}}
+	items := RunOn(pool, queries, Options{Workers: 1})
+	for i, it := range items {
+		if it.Err != nil {
+			t.Fatalf("item %d: %v", i, it.Err)
+		}
+		if it.Result != items[0].Result {
+			t.Fatalf("item %d does not alias the first answer", i)
+		}
+	}
+	members := append([]graph.V(nil), items[0].Result.Members...)
+	mcc := items[0].Result.MCC
+
+	// Churn the pooled workers' scratch with a different, larger batch.
+	var wide []Query
+	for v := 0; v < g.NumVertices(); v++ {
+		wide = append(wide, Query{Q: graph.V(v), K: 3})
+	}
+	RunOn(pool, wide, Options{Workers: 4})
+
+	if !sameMembers(items[0].Result.Members, members) || items[0].Result.MCC != mcc {
+		t.Fatalf("shared result mutated by a later batch: %v (was %v)", items[0].Result.Members, members)
+	}
+}
+
 func TestRunErrorsPerQuery(t *testing.T) {
 	g := clusteredGraph(13, 5, 5, 5)
 	s := core.NewSearcher(g)

@@ -119,14 +119,25 @@ type Searcher struct {
 	cores []int32          // k-core numbers, computed eagerly
 	truss map[uint64]int32 // k-truss numbers, computed lazily
 
+	// maint keeps cores current across topology updates routed through
+	// ApplyEdgeInsert/ApplyEdgeRemove (lazily created; see maintain.go in
+	// internal/kcore). cores is shared across clones, so one searcher's
+	// maintainer refreshes every worker drawn from the same pool.
+	maint *kcore.Maintainer
+
 	peeler    *kcore.Peeler
 	trussChk  *ktruss.Checker
 	cliqueChk *kclique.Checker
 
 	// Candidate-set cache (see cache.go). noCache disables it; the repeated-
 	// query benchmarks use the toggle to measure what the cache buys.
-	cache   candCache
-	noCache bool
+	// cacheTopo is the graph topology epoch the cache contents were built
+	// at: community membership, induced CSRs and prefix oracles are all
+	// topology-derived, so an epoch mismatch drops the whole cache before
+	// the next lookup (all-or-nothing, matching the eviction policy).
+	cache     candCache
+	noCache   bool
+	cacheTopo uint64
 
 	// curEntry/curView identify the cache entry and sorted view of the query
 	// in flight (nil when caching is off or the query bypassed the cache);
@@ -388,6 +399,15 @@ func (s *Searcher) communityOf(q graph.V, k int) []graph.V {
 // epoch: a repeated (q, k) with no intervening SetLoc reuses the sorted view
 // outright; otherwise distances are recomputed and re-sorted in place.
 func (s *Searcher) candidates(q graph.V, k int) (*candidateSet, error) {
+	// Topology-epoch check: any edge churn since the cache was filled makes
+	// every memoized membership, induced CSR and prefix oracle suspect, so
+	// the whole cache is dropped. Core numbers themselves are maintained
+	// incrementally (ApplyEdgeInsert/ApplyEdgeRemove), not here.
+	if te := s.g.TopoEpoch(); te != s.cacheTopo {
+		s.cache.clear()
+		s.localEntry = nil
+		s.cacheTopo = te
+	}
 	if s.noCache {
 		members := s.communityOf(q, k)
 		if members == nil {

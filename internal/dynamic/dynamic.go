@@ -4,11 +4,19 @@
 // query user additionally triggers an SAC search at that instant. The
 // resulting per-user community timelines feed the CJS/CAO-versus-η decay
 // curves of Figure 13 and the moving-user portraits of Figure 2.
+//
+// ReplayWithEdges extends the paper's setting with friendship churn: edge
+// events (gen.EdgeChurn, or real unfriend/befriend logs) interleave with the
+// check-in stream on one clock, applied through the searcher's incremental
+// topology path so every snapshot sees the graph exactly as it stood at
+// that instant.
 package dynamic
 
 import (
+	"errors"
 	"fmt"
 
+	"sacsearch/internal/core"
 	"sacsearch/internal/gen"
 	"sacsearch/internal/geom"
 	"sacsearch/internal/graph"
@@ -23,7 +31,9 @@ type Snapshot struct {
 }
 
 // SearchFunc runs one SAC query at the current graph state; it returns the
-// community members or an error (ErrNoCommunity snapshots are skipped).
+// community members or an error. core.ErrNoCommunity snapshots are skipped
+// (the user simply has no community at that instant); any other error aborts
+// the replay, wrapped with the user and time it occurred at.
 type SearchFunc func(q graph.V, k int) ([]graph.V, geom.Circle, error)
 
 // Replay applies the check-in stream to g (mutating vertex locations) and
@@ -31,14 +41,60 @@ type SearchFunc func(q graph.V, k int) ([]graph.V, geom.Circle, error)
 // splitTime only move users; from splitTime on, each check-in by a tracked
 // user also runs search. The graph is left at its final replayed state.
 func Replay(g *graph.Graph, checkins []gen.Checkin, tracked []graph.V, splitTime float64, k int, search SearchFunc) (map[graph.V][]Snapshot, error) {
+	return ReplayWithEdges(g, checkins, nil, tracked, splitTime, k, search, nil)
+}
+
+// EdgeApplyFunc applies one friendship change during a replay. It must
+// mutate the graph AND whatever decomposition state the search function
+// depends on — core.Searcher.ApplyEdgeInsert/ApplyEdgeRemove do both. The
+// boolean result (edge set changed) is ignored by the replay, so streams
+// with benign no-op events (see gen.EdgeChurn) replay cleanly; an error
+// aborts.
+type EdgeApplyFunc func(u, v graph.V, insert bool) error
+
+// ApplyVia adapts a Searcher's incremental topology updates to an
+// EdgeApplyFunc, the usual way to wire ReplayWithEdges.
+func ApplyVia(s *core.Searcher) EdgeApplyFunc {
+	return func(u, v graph.V, insert bool) error {
+		var err error
+		if insert {
+			_, err = s.ApplyEdgeInsert(u, v)
+		} else {
+			_, err = s.ApplyEdgeRemove(u, v)
+		}
+		return err
+	}
+}
+
+// ReplayWithEdges replays friendship churn interleaved with check-ins: both
+// streams advance on one clock, with edge events applied before check-ins
+// that share an instant (the friendship exists by the time the user reports
+// a location). Tracked users' searches observe the graph exactly as it was
+// at each check-in — moved locations and churned edges both. edges may be
+// nil (pure location replay); apply is required when it is not.
+func ReplayWithEdges(g *graph.Graph, checkins []gen.Checkin, edges []gen.EdgeEvent, tracked []graph.V, splitTime float64, k int, search SearchFunc, apply EdgeApplyFunc) (map[graph.V][]Snapshot, error) {
+	if len(edges) > 0 && apply == nil {
+		return nil, fmt.Errorf("dynamic: %d edge events but no apply function", len(edges))
+	}
 	isTracked := make(map[graph.V]bool, len(tracked))
 	for _, v := range tracked {
 		isTracked[v] = true
 	}
 	out := make(map[graph.V][]Snapshot, len(tracked))
+	ei := 0
 	for i, c := range checkins {
 		if i > 0 && c.Time < checkins[i-1].Time {
 			return nil, fmt.Errorf("dynamic: check-ins not time sorted at index %d", i)
+		}
+		for ei < len(edges) && edges[ei].Time <= c.Time {
+			if ei > 0 && edges[ei].Time < edges[ei-1].Time {
+				return nil, fmt.Errorf("dynamic: edge events not time sorted at index %d", ei)
+			}
+			e := edges[ei]
+			if err := apply(e.U, e.V, e.Insert); err != nil {
+				return nil, fmt.Errorf("dynamic: edge event (%d,%d) at day %.3f: %w", e.U, e.V, e.Time, err)
+			}
+			ei++
 		}
 		g.SetLoc(c.User, c.Loc)
 		if c.Time < splitTime || !isTracked[c.User] {
@@ -46,10 +102,26 @@ func Replay(g *graph.Graph, checkins []gen.Checkin, tracked []graph.V, splitTime
 		}
 		members, mcc, err := search(c.User, k)
 		if err != nil {
-			continue // no community at this instant; Figure 13 skips these
+			if errors.Is(err, core.ErrNoCommunity) {
+				continue // no community at this instant; Figure 13 skips these
+			}
+			// Anything else is a genuine failure, not an empty snapshot —
+			// swallowing it would silently truncate the timelines.
+			return nil, fmt.Errorf("dynamic: search for user %d at day %.3f: %w", c.User, c.Time, err)
 		}
 		snap := Snapshot{Time: c.Time, Members: append([]graph.V(nil), members...), MCC: mcc}
 		out[c.User] = append(out[c.User], snap)
+	}
+	// Trailing edge events (after the last check-in) still apply, leaving
+	// the graph at its true final state.
+	for ; ei < len(edges); ei++ {
+		if ei > 0 && edges[ei].Time < edges[ei-1].Time {
+			return nil, fmt.Errorf("dynamic: edge events not time sorted at index %d", ei)
+		}
+		e := edges[ei]
+		if err := apply(e.U, e.V, e.Insert); err != nil {
+			return nil, fmt.Errorf("dynamic: edge event (%d,%d) at day %.3f: %w", e.U, e.V, e.Time, err)
+		}
 	}
 	return out, nil
 }

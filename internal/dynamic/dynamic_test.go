@@ -1,7 +1,10 @@
 package dynamic
 
 import (
+	"errors"
 	"math"
+	"sort"
+	"strings"
 	"testing"
 
 	"sacsearch/internal/core"
@@ -162,5 +165,108 @@ func TestDecayEndToEnd(t *testing.T) {
 	}
 	if points[1].CJS > points[0].CJS+0.15 {
 		t.Fatalf("CJS did not decay: η=0.25 → %v, η=20 → %v", points[0].CJS, points[1].CJS)
+	}
+}
+
+// TestReplayPropagatesGenuineErrors pins the error contract: only
+// core.ErrNoCommunity snapshots are skipped; any other search failure aborts
+// the replay, wrapped with the user and time it happened at.
+func TestReplayPropagatesGenuineErrors(t *testing.T) {
+	g := movingWorld()
+	checkins := []gen.Checkin{
+		{User: 0, Time: 1, Loc: geom.Point{X: 0.1, Y: 0.1}},
+		{User: 0, Time: 2, Loc: geom.Point{X: 0.1, Y: 0.1}},
+	}
+	boom := errors.New("searcher exploded")
+	calls := 0
+	search := func(q graph.V, k int) ([]graph.V, geom.Circle, error) {
+		calls++
+		if calls == 1 {
+			return nil, geom.Circle{}, core.ErrNoCommunity // skipped, not fatal
+		}
+		return nil, geom.Circle{}, boom
+	}
+	_, err := Replay(g, checkins, []graph.V{0}, 0, 2, search)
+	if err == nil {
+		t.Fatal("genuine search error swallowed")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap the search failure", err)
+	}
+	if !strings.Contains(err.Error(), "user 0") || !strings.Contains(err.Error(), "2.000") {
+		t.Fatalf("error %q lacks user/time context", err)
+	}
+	if calls != 2 {
+		t.Fatalf("search called %d times, want 2 (ErrNoCommunity must not abort)", calls)
+	}
+}
+
+// TestReplayWithEdgesChangesCommunities replays friendship churn: deleting
+// the {1,2} tie at day 5 breaks user 0's home triangle (the search falls
+// back to the far triangle {0,3,4}), and re-inserting it at day 8 restores
+// the home community — each snapshot sees the topology of its instant.
+func TestReplayWithEdgesChangesCommunities(t *testing.T) {
+	g := movingWorld()
+	s := core.NewSearcher(g)
+	var checkins []gen.Checkin
+	for day := 1; day <= 10; day++ {
+		checkins = append(checkins, gen.Checkin{User: 0, Time: float64(day), Loc: geom.Point{X: 0.1, Y: 0.1}})
+	}
+	edges := []gen.EdgeEvent{
+		{U: 1, V: 2, Time: 4.5, Insert: false},
+		{U: 1, V: 2, Time: 7.5, Insert: true},
+	}
+	timelines, err := ReplayWithEdges(g, checkins, edges, []graph.V{0}, 0, 2, searchWith(s), ApplyVia(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := timelines[0]
+	if len(snaps) != 10 {
+		t.Fatalf("snapshots = %d, want 10", len(snaps))
+	}
+	wantHome := []graph.V{0, 1, 2}
+	wantFar := []graph.V{0, 3, 4}
+	for _, sn := range snaps {
+		want := wantHome
+		if sn.Time > 4.5 && sn.Time < 7.5 {
+			want = wantFar
+		}
+		got := append([]graph.V(nil), sn.Members...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != len(want) {
+			t.Fatalf("day %.0f: members %v, want %v", sn.Time, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("day %.0f: members %v, want %v", sn.Time, got, want)
+			}
+		}
+	}
+	// The replayed searcher ends bit-identical to one built fresh on the
+	// final topology (the edge was restored, so core numbers match too).
+	fresh := core.NewSearcher(g)
+	for v := 0; v < g.NumVertices(); v++ {
+		if s.CoreNumber(graph.V(v)) != fresh.CoreNumber(graph.V(v)) {
+			t.Fatalf("core[%d]: replayed %d != fresh %d", v, s.CoreNumber(graph.V(v)), fresh.CoreNumber(graph.V(v)))
+		}
+	}
+}
+
+// TestReplayWithEdgesValidation covers the edge-stream error paths.
+func TestReplayWithEdgesValidation(t *testing.T) {
+	g := movingWorld()
+	s := core.NewSearcher(g)
+	checkins := []gen.Checkin{{User: 0, Time: 1, Loc: geom.Point{X: 0.1, Y: 0.1}}}
+	edges := []gen.EdgeEvent{{U: 1, V: 2, Time: 0.5}}
+	if _, err := ReplayWithEdges(g, checkins, edges, nil, 0, 2, searchWith(s), nil); err == nil {
+		t.Fatal("edge events without an apply function accepted")
+	}
+	unsorted := []gen.EdgeEvent{{U: 1, V: 2, Time: 0.8}, {U: 1, V: 2, Time: 0.2, Insert: true}}
+	if _, err := ReplayWithEdges(g, checkins, unsorted, nil, 0, 2, searchWith(s), ApplyVia(s)); err == nil {
+		t.Fatal("unsorted edge events accepted")
+	}
+	bad := []gen.EdgeEvent{{U: 1, V: 99, Time: 0.5, Insert: true}}
+	if _, err := ReplayWithEdges(movingWorld(), checkins, bad, nil, 0, 2, searchWith(s), ApplyVia(s)); err == nil {
+		t.Fatal("out-of-range edge event accepted")
 	}
 }

@@ -10,14 +10,19 @@ import (
 	"sacsearch/internal/batch"
 	"sacsearch/internal/core"
 	"sacsearch/internal/dataset"
+	"sacsearch/internal/gen"
+	"sacsearch/internal/graph"
+	"sacsearch/internal/kcore"
 )
 
 // Perf tracking. `sacbench -benchjson <path>` emits a machine-readable
 // snapshot of the query hot path — repeated-query throughput with the
-// candidate cache on/off, hot-path allocations, and batch scaling across
-// worker counts — so the performance trajectory is recorded PR over PR
-// (BENCH_1.json is the first point). Measurements use testing.Benchmark so
-// ns/op and allocs/op match what `go test -bench` reports.
+// candidate cache on/off, hot-path allocations, batch scaling across worker
+// counts, and edge-churn throughput (incremental core maintenance vs
+// re-decomposing) — so the performance trajectory is recorded PR over PR
+// (BENCH_1.json, then BENCH_2.json with the churn metric). Measurements use
+// testing.Benchmark so ns/op and allocs/op match what `go test -bench`
+// reports.
 
 // PerfPoint is one measured configuration.
 type PerfPoint struct {
@@ -37,7 +42,7 @@ type BatchScalePoint struct {
 
 // PerfReport is the full snapshot sacbench writes as JSON.
 type PerfReport struct {
-	Schema     string `json:"schema"` // "sacsearch-bench/1"
+	Schema     string `json:"schema"` // "sacsearch-bench/2"
 	Dataset    string `json:"dataset"`
 	Scale      float64 `json:"scale"`
 	Queries    int     `json:"queries"`
@@ -54,7 +59,25 @@ type PerfReport struct {
 	// Batch execution of the workload across worker counts.
 	BatchScaling []BatchScalePoint `json:"batchScaling"`
 
+	// Edge churn: one friendship insert-or-delete applied with incremental
+	// core maintenance versus a full re-decomposition per update.
+	EdgeChurn EdgeChurnPerf `json:"edgeChurn"`
+
 	ElapsedMillis int64 `json:"elapsedMillis"`
+}
+
+// EdgeChurnPerf is the dynamic-topology throughput measurement.
+type EdgeChurnPerf struct {
+	// IncrementalNsPerOp is one ApplyEdgeInsert/ApplyEdgeRemove, delta-CSR
+	// write and traversal-style core repair included.
+	IncrementalNsPerOp float64 `json:"incrementalNsPerOp"`
+	// RedecomposeNsPerOp is the same graph mutation followed by a from-
+	// scratch O(m) core decomposition — the cost without the maintainer.
+	RedecomposeNsPerOp float64 `json:"redecomposeNsPerOp"`
+	// Speedup = redecompose ÷ incremental.
+	Speedup float64 `json:"speedup"`
+	// UpdatesPerSecond is the sustained incremental churn rate.
+	UpdatesPerSecond float64 `json:"updatesPerSecond"`
 }
 
 // Perf measures the report on cfg's first dataset.
@@ -73,7 +96,7 @@ func Perf(cfg Config) (*PerfReport, error) {
 		return nil, errNoQueries(name)
 	}
 	rep := &PerfReport{
-		Schema:     "sacsearch-bench/1",
+		Schema:     "sacsearch-bench/2",
 		Dataset:    name,
 		Scale:      cfg.Scale,
 		Queries:    len(queries),
@@ -146,6 +169,48 @@ func Perf(cfg Config) (*PerfReport, error) {
 			NsPerQuery: nsPerQuery,
 			Speedup:    sp,
 		})
+	}
+
+	// Edge churn on a clone (the batch graph above must stay untouched).
+	// The same event sequence drives both measurements; inserts and deletes
+	// alternate through it, so the edge set stays near its original size.
+	churn := gen.EdgeChurn(ds.Graph, gen.EdgeChurnConfig{Days: 1, Events: 512, InsertFrac: 0.5}, cfg.Seed+2)
+	if len(churn) > 0 {
+		applyOn := func(g *graph.Graph, s *core.Searcher, i int) {
+			e := churn[i%len(churn)]
+			if g.HasEdge(e.U, e.V) {
+				_, _ = s.ApplyEdgeRemove(e.U, e.V)
+			} else {
+				_, _ = s.ApplyEdgeInsert(e.U, e.V)
+			}
+		}
+		gInc := ds.Graph.Clone()
+		sInc := core.NewSearcher(gInc)
+		rInc := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				applyOn(gInc, sInc, i)
+			}
+		})
+		gRe := ds.Graph.Clone()
+		rRe := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := churn[i%len(churn)]
+				if gRe.HasEdge(e.U, e.V) {
+					gRe.RemoveEdge(e.U, e.V)
+				} else {
+					gRe.AddEdge(e.U, e.V)
+				}
+				kcore.Decompose(gRe)
+			}
+		})
+		rep.EdgeChurn = EdgeChurnPerf{
+			IncrementalNsPerOp: float64(rInc.NsPerOp()),
+			RedecomposeNsPerOp: float64(rRe.NsPerOp()),
+		}
+		if rep.EdgeChurn.IncrementalNsPerOp > 0 {
+			rep.EdgeChurn.Speedup = rep.EdgeChurn.RedecomposeNsPerOp / rep.EdgeChurn.IncrementalNsPerOp
+			rep.EdgeChurn.UpdatesPerSecond = 1e9 / rep.EdgeChurn.IncrementalNsPerOp
+		}
 	}
 
 	rep.ElapsedMillis = time.Since(start).Milliseconds()

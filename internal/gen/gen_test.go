@@ -228,3 +228,47 @@ func TestSelectMovers(t *testing.T) {
 }
 
 func pt(x, y float64) geom.Point { return geom.Point{X: x, Y: y} }
+
+func TestEdgeChurn(t *testing.T) {
+	b := SocialGraph(400, 2400, 5)
+	PlaceSpatial(b, DefaultDistMean, DefaultDistSigma, 6)
+	g := b.Build()
+	cfg := DefaultEdgeChurnConfig()
+	cfg.Events = 300
+	events := EdgeChurn(g, cfg, 9)
+	if len(events) != cfg.Events {
+		t.Fatalf("events = %d, want %d", len(events), cfg.Events)
+	}
+	inserts := 0
+	for i, e := range events {
+		if i > 0 && e.Time < events[i-1].Time {
+			t.Fatalf("events not time sorted at %d", i)
+		}
+		if e.Time < 0 || e.Time > cfg.Days {
+			t.Fatalf("event %d outside the stream window: %v", i, e.Time)
+		}
+		if e.U == e.V {
+			t.Fatalf("event %d is a self-loop", i)
+		}
+		if e.Insert {
+			inserts++
+			if g.HasEdge(e.U, e.V) {
+				t.Fatalf("insert event %d proposes an existing edge (%d,%d)", i, e.U, e.V)
+			}
+		} else if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("delete event %d references a missing edge (%d,%d)", i, e.U, e.V)
+		}
+	}
+	frac := float64(inserts) / float64(len(events))
+	if frac < cfg.InsertFrac-0.15 || frac > cfg.InsertFrac+0.15 {
+		t.Fatalf("insert fraction %.2f far from configured %.2f", frac, cfg.InsertFrac)
+	}
+	// Replayable: every event applies cleanly or no-ops against a live graph.
+	for _, e := range events {
+		if e.Insert {
+			g.AddEdge(e.U, e.V)
+		} else {
+			g.RemoveEdge(e.U, e.V)
+		}
+	}
+}

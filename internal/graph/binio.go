@@ -35,7 +35,10 @@ var binMagic = [8]byte{'S', 'A', 'C', 'G', 'R', 'P', 'H', '1'}
 // multi-terabyte allocation.
 const maxBinVertices = 1 << 31
 
-// WriteBinary serializes g to w in the binary CSR format.
+// WriteBinary serializes g to w in the binary CSR format. Adjacency rows go
+// through Neighbors, which merges the delta layer, so a graph mid-churn
+// serializes its current edge set without being mutated — WriteBinary is a
+// pure reader and may run under the same read lock as queries.
 func WriteBinary(w io.Writer, g *Graph) error {
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<20)
@@ -63,14 +66,23 @@ func WriteBinary(w io.Writer, g *Graph) error {
 		_, err := bw.Write(b4[:])
 		return err
 	}
-	for _, o := range g.offsets {
-		if err := writeI32(o); err != nil {
+	// Offsets are recomputed from the merged adjacency rather than dumped
+	// from g.offsets, which goes stale for patched vertices.
+	off := int32(0)
+	if err := writeI32(off); err != nil {
+		return fmt.Errorf("graph: writing offsets: %w", err)
+	}
+	for v := 0; v < n; v++ {
+		off += int32(g.Degree(V(v)))
+		if err := writeI32(off); err != nil {
 			return fmt.Errorf("graph: writing offsets: %w", err)
 		}
 	}
-	for _, v := range g.adj {
-		if err := writeI32(v); err != nil {
-			return fmt.Errorf("graph: writing adjacency: %w", err)
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(V(v)) {
+			if err := writeI32(u); err != nil {
+				return fmt.Errorf("graph: writing adjacency: %w", err)
+			}
 		}
 	}
 	var b8 [8]byte
@@ -222,5 +234,5 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: checksum mismatch (file %08x, computed %08x)", got, wantSum)
 	}
 
-	return &Graph{offsets: offsets, adj: adj, locs: locs, m: int(m)}, nil
+	return &Graph{n: int(n), offsets: offsets, adj: adj, locs: locs, m: int(m)}, nil
 }

@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dynamic topology. A built Graph stores its adjacency in CSR form, which is
+// compact and cache-friendly but cannot absorb edge churn in place. AddEdge
+// and RemoveEdge therefore write through a delta layer: the first mutation
+// touching a vertex copies its CSR row into an owned, sorted slice in the
+// patched map (copy-on-write), and every later read of that vertex serves the
+// patched row instead of the CSR row. Merging happens at write time — O(deg)
+// per endpoint — so Neighbors stays allocation-free and safe for concurrent
+// readers between mutations, which is what the server's RWMutex discipline
+// (queries under RLock, mutations under Lock) relies on.
+//
+// When the patched fraction grows past compactFraction the delta layer is
+// folded back into a fresh CSR (Compact), bounding both the map overhead and
+// the scatter of patched rows. Compaction changes the representation, never
+// the topology: the topology epoch is NOT bumped, so caches keyed on it stay
+// valid across a compaction.
+//
+// Mutating topology invalidates every topology-derived structure built from
+// the graph — core decompositions, candidate caches, spatial candidate
+// indexes. Consumers detect staleness by comparing TopoEpoch; core numbers
+// are kept current incrementally by kcore.Maintainer (or a Searcher's
+// ApplyEdgeInsert/ApplyEdgeRemove, which wraps one).
+
+// compactMinPatched and compactFraction gate automatic compaction: the delta
+// layer is folded into the CSR when more than 1/compactFraction of the
+// vertices carry patched rows (and at least compactMinPatched do, so tiny
+// graphs don't thrash).
+const (
+	compactMinPatched = 64
+	compactFraction   = 4
+)
+
+// TopoEpoch returns the topology version: it changes whenever AddEdge or
+// RemoveEdge mutates the edge set. Consumers that cache topology-derived
+// data (community memberships, induced subgraphs) compare epochs to decide
+// whether the cache is still valid. Compaction does not change it.
+func (g *Graph) TopoEpoch() uint64 { return g.topoEpoch }
+
+// PatchedVertices returns the number of vertices whose adjacency currently
+// lives in the delta layer rather than the CSR. Zero after Compact.
+func (g *Graph) PatchedVertices() int { return len(g.patched) }
+
+// AddEdge inserts the undirected edge {u, v}. It reports whether the edge
+// set changed: self-loops and already-present edges return false. Vertices
+// out of range panic, matching Builder.AddEdge. Not safe for concurrent use
+// with readers.
+func (g *Graph) AddEdge(u, v V) bool {
+	if u == v {
+		return false
+	}
+	n := g.NumVertices()
+	if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, n))
+	}
+	if g.HasEdge(u, v) {
+		return false
+	}
+	g.insertArc(u, v)
+	g.insertArc(v, u)
+	g.m++
+	g.topoEpoch++
+	g.maybeCompact()
+	return true
+}
+
+// RemoveEdge deletes the undirected edge {u, v}. It reports whether the edge
+// existed. Vertices out of range panic. Not safe for concurrent use with
+// readers.
+func (g *Graph) RemoveEdge(u, v V) bool {
+	if u == v {
+		return false
+	}
+	n := g.NumVertices()
+	if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, n))
+	}
+	if !g.HasEdge(u, v) {
+		return false
+	}
+	g.removeArc(u, v)
+	g.removeArc(v, u)
+	g.m--
+	g.topoEpoch++
+	g.maybeCompact()
+	return true
+}
+
+// patchRow returns v's adjacency as an owned, mutable slice, copying the CSR
+// row into the delta layer on first touch.
+func (g *Graph) patchRow(v V) []V {
+	if g.patched == nil {
+		g.patched = make(map[V][]V)
+	}
+	nb, ok := g.patched[v]
+	if !ok {
+		base := g.adj[g.offsets[v]:g.offsets[v+1]]
+		nb = make([]V, len(base), len(base)+4)
+		copy(nb, base)
+		g.patched[v] = nb
+	}
+	return nb
+}
+
+// insertArc adds v to u's adjacency row, keeping it sorted.
+func (g *Graph) insertArc(u, v V) {
+	nb := g.patchRow(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+	nb = append(nb, 0)
+	copy(nb[i+1:], nb[i:])
+	nb[i] = v
+	g.patched[u] = nb
+}
+
+// removeArc deletes v from u's adjacency row. The caller has already checked
+// the edge exists.
+func (g *Graph) removeArc(u, v V) {
+	nb := g.patchRow(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+	g.patched[u] = append(nb[:i], nb[i+1:]...)
+}
+
+// maybeCompact folds the delta layer into the CSR when it has grown past the
+// compaction thresholds.
+func (g *Graph) maybeCompact() {
+	if len(g.patched) > compactMinPatched && len(g.patched)*compactFraction > g.NumVertices() {
+		g.Compact()
+	}
+}
+
+// Compact rebuilds the CSR from the current (CSR + delta) adjacency and
+// clears the delta layer. Topology is unchanged, so the topology epoch is
+// not bumped and Neighbors results are identical before and after; only the
+// backing representation moves. Not safe for concurrent use with readers.
+func (g *Graph) Compact() {
+	if len(g.patched) == 0 {
+		g.patched = nil
+		return
+	}
+	n := g.NumVertices()
+	offsets := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + int32(len(g.Neighbors(V(v))))
+	}
+	adj := make([]V, offsets[n])
+	for v := 0; v < n; v++ {
+		copy(adj[offsets[v]:offsets[v+1]], g.Neighbors(V(v)))
+	}
+	g.offsets = offsets
+	g.adj = adj
+	g.patched = nil
+}

@@ -4,8 +4,11 @@
 // compressed sparse row (CSR) form so neighbor iteration is allocation-free.
 //
 // Locations are mutable (SetLoc) because the dynamic experiment of Section
-// 5.2.3 replays check-ins that move users; the topology of a built Graph is
-// immutable.
+// 5.2.3 replays check-ins that move users. Topology is mutable too — real
+// geo-social backends churn friendships, not just locations — through a
+// copy-on-write delta layer over the CSR (AddEdge, RemoveEdge, dynamic.go)
+// that is periodically compacted back into CSR form; a separate topology
+// epoch versions the edge set the way the location epoch versions locations.
 package graph
 
 import (
@@ -23,21 +26,40 @@ type V = int32
 
 // Graph is an undirected spatial graph in CSR form.
 type Graph struct {
+	// n is the vertex count. It is immutable for the life of the Graph and
+	// deliberately NOT derived from offsets: Compact replaces the offsets
+	// slice under topology mutation, so every accessor that must stay safe
+	// without the caller's lock (NumVertices, and through it range checks
+	// and Searcher.Clone scratch sizing) reads this field instead.
+	n int
+
 	offsets []int32 // len n+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
 	adj     []V
-	locs    []geom.Point
-	m       int      // number of undirected edges
-	labels  []string // optional external vertex names; may be nil
+
+	// patched holds the adjacency rows mutated since the last compaction:
+	// AddEdge/RemoveEdge copy a vertex's CSR row here on first touch and
+	// edit the copy in place (see dynamic.go). nil when the graph has no
+	// pending deltas, which keeps the static read path at one nil check.
+	patched map[V][]V
+
+	locs   []geom.Point
+	m      int      // number of undirected edges
+	labels []string // optional external vertex names; may be nil
 
 	// locEpoch counts SetLoc calls. Location-derived caches (sorted candidate
 	// distances, spatial indexes) validate against it instead of re-deriving
-	// from scratch on every query: topology is immutable, so a cache is stale
-	// only when the epoch moved.
+	// from scratch on every query: a cache is stale only when the epoch moved.
 	locEpoch uint64
+	// topoEpoch counts AddEdge/RemoveEdge calls, versioning the edge set the
+	// same way. Topology-derived caches (community memberships, induced
+	// subgraphs, core numbers) validate against it.
+	topoEpoch uint64
 }
 
-// NumVertices returns |V|.
-func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
+// NumVertices returns |V|. Safe to call concurrently with topology
+// mutation (the count never changes); everything else on a mutating Graph
+// needs the caller's usual locking.
+func (g *Graph) NumVertices() int { return g.n }
 
 // NumEdges returns |E| (undirected edges counted once).
 func (g *Graph) NumEdges() int { return g.m }
@@ -51,14 +73,25 @@ func (g *Graph) AvgDegree() float64 {
 	return 2 * float64(g.m) / float64(n)
 }
 
-// Neighbors returns the adjacency list of v as a shared slice. Callers must
-// not modify it.
+// Neighbors returns the adjacency list of v as a shared slice, sorted
+// ascending. Callers must not modify it; it is valid until the next topology
+// mutation.
 func (g *Graph) Neighbors(v V) []V {
+	if g.patched != nil {
+		if nb, ok := g.patched[v]; ok {
+			return nb
+		}
+	}
 	return g.adj[g.offsets[v]:g.offsets[v+1]]
 }
 
 // Degree returns deg_G(v).
 func (g *Graph) Degree(v V) int {
+	if g.patched != nil {
+		if nb, ok := g.patched[v]; ok {
+			return len(nb)
+		}
+	}
 	return int(g.offsets[v+1] - g.offsets[v])
 }
 
@@ -139,9 +172,11 @@ func (g *Graph) NearestNeighbor(q V) V {
 	return best
 }
 
-// Clone returns a deep copy of the graph. Topology slices are shared (they
-// are immutable); locations and labels are copied so the clone can diverge,
-// which the dynamic-replay experiment relies on.
+// Clone returns a deep copy of the graph. The CSR slices are shared — they
+// are never edited in place (mutations go through the delta layer and
+// compaction replaces them wholesale) — while the delta layer, locations and
+// labels are copied so the clone can diverge, which the dynamic-replay
+// experiments rely on.
 func (g *Graph) Clone() *Graph {
 	locs := make([]geom.Point, len(g.locs))
 	copy(locs, g.locs)
@@ -150,7 +185,18 @@ func (g *Graph) Clone() *Graph {
 		labels = make([]string, len(g.labels))
 		copy(labels, g.labels)
 	}
-	return &Graph{offsets: g.offsets, adj: g.adj, locs: locs, m: g.m, labels: labels, locEpoch: g.locEpoch}
+	var patched map[V][]V
+	if g.patched != nil {
+		patched = make(map[V][]V, len(g.patched))
+		for v, nb := range g.patched {
+			patched[v] = append([]V(nil), nb...)
+		}
+	}
+	return &Graph{
+		n: g.n, offsets: g.offsets, adj: g.adj, patched: patched,
+		locs: locs, m: g.m, labels: labels,
+		locEpoch: g.locEpoch, topoEpoch: g.topoEpoch,
+	}
 }
 
 // Builder accumulates edges and locations, then produces an immutable Graph.
@@ -253,6 +299,6 @@ func (b *Builder) Build() *Graph {
 	for v := 0; v < n; v++ {
 		m += int(outOff[v+1] - outOff[v])
 	}
-	g := &Graph{offsets: outOff, adj: finalAdj, locs: b.locs, m: m / 2}
+	g := &Graph{n: n, offsets: outOff, adj: finalAdj, locs: b.locs, m: m / 2}
 	return g
 }

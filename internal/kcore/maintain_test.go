@@ -1,0 +1,194 @@
+package kcore
+
+import (
+	"math/rand"
+	"testing"
+
+	"sacsearch/internal/gen"
+	"sacsearch/internal/graph"
+)
+
+// requireCoresMatch fails unless the maintained numbers equal a fresh
+// decomposition of g's current topology.
+func requireCoresMatch(t *testing.T, g *graph.Graph, core []int32, step int) {
+	t.Helper()
+	want := Decompose(g)
+	for v := range want {
+		if core[v] != want[v] {
+			t.Fatalf("step %d: core[%d] = %d, want %d (m=%d)", step, v, core[v], want[v], g.NumEdges())
+		}
+	}
+}
+
+func buildRandom(n, m int, seed int64) *graph.Graph {
+	rnd := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := graph.V(rnd.Intn(n)), graph.V(rnd.Intn(n))
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// TestMaintainerInsertSmall pins the worked promotion cases: closing a
+// triangle promotes exactly its vertices, and adding a chord to a cycle
+// promotes nothing.
+func TestMaintainerInsertSmall(t *testing.T) {
+	// Path 0-1-2 plus edge {0,2} closes a triangle: all three go 1 -> 2.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	m := NewMaintainer(g, Decompose(g))
+	if !m.InsertEdge(0, 2) {
+		t.Fatal("InsertEdge(0,2) = false")
+	}
+	want := []int32{2, 2, 2, 1}
+	for v, w := range want {
+		if m.Core()[v] != w {
+			t.Fatalf("core[%d] = %d, want %d", v, m.Core()[v], w)
+		}
+	}
+	// Re-inserting is a no-op.
+	if m.InsertEdge(0, 2) || m.InsertEdge(2, 2) {
+		t.Fatal("duplicate/self-loop insert returned true")
+	}
+	requireCoresMatch(t, g, m.Core(), 0)
+}
+
+// TestMaintainerRemoveSmall pins the demotion cascade: breaking a triangle
+// demotes all three vertices, and the pendant stays put.
+func TestMaintainerRemoveSmall(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	m := NewMaintainer(g, Decompose(g))
+	if !m.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge(0,1) = false")
+	}
+	want := []int32{1, 1, 1, 1}
+	for v, w := range want {
+		if m.Core()[v] != w {
+			t.Fatalf("core[%d] = %d, want %d", v, m.Core()[v], w)
+		}
+	}
+	if m.RemoveEdge(0, 1) {
+		t.Fatal("removing a missing edge returned true")
+	}
+	requireCoresMatch(t, g, m.Core(), 0)
+}
+
+// TestMaintainerDifferentialChurn is the workhorse: random insert/remove
+// sequences over random graphs, verifying after EVERY operation that the
+// maintained numbers equal a from-scratch decomposition.
+func TestMaintainerDifferentialChurn(t *testing.T) {
+	for _, tc := range []struct {
+		n, m0, ops int
+		seed       int64
+	}{
+		{30, 40, 400, 1},   // sparse: lots of promotions from low cores
+		{25, 140, 400, 2},  // dense: high cores, deep cascades
+		{50, 0, 300, 3},    // grown from empty
+		{40, 100, 500, 17}, // mixed
+	} {
+		g := buildRandom(tc.n, tc.m0, tc.seed)
+		m := NewMaintainer(g, Decompose(g))
+		rnd := rand.New(rand.NewSource(tc.seed * 31))
+		for step := 1; step <= tc.ops; step++ {
+			u, v := graph.V(rnd.Intn(tc.n)), graph.V(rnd.Intn(tc.n))
+			if u == v {
+				continue
+			}
+			if g.HasEdge(u, v) && rnd.Float64() < 0.45 {
+				if !m.RemoveEdge(u, v) {
+					t.Fatalf("seed %d step %d: RemoveEdge(%d,%d) = false", tc.seed, step, u, v)
+				}
+			} else if !g.HasEdge(u, v) {
+				if !m.InsertEdge(u, v) {
+					t.Fatalf("seed %d step %d: InsertEdge(%d,%d) = false", tc.seed, step, u, v)
+				}
+			} else {
+				continue
+			}
+			requireCoresMatch(t, g, m.Core(), step)
+		}
+	}
+}
+
+// TestMaintainerSharedSlice verifies in-place maintenance: consumers holding
+// the same slice observe updates without re-fetching.
+func TestMaintainerSharedSlice(t *testing.T) {
+	g := buildRandom(20, 30, 5)
+	core := Decompose(g)
+	shared := core // same backing array
+	m := NewMaintainer(g, core)
+	changed := false
+	rnd := rand.New(rand.NewSource(8))
+	for i := 0; i < 50 && !changed; i++ {
+		u, v := graph.V(rnd.Intn(20)), graph.V(rnd.Intn(20))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		before := append([]int32(nil), shared...)
+		m.InsertEdge(u, v)
+		for x := range shared {
+			if shared[x] != before[x] {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Skip("no insertion changed a core number; fixture too dense")
+	}
+}
+
+// BenchmarkMaintainerChurn measures incremental maintenance against the
+// re-decompose baseline on a power-law social graph, whose diverse core
+// numbers keep subcores community-sized (on uniform-core graphs the level
+// set — and thus the subcore walk — can span the whole graph, and the two
+// approaches converge).
+func BenchmarkMaintainerChurn(b *testing.B) {
+	g := gen.SocialGraph(5000, 25000, 42).Build()
+	m := NewMaintainer(g, Decompose(g))
+	rnd := rand.New(rand.NewSource(7))
+	type op struct {
+		u, v graph.V
+	}
+	ops := make([]op, 1024)
+	for i := range ops {
+		ops[i] = op{graph.V(rnd.Intn(5000)), graph.V(rnd.Intn(5000))}
+	}
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := ops[i%len(ops)]
+			if o.u == o.v {
+				continue
+			}
+			if g.HasEdge(o.u, o.v) {
+				m.RemoveEdge(o.u, o.v)
+			} else {
+				m.InsertEdge(o.u, o.v)
+			}
+		}
+	})
+	b.Run("redecompose", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := ops[i%len(ops)]
+			if o.u == o.v {
+				continue
+			}
+			if g.HasEdge(o.u, o.v) {
+				g.RemoveEdge(o.u, o.v)
+			} else {
+				g.AddEdge(o.u, o.v)
+			}
+			Decompose(g)
+		}
+	})
+}

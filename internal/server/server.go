@@ -11,22 +11,26 @@
 //	POST /api/query             one SAC query
 //	POST /api/batch             many SAC queries, answered in parallel
 //	POST /api/checkin           update one vertex's location (dynamic graphs)
+//	POST /api/edge              insert or delete one friendship edge
 //
-// Concurrency model: the graph's topology and core decomposition are
-// immutable, so queries run on core.Pool workers without coordination —
+// Concurrency model: queries run on core.Pool workers without coordination —
 // each pooled Searcher keeps its scratch space and warmed candidate cache
-// across requests, and batch requests fan out over the same pool. Locations
-// are mutable (check-ins), guarded by a RWMutex — queries hold the read
-// lock, check-ins the write lock; the graph's location epoch invalidates
-// the workers' cached distance orderings automatically. This mirrors the
-// paper's dynamic setting where "a user's location often changes
-// frequently" while the friendship graph is comparatively stable.
+// across requests, and batch requests fan out over the same pool. Mutations
+// are guarded by a RWMutex: queries hold the read lock; check-ins and edge
+// updates the write lock. The graph's location epoch invalidates the
+// workers' cached distance orderings, its topology epoch invalidates their
+// cached community memberships, and edge updates incrementally repair the
+// shared core decomposition (kcore.Maintainer via the base searcher) — so
+// workers never serve a stale community after churn. This extends the
+// paper's dynamic setting ("a user's location often changes frequently") to
+// friendship churn, which real geo-social backends see as well.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -65,6 +69,7 @@ func New(name string, g *graph.Graph) *Server {
 	s.mux.HandleFunc("POST /api/query", s.handleQuery)
 	s.mux.HandleFunc("POST /api/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /api/checkin", s.handleCheckin)
+	s.mux.HandleFunc("POST /api/edge", s.handleEdge)
 	return s
 }
 
@@ -92,13 +97,16 @@ type StatsJSON struct {
 	Algorithm         string `json:"algorithm"`
 }
 
-// QueryRequest is one SAC query.
+// QueryRequest is one SAC query. The epsilon fields are pointers so the wire
+// distinguishes "absent → server default" from an explicit zero: AppFast(0)
+// is a legitimate request (it degenerates to the AppInc answer) that a plain
+// float64 field could never express.
 type QueryRequest struct {
-	Q    graph.V `json:"q"`
-	K    int     `json:"k"`
-	Algo string  `json:"algo"`           // appfast | appinc | appacc | exact+ | exact | theta
-	EpsF float64 `json:"epsF,omitempty"` // AppFast (default 0.5)
-	EpsA float64 `json:"epsA,omitempty"` // AppAcc / Exact+ (defaults 0.5 / 1e-3)
+	Q    graph.V  `json:"q"`
+	K    int      `json:"k"`
+	Algo string   `json:"algo"`           // appfast | appinc | appacc | exact+ | exact | theta
+	EpsF *float64 `json:"epsF,omitempty"` // AppFast (default 0.5)
+	EpsA *float64 `json:"epsA,omitempty"` // AppAcc / Exact+ (defaults 0.5 / 1e-3)
 	// Theta is θ-SAC's radius (required when algo = "theta").
 	Theta float64 `json:"theta,omitempty"`
 }
@@ -113,16 +121,17 @@ type QueryResponse struct {
 	Stats   StatsJSON  `json:"stats"`
 }
 
-// BatchRequest is a set of queries answered together.
+// BatchRequest is a set of queries answered together. Epsilons are pointers
+// for the same absent-versus-zero reason as QueryRequest.
 type BatchRequest struct {
 	Queries []struct {
 		Q graph.V `json:"q"`
 		K int     `json:"k"`
 	} `json:"queries"`
-	Algo    string  `json:"algo,omitempty"`
-	EpsF    float64 `json:"epsF,omitempty"`
-	EpsA    float64 `json:"epsA,omitempty"`
-	Workers int     `json:"workers,omitempty"`
+	Algo    string   `json:"algo,omitempty"`
+	EpsF    *float64 `json:"epsF,omitempty"`
+	EpsA    *float64 `json:"epsA,omitempty"`
+	Workers int      `json:"workers,omitempty"`
 }
 
 // BatchResponse carries per-query answers; failed queries have Error set.
@@ -146,6 +155,22 @@ type CheckinRequest struct {
 	Y float64 `json:"y"`
 }
 
+// EdgeRequest inserts or deletes one undirected friendship edge.
+type EdgeRequest struct {
+	U  graph.V `json:"u"`
+	V  graph.V `json:"v"`
+	Op string  `json:"op"` // insert | delete
+}
+
+// EdgeResponse reports the outcome of an edge update. Changed is false when
+// the request was a no-op (inserting a present edge, deleting an absent
+// one); Edges is the undirected edge count afterwards.
+type EdgeResponse struct {
+	OK      bool `json:"ok"`
+	Changed bool `json:"changed"`
+	Edges   int  `json:"edges"`
+}
+
 // errorJSON is the error envelope.
 type errorJSON struct {
 	Error string `json:"error"`
@@ -154,11 +179,16 @@ type errorJSON struct {
 // --- handlers ---------------------------------------------------------------
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	edges := s.g.NumEdges()
+	topo := s.g.TopoEpoch()
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"dataset":  s.name,
-		"vertices": s.g.NumVertices(),
-		"edges":    s.g.NumEdges(),
+		"status":    "ok",
+		"dataset":   s.name,
+		"vertices":  s.g.NumVertices(),
+		"edges":     edges,
+		"topoEpoch": topo,
 	})
 }
 
@@ -182,13 +212,15 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 	v := graph.V(id)
 	s.mu.RLock()
 	loc := s.g.Loc(v)
+	degree := s.g.Degree(v)
+	coreNum := s.base.CoreNumber(v)
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"id":     v,
 		"x":      loc.X,
 		"y":      loc.Y,
-		"degree": s.g.Degree(v),
-		"core":   s.base.CoreNumber(v),
+		"degree": degree,
+		"core":   coreNum,
 	})
 }
 
@@ -210,6 +242,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, toQueryResponse(req.Algo, res))
 }
 
+// epsOrDefault dereferences an optional wire epsilon. An explicit value is
+// passed through verbatim — zero included — so clients can request
+// AppFast(0); only an absent field falls back to the server default.
+func epsOrDefault(p *float64, def float64) (float64, error) {
+	if p == nil {
+		return def, nil
+	}
+	if math.IsNaN(*p) || math.IsInf(*p, 0) {
+		return 0, fmt.Errorf("server: epsilon %v is not finite", *p)
+	}
+	return *p, nil
+}
+
 // runQuery dispatches one request on a pooled searcher under the read lock.
 func (s *Server) runQuery(req QueryRequest) (*core.Result, error) {
 	searcher := s.pool.Get()
@@ -218,30 +263,30 @@ func (s *Server) runQuery(req QueryRequest) (*core.Result, error) {
 	defer s.mu.RUnlock()
 	switch req.Algo {
 	case "", "appfast":
-		epsF := req.EpsF
-		if epsF == 0 {
-			epsF = 0.5
+		epsF, err := epsOrDefault(req.EpsF, 0.5)
+		if err != nil {
+			return nil, err
 		}
 		return searcher.AppFast(req.Q, req.K, epsF)
 	case "appinc":
 		return searcher.AppInc(req.Q, req.K)
 	case "appacc":
-		epsA := req.EpsA
-		if epsA == 0 {
-			epsA = 0.5
+		epsA, err := epsOrDefault(req.EpsA, 0.5)
+		if err != nil {
+			return nil, err
 		}
 		return searcher.AppAcc(req.Q, req.K, epsA)
 	case "exact+":
-		epsA := req.EpsA
-		if epsA == 0 {
-			epsA = 1e-3
+		epsA, err := epsOrDefault(req.EpsA, 1e-3)
+		if err != nil {
+			return nil, err
 		}
 		return searcher.ExactPlus(req.Q, req.K, epsA)
 	case "exact":
 		return searcher.Exact(req.Q, req.K)
 	case "theta":
-		if req.Theta <= 0 {
-			return nil, fmt.Errorf("server: algo \"theta\" requires theta > 0")
+		if !(req.Theta > 0) || math.IsInf(req.Theta, 0) {
+			return nil, fmt.Errorf("server: algo \"theta\" requires finite theta > 0")
 		}
 		return searcher.ThetaSAC(req.Q, req.K, req.Theta)
 	default:
@@ -259,7 +304,28 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorJSON{"empty batch"})
 		return
 	}
-	opt := batch.Options{Workers: req.Workers, EpsF: req.EpsF, EpsA: req.EpsA}
+	opt := batch.Options{Workers: req.Workers}
+	if req.EpsF != nil {
+		epsF, err := epsOrDefault(req.EpsF, 0)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+			return
+		}
+		// EpsFSet marks the value as deliberate so batch does not coerce an
+		// explicit 0 (AppFast(0), the AppInc answer) back to its default.
+		opt.EpsF, opt.EpsFSet = epsF, true
+	}
+	if req.EpsA != nil {
+		epsA, err := epsOrDefault(req.EpsA, 0)
+		if err == nil && (epsA <= 0 || epsA >= 1) {
+			err = fmt.Errorf("server: epsA = %v must be in (0,1)", epsA)
+		}
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+			return
+		}
+		opt.EpsA = epsA
+	}
 	switch req.Algo {
 	case "", "appfast":
 		opt.Algorithm = batch.AlgoAppFast
@@ -307,11 +373,62 @@ func (s *Server) handleCheckin(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorJSON{fmt.Sprintf("unknown vertex %d", req.V)})
 		return
 	}
+	// Reject non-finite coordinates before they reach the graph: NaN poisons
+	// every distance sort it touches and ±Inf breaks geom.MCC, silently, on
+	// queries that may run long after this request returned 200.
+	if !finite(req.X) || !finite(req.Y) {
+		writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("coordinates (%v, %v) must be finite", req.X, req.Y)})
+		return
+	}
 	s.mu.Lock()
 	s.g.SetLoc(req.V, geom.Point{X: req.X, Y: req.Y})
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 }
+
+// handleEdge mutates the friendship graph. Updates run under the write lock
+// and go through the base searcher, which repairs the shared core
+// decomposition incrementally; pooled workers pick the change up via the
+// graph's topology epoch on their next query.
+func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
+	var req EdgeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{"invalid JSON: " + err.Error()})
+		return
+	}
+	for _, v := range [2]graph.V{req.U, req.V} {
+		if v < 0 || int(v) >= s.g.NumVertices() {
+			writeJSON(w, http.StatusNotFound, errorJSON{fmt.Sprintf("unknown vertex %d", v)})
+			return
+		}
+	}
+	if req.U == req.V {
+		writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("self-loop (%d,%d) rejected", req.U, req.V)})
+		return
+	}
+	var apply func(u, v graph.V) (bool, error)
+	switch req.Op {
+	case "insert":
+		apply = s.base.ApplyEdgeInsert
+	case "delete":
+		apply = s.base.ApplyEdgeRemove
+	default:
+		writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("unknown op %q (want insert or delete)", req.Op)})
+		return
+	}
+	s.mu.Lock()
+	changed, err := apply(req.U, req.V)
+	edges := s.g.NumEdges()
+	s.mu.Unlock()
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorJSON{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, EdgeResponse{OK: true, Changed: changed, Edges: edges})
+}
+
+// finite reports whether f is neither NaN nor ±Inf.
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
 
 // toQueryResponse converts a core result to the wire shape.
 func toQueryResponse(algo string, res *core.Result) QueryResponse {

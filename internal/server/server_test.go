@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -328,6 +329,282 @@ func TestConcurrentQueriesAndCheckins(t *testing.T) {
 						return
 					}
 					resp.Body.Close()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// telescopeGraph nests triangles through q = 0 at radii 0.10, 0.11, ...,
+// 0.15: pair i sits at distance d_i from q with an edge between its two
+// vertices, so every prefix {q, pairs 0..i} is feasible for k = 2 with a
+// distinct community. AppFast's alpha cut stops at the 7-member community
+// for εF = 0.5 but refines to the innermost triangle for εF = 0 — the
+// observable that pins explicit-zero epsilons not being coerced to defaults.
+func telescopeGraph() *graph.Graph {
+	const pairs = 6
+	b := graph.NewBuilder(1 + 2*pairs)
+	b.SetLoc(0, geom.Point{X: 0.5, Y: 0.5})
+	for i := 0; i < pairs; i++ {
+		d := 0.10 + 0.01*float64(i)
+		a, c := graph.V(1+2*i), graph.V(2+2*i)
+		thA := float64(i) * 0.5
+		thC := thA + 0.17
+		b.SetLoc(a, geom.Point{X: 0.5 + d*math.Cos(thA), Y: 0.5 + d*math.Sin(thA)})
+		b.SetLoc(c, geom.Point{X: 0.5 + d*math.Cos(thC), Y: 0.5 + d*math.Sin(thC)})
+		b.AddEdge(0, a)
+		b.AddEdge(0, c)
+		b.AddEdge(a, c)
+	}
+	return b.Build()
+}
+
+// TestQueryExplicitZeroEpsF pins the wire semantics satellite: an absent
+// epsF means the 0.5 default, while an explicit 0 must reach AppFast(0)
+// instead of being coerced back to the default.
+func TestQueryExplicitZeroEpsF(t *testing.T) {
+	ts := httptest.NewServer(New("telescope", telescopeGraph()))
+	t.Cleanup(ts.Close)
+
+	_, body := postJSON(t, ts.URL+"/api/query", QueryRequest{Q: 0, K: 2})
+	var def QueryResponse
+	if err := json.Unmarshal(body, &def); err != nil {
+		t.Fatal(err)
+	}
+	zero := 0.0
+	_, body = postJSON(t, ts.URL+"/api/query", QueryRequest{Q: 0, K: 2, EpsF: &zero})
+	var exact QueryResponse
+	if err := json.Unmarshal(body, &exact); err != nil {
+		t.Fatal(err)
+	}
+	if len(def.Members) != 7 {
+		t.Fatalf("default epsF members = %v, want the 7-member alpha-cut community", def.Members)
+	}
+	if len(exact.Members) != 3 {
+		t.Fatalf("epsF=0 members = %v, want the innermost triangle", exact.Members)
+	}
+	if exact.MCC.R >= def.MCC.R {
+		t.Fatalf("epsF=0 radius %v not tighter than default %v", exact.MCC.R, def.MCC.R)
+	}
+
+	// The batch path plumbs the same distinction through EpsFSet.
+	mkBatch := func(epsF *float64) BatchRequest {
+		req := BatchRequest{EpsF: epsF}
+		req.Queries = append(req.Queries, struct {
+			Q graph.V `json:"q"`
+			K int     `json:"k"`
+		}{0, 2})
+		return req
+	}
+	var out BatchResponse
+	_, body = postJSON(t, ts.URL+"/api/batch", mkBatch(nil))
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != 1 || len(out.Items[0].Members) != 7 {
+		t.Fatalf("batch default epsF = %+v, want 7 members", out.Items)
+	}
+	_, body = postJSON(t, ts.URL+"/api/batch", mkBatch(&zero))
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != 1 || len(out.Items[0].Members) != 3 {
+		t.Fatalf("batch epsF=0 = %+v, want 3 members", out.Items)
+	}
+}
+
+// TestNonFiniteInputsRejected covers the NaN/Inf validation satellite:
+// check-ins and epsilons that would silently poison distance sorts and MCC
+// computation come back as 400s.
+func TestNonFiniteInputsRejected(t *testing.T) {
+	ts, g := newTestServer(t)
+	before := g.Loc(3)
+	for _, bad := range []CheckinRequest{
+		{V: 3, X: math.NaN(), Y: 0.5},
+		{V: 3, X: 0.5, Y: math.NaN()},
+		{V: 3, X: math.Inf(1), Y: 0.5},
+		{V: 3, X: 0.5, Y: math.Inf(-1)},
+	} {
+		// CheckinRequest marshals NaN/Inf illegally via encoding/json, so
+		// build the body by hand the way a hostile client would.
+		body := fmt.Sprintf(`{"v":%d,"x":%s,"y":%s}`, bad.V, jsonFloat(bad.X), jsonFloat(bad.Y))
+		resp, err := http.Post(ts.URL+"/api/checkin", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("checkin %s: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if g.Loc(3) != before {
+		t.Fatalf("rejected checkin still moved the vertex: %v", g.Loc(3))
+	}
+	// Non-finite epsilons are rejected on both endpoints.
+	resp, err := http.Post(ts.URL+"/api/query", "application/json",
+		bytes.NewReader([]byte(`{"q":1,"k":4,"epsF":1e999}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("query with epsF=Inf accepted")
+	}
+	resp, err = http.Post(ts.URL+"/api/batch", "application/json",
+		bytes.NewReader([]byte(`{"queries":[{"q":1,"k":4}],"epsA":1e999,"algo":"appacc"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("batch with epsA=Inf status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// jsonFloat renders a float the way lenient JSON producers do, including the
+// out-of-spec NaN/Infinity spellings Go's decoder rejects — so non-finite
+// values are smuggled in as huge exponents instead.
+func jsonFloat(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return `1e999` // decodes to +Inf; NaN itself cannot pass the decoder
+	case math.IsInf(f, 1):
+		return `1e999`
+	case math.IsInf(f, -1):
+		return `-1e999`
+	default:
+		return fmt.Sprintf("%g", f)
+	}
+}
+
+// TestEdgeEndpoint drives friendship churn through the API: deleting a
+// clique edge destroys the k=5 community, re-inserting restores it, and the
+// pooled workers' caches follow along (no stale communities).
+func TestEdgeEndpoint(t *testing.T) {
+	ts, g := newTestServer(t)
+	query := func() (*http.Response, QueryResponse) {
+		resp, body := postJSON(t, ts.URL+"/api/query", QueryRequest{Q: 0, K: 5, Algo: "appinc"})
+		var out QueryResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(body, &out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp, out
+	}
+	// Clique 0 (vertices 0..5) is a 6-clique: the k=5 community exists and
+	// is exactly the clique.
+	resp, before := query()
+	if resp.StatusCode != http.StatusOK || len(before.Members) != 6 {
+		t.Fatalf("pre-churn query: status=%d members=%v", resp.StatusCode, before.Members)
+	}
+
+	edge := func(u, v graph.V, op string) (int, EdgeResponse) {
+		resp, body := postJSON(t, ts.URL+"/api/edge", EdgeRequest{U: u, V: v, Op: op})
+		var out EdgeResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(body, &out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, out
+	}
+
+	m0 := g.NumEdges()
+	status, out := edge(0, 1, "delete")
+	if status != http.StatusOK || !out.Changed || out.Edges != m0-1 {
+		t.Fatalf("delete: status=%d out=%+v (m0=%d)", status, out, m0)
+	}
+	// Vertices 0 and 1 now have degree 4 inside the clique: no 5-core.
+	if resp, _ := query(); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("query after delete: status=%d, want 404", resp.StatusCode)
+	}
+	// Deleting again is a no-op.
+	if status, out = edge(0, 1, "delete"); status != http.StatusOK || out.Changed {
+		t.Fatalf("double delete: status=%d out=%+v", status, out)
+	}
+	// Re-insert restores the original community.
+	if status, out = edge(0, 1, "insert"); status != http.StatusOK || !out.Changed || out.Edges != m0 {
+		t.Fatalf("insert: status=%d out=%+v", status, out)
+	}
+	resp, after := query()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after re-insert: status=%d", resp.StatusCode)
+	}
+	if len(after.Members) != len(before.Members) || after.MCC != before.MCC {
+		t.Fatalf("community not restored: %v vs %v", after.Members, before.Members)
+	}
+
+	// Error paths: unknown vertex, self-loop, unknown op.
+	if status, _ = edge(0, 9999, "insert"); status != http.StatusNotFound {
+		t.Fatalf("unknown vertex: status=%d", status)
+	}
+	if status, _ = edge(2, 2, "insert"); status != http.StatusBadRequest {
+		t.Fatalf("self-loop: status=%d", status)
+	}
+	if status, _ = edge(0, 1, "frobnicate"); status != http.StatusBadRequest {
+		t.Fatalf("unknown op: status=%d", status)
+	}
+}
+
+// TestConcurrentQueriesCheckinsAndEdges extends the concurrency test with
+// topology churn: queries, check-ins and edge updates in flight together
+// must not race (run with -race), and queries must only ever see coherent
+// snapshots (200 or 404).
+func TestConcurrentQueriesCheckinsAndEdges(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 96)
+	for w := 0; w < 9; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				switch w % 3 {
+				case 0: // queries
+					q := graph.V((w*12 + i) % 36)
+					buf, _ := json.Marshal(QueryRequest{Q: q, K: 4})
+					resp, err := http.Post(ts.URL+"/api/query", "application/json", bytes.NewReader(buf))
+					if err != nil {
+						errs <- err
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+						errs <- fmt.Errorf("query status %d", resp.StatusCode)
+						return
+					}
+				case 1: // check-ins
+					buf, _ := json.Marshal(CheckinRequest{V: graph.V(i % 36), X: 0.5, Y: 0.5})
+					resp, err := http.Post(ts.URL+"/api/checkin", "application/json", bytes.NewReader(buf))
+					if err != nil {
+						errs <- err
+						return
+					}
+					resp.Body.Close()
+				case 2: // edge churn: toggle long-range edges between cliques
+					op := "insert"
+					if i%2 == 1 {
+						op = "delete"
+					}
+					u := graph.V((w + i) % 6)
+					v := graph.V(18 + (w+i)%6)
+					buf, _ := json.Marshal(EdgeRequest{U: u, V: v, Op: op})
+					resp, err := http.Post(ts.URL+"/api/edge", "application/json", bytes.NewReader(buf))
+					if err != nil {
+						errs <- err
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("edge status %d", resp.StatusCode)
+						return
+					}
 				}
 			}
 		}(w)

@@ -15,7 +15,11 @@
 // structure metrics (k-truss, k-clique percolation), minimum-diameter
 // communities (Searcher.MinDiam2Approx, Searcher.MinDiamLens), batch query
 // processing (BatchSearch, BatchStream), and an HTTP prototype
-// (cmd/sacserver).
+// (cmd/sacserver). Beyond the paper, topology is dynamic: Graph.AddEdge and
+// Graph.RemoveEdge churn friendships through a delta-CSR overlay,
+// Searcher.ApplyEdgeInsert/ApplyEdgeRemove keep the core decomposition
+// current incrementally, and ReplayWithEdges interleaves edge events with
+// check-in streams.
 //
 // # Quick start
 //
@@ -69,8 +73,9 @@ func MCC(pts []Point) Circle { return geom.MCC(pts) }
 type (
 	// V is the dense vertex id type.
 	V = graph.V
-	// Graph is an immutable-topology spatial graph (locations are mutable,
-	// for dynamic replay).
+	// Graph is a spatial graph in CSR form with a delta overlay: locations
+	// mutate via SetLoc (check-ins) and topology via AddEdge/RemoveEdge
+	// (friendship churn), each versioned by its own epoch.
 	Graph = graph.Graph
 	// Builder accumulates edges and locations for a Graph.
 	Builder = graph.Builder
@@ -234,7 +239,7 @@ func SelectMovers(g *Graph, checkins []Checkin, minFriends, count int) []V {
 	return gen.SelectMovers(g, checkins, minFriends, count)
 }
 
-// Dynamic replay (Section 5.2.3).
+// Dynamic replay (Section 5.2.3, extended with friendship churn).
 type (
 	// Snapshot is one tracked community observation during a replay.
 	Snapshot = dynamic.Snapshot
@@ -242,12 +247,37 @@ type (
 	DecayPoint = dynamic.DecayPoint
 	// SearchFunc runs one SAC query during a replay.
 	SearchFunc = dynamic.SearchFunc
+	// EdgeEvent is one timestamped friendship insertion or deletion.
+	EdgeEvent = gen.EdgeEvent
+	// EdgeApplyFunc applies one friendship change during a replay.
+	EdgeApplyFunc = dynamic.EdgeApplyFunc
 )
 
 // Replay applies a check-in stream to g and snapshots the tracked users'
 // communities from splitTime on.
 func Replay(g *Graph, checkins []Checkin, tracked []V, splitTime float64, k int, search SearchFunc) (map[V][]Snapshot, error) {
 	return dynamic.Replay(g, checkins, tracked, splitTime, k, search)
+}
+
+// ReplayWithEdges replays friendship churn interleaved with check-ins on one
+// clock; each tracked search sees the graph exactly as it stood at that
+// instant. Wire apply with ApplyEdgesVia(searcher) so the searcher's core
+// decomposition stays current incrementally.
+func ReplayWithEdges(g *Graph, checkins []Checkin, edges []EdgeEvent, tracked []V, splitTime float64, k int, search SearchFunc, apply EdgeApplyFunc) (map[V][]Snapshot, error) {
+	return dynamic.ReplayWithEdges(g, checkins, edges, tracked, splitTime, k, search, apply)
+}
+
+// ApplyEdgesVia adapts a Searcher's incremental topology updates
+// (ApplyEdgeInsert/ApplyEdgeRemove) to an EdgeApplyFunc.
+func ApplyEdgesVia(s *Searcher) EdgeApplyFunc { return dynamic.ApplyVia(s) }
+
+// GenerateEdgeChurn produces a time-sorted synthetic friendship-event stream
+// for g: triadic-closure insertions and random unfriendings, on the same
+// fractional-day clock as GenerateCheckins.
+func GenerateEdgeChurn(g *Graph, events int, seed int64) []EdgeEvent {
+	cfg := gen.DefaultEdgeChurnConfig()
+	cfg.Events = events
+	return gen.EdgeChurn(g, cfg, seed)
 }
 
 // Decay computes CJS/CAO decay curves over the time gaps etas (days).

@@ -7,13 +7,15 @@
 //	sacbench -exp all -scale 0.1 -queries 200 -datasets brightkite,gowalla
 //	sacbench -list                      # show available experiment ids
 //	sacbench -exp fig12exact -paper     # start from the paper-sized config
-//	sacbench -benchjson BENCH_2.json    # machine-readable perf snapshot
+//	sacbench -benchjson BENCH_3.json    # machine-readable perf snapshot
 //
 // Output goes to stdout; redirect to keep a record alongside EXPERIMENTS.md.
 // The -benchjson report records repeated-query ns/op and allocs/op with the
 // candidate cache on/off, the cache speedup, batch scaling per worker
-// count, and edge-churn throughput (incremental core maintenance vs
-// re-decomposition), so regressions are visible PR over PR.
+// count, edge-churn throughput (incremental core maintenance vs
+// re-decomposition), and serving throughput (lock-coupled vs
+// snapshot-isolated reads under concurrent churn, plus mid-Exact
+// cancellation latency), so regressions are visible PR over PR.
 package main
 
 import (

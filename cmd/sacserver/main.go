@@ -11,13 +11,23 @@
 //	curl -X POST localhost:8080/api/query -d '{"q":17,"k":4,"algo":"exact+"}'
 //	curl -X POST localhost:8080/api/batch -d '{"queries":[{"q":17,"k":4},{"q":23,"k":4}]}'
 //	curl -X POST localhost:8080/api/checkin -d '{"v":17,"x":0.5,"y":0.5}'
+//
+// The process runs a configured http.Server (read/write/idle timeouts, not
+// the bare ListenAndServe defaults) and shuts down gracefully on SIGINT or
+// SIGTERM: the listener closes, in-flight queries drain up to the grace
+// period, then the snapshot writer stops.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"sacsearch/internal/dataset"
 	"sacsearch/internal/server"
@@ -25,9 +35,12 @@ import (
 
 func main() {
 	var (
-		name  = flag.String("dataset", "brightkite", "dataset preset to serve")
-		scale = flag.Float64("scale", 0.05, "dataset scale in (0,1]")
-		addr  = flag.String("addr", ":8080", "listen address")
+		name     = flag.String("dataset", "brightkite", "dataset preset to serve")
+		scale    = flag.Float64("scale", 0.05, "dataset scale in (0,1]")
+		addr     = flag.String("addr", ":8080", "listen address")
+		qTimeout = flag.Duration("query-timeout", 15*time.Second, "per-request query deadline")
+		maxBody  = flag.Int64("max-body", 1<<20, "maximum POST body size in bytes")
+		grace    = flag.Duration("grace", 20*time.Second, "shutdown drain period for in-flight requests")
 	)
 	flag.Parse()
 
@@ -35,8 +48,47 @@ func main() {
 	if err != nil {
 		log.Fatalf("sacserver: %v", err)
 	}
-	srv := server.New(ds.Name, ds.Graph)
+	// Capture the counts before the server's writer goroutine takes
+	// ownership of the graph — reading it afterwards would race with writes
+	// already arriving on the listener.
+	vertices, edges := ds.Graph.NumVertices(), ds.Graph.NumEdges()
+	api := server.NewWithConfig(ds.Name, ds.Graph, server.Config{
+		QueryTimeout: *qTimeout,
+		MaxBodyBytes: *maxBody,
+	})
+	defer api.Close()
+
+	// ReadHeaderTimeout bounds slow-loris headers; WriteTimeout leaves room
+	// for the query deadline plus response encoding so the server never cuts
+	// off a legitimate slow Exact before the API-level deadline does.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           api,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      *qTimeout + 15*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("sacserver: serving %s (%d vertices, %d edges) on %s\n",
-		ds.Name, ds.Graph.NumVertices(), ds.Graph.NumEdges(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+		ds.Name, vertices, edges, *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("sacserver: %v", err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		log.Printf("sacserver: signal received, draining for up to %v", *grace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("sacserver: shutdown: %v", err)
+		}
+		log.Printf("sacserver: drained, stopping snapshot writer")
+	}
 }

@@ -9,16 +9,23 @@
 //   - duplicate (q, k) pairs — common when hot users re-query — are
 //     answered once and fanned back out,
 //   - queries run on a configurable number of workers drawn from a
-//     core.Pool, each owning isolated scratch space and a candidate cache,
-//     so the batch saturates the machine without data races — and when the
-//     caller keeps the pool alive across batches (RunOn/StreamOn), the
-//     workers' warmed caches survive between batches too.
+//     Source (a core.Pool, or a published snapshot that pins the whole
+//     batch to one graph state), each owning isolated scratch space and a
+//     candidate cache, so the batch saturates the machine without data
+//     races — and when the caller keeps the pool alive across batches
+//     (RunOn/StreamOn), the workers' warmed caches survive between batches
+//     too.
 //
-// Results come back in input order (Run/RunOn) or as they complete
+// Every entry point takes a context: when it fires, in-flight queries stop
+// at their next loop boundary and return core.ErrCanceled, and queries not
+// yet dispatched are failed with the same error without running — a batch
+// deadline bounds the whole batch, not just the queries that happened to
+// start. Results come back in input order (Run/RunOn) or as they complete
 // (Stream/StreamOn).
 package batch
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -26,6 +33,14 @@ import (
 	"sacsearch/internal/core"
 	"sacsearch/internal/graph"
 )
+
+// Source supplies searcher workers for exclusive per-goroutine use. A
+// *core.Pool is a Source; so is a published snapshot (internal/snapshot's
+// Snap), which hands out workers pinned to one immutable graph state.
+type Source interface {
+	Get() *core.Searcher
+	Put(*core.Searcher)
+}
 
 // Algo selects the SAC algorithm a batch runs.
 type Algo int
@@ -123,34 +138,43 @@ func (o Options) epsA() float64 {
 }
 
 // run dispatches one query on one searcher.
-func run(s *core.Searcher, q Query, o Options) (*core.Result, error) {
+func run(ctx context.Context, s *core.Searcher, q Query, o Options) (*core.Result, error) {
 	switch o.Algorithm {
 	case AlgoAppInc:
-		return s.AppInc(q.Q, q.K)
+		return s.AppIncCtx(ctx, q.Q, q.K)
 	case AlgoAppAcc:
-		return s.AppAcc(q.Q, q.K, o.epsA())
+		return s.AppAccCtx(ctx, q.Q, q.K, o.epsA())
 	case AlgoExactPlus:
-		return s.ExactPlus(q.Q, q.K, o.epsA())
+		return s.ExactPlusCtx(ctx, q.Q, q.K, o.epsA())
 	case AlgoExact:
-		return s.Exact(q.Q, q.K)
+		return s.ExactCtx(ctx, q.Q, q.K)
 	default:
-		return s.AppFast(q.Q, q.K, o.epsF())
+		return s.AppFastCtx(ctx, q.Q, q.K, o.epsF())
 	}
+}
+
+// canceledErr is the error stamped on queries a fired context kept from
+// running; it matches the in-flight shape (errors.Is on core.ErrCanceled and
+// on the context cause both hold).
+func canceledErr(cause error) error {
+	return fmt.Errorf("%w: %w", core.ErrCanceled, cause)
 }
 
 // Run answers every query and returns the items in input order, using a
 // transient worker pool over s. Prefer RunOn with a long-lived core.Pool
 // when batches repeat against the same graph — pooled workers keep their
 // warmed candidate caches between batches.
-func Run(s *core.Searcher, queries []Query, opt Options) []Item {
-	return RunOn(core.NewPool(s), queries, opt)
+func Run(ctx context.Context, s *core.Searcher, queries []Query, opt Options) []Item {
+	return RunOn(ctx, core.NewPool(s), queries, opt)
 }
 
 // RunOn answers every query on workers drawn from p and returns the items
 // in input order. Duplicate (q, k) pairs are answered once and fanned back
-// out. The pool's base searcher is never used directly, so it may be in use
-// elsewhere as long as the graph's locations are not mutated concurrently.
-func RunOn(p *core.Pool, queries []Query, opt Options) []Item {
+// out. A pool's base searcher is never used directly, so it may be in use
+// elsewhere as long as the graph's locations are not mutated concurrently;
+// snapshot sources have no such caveat. When ctx fires, undispatched
+// queries fail with core.ErrCanceled without running.
+func RunOn(ctx context.Context, p Source, queries []Query, opt Options) []Item {
 	items := make([]Item, len(queries))
 
 	// Deduplicate: first occurrence owns the computation.
@@ -169,6 +193,14 @@ func RunOn(p *core.Pool, queries []Query, opt Options) []Item {
 		order = append(order, q)
 	}
 
+	// cancelFrom fails every query from order[i:] on without running it.
+	cancelFrom := func(i int, cause error) {
+		err := canceledErr(cause)
+		for _, q := range order[i:] {
+			items[slots[q].first] = Item{Query: q, Err: err}
+		}
+	}
+
 	workers := opt.workers()
 	if workers > len(order) {
 		workers = len(order)
@@ -181,8 +213,12 @@ func RunOn(p *core.Pool, queries []Query, opt Options) []Item {
 		func() {
 			w := p.Get()
 			defer p.Put(w)
-			for _, q := range order {
-				res, err := run(w, q, opt)
+			for i, q := range order {
+				if err := ctx.Err(); err != nil {
+					cancelFrom(i, err)
+					return
+				}
+				res, err := run(ctx, w, q, opt)
 				items[slots[q].first] = Item{Query: q, Result: res, Err: err}
 			}
 		}()
@@ -196,13 +232,19 @@ func RunOn(p *core.Pool, queries []Query, opt Options) []Item {
 				ws := p.Get()
 				defer p.Put(ws)
 				for q := range feed {
-					res, err := run(ws, q, opt)
+					res, err := run(ctx, ws, q, opt)
 					items[slots[q].first] = Item{Query: q, Result: res, Err: err}
 				}
 			}()
 		}
-		for _, q := range order {
-			feed <- q
+	feedLoop:
+		for i, q := range order {
+			select {
+			case feed <- q:
+			case <-ctx.Done():
+				cancelFrom(i, ctx.Err())
+				break feedLoop
+			}
 		}
 		close(feed)
 		wg.Wait()
@@ -220,18 +262,40 @@ func RunOn(p *core.Pool, queries []Query, opt Options) []Item {
 
 // Stream answers queries from in as they arrive on a transient worker pool
 // over s; see StreamOn for the pooled variant.
-func Stream(s *core.Searcher, in <-chan Query, opt Options) <-chan Item {
-	return StreamOn(core.NewPool(s), in, opt)
+func Stream(ctx context.Context, s *core.Searcher, in <-chan Query, opt Options) <-chan Item {
+	return StreamOn(ctx, core.NewPool(s), in, opt)
 }
 
 // StreamOn answers queries from in as they arrive and sends items on the
 // returned channel as they complete (not in input order). The channel is
 // closed when in is closed and all in-flight queries have finished.
 // Duplicate queries are not deduplicated — streams are unbounded, so the
-// memory of past answers is the caller's concern.
-func StreamOn(p *core.Pool, in <-chan Query, opt Options) <-chan Item {
+// memory of past answers is the caller's concern. When ctx fires, queries
+// still arriving come back immediately as core.ErrCanceled items; the
+// caller remains responsible for closing in. After cancellation, delivery
+// turns best-effort: a consumer that stopped draining out does not block
+// the workers (items are dropped instead), so canceling and walking away
+// leaks nothing as long as in is eventually closed.
+func StreamOn(ctx context.Context, p Source, in <-chan Query, opt Options) <-chan Item {
 	out := make(chan Item)
 	workers := opt.workers()
+	// send delivers one item, except after cancellation, when it refuses to
+	// block on an abandoned consumer: the worker must get back to draining
+	// in so the close-out contract (and the worker itself) survives. The
+	// non-blocking first attempt keeps delivery reliable for a consumer
+	// that is actively draining even after ctx fires (a two-way select
+	// would drop at random once Done is closed).
+	send := func(it Item) {
+		select {
+		case out <- it:
+			return
+		default:
+		}
+		select {
+		case out <- it:
+		case <-ctx.Done():
+		}
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -240,8 +304,12 @@ func StreamOn(p *core.Pool, in <-chan Query, opt Options) <-chan Item {
 			ws := p.Get()
 			defer p.Put(ws)
 			for q := range in {
-				res, err := run(ws, q, opt)
-				out <- Item{Query: q, Result: res, Err: err}
+				if err := ctx.Err(); err != nil {
+					send(Item{Query: q, Err: canceledErr(err)})
+					continue
+				}
+				res, err := run(ctx, ws, q, opt)
+				send(Item{Query: q, Result: res, Err: err})
 			}
 		}()
 	}

@@ -1,6 +1,7 @@
 package batch
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sort"
@@ -59,7 +60,7 @@ func TestRunMatchesSequential(t *testing.T) {
 	for v := 0; v < g.NumVertices(); v += 3 {
 		queries = append(queries, Query{Q: graph.V(v), K: 4})
 	}
-	items := Run(s, queries, Options{Workers: 4})
+	items := Run(context.Background(), s, queries, Options{Workers: 4})
 	if len(items) != len(queries) {
 		t.Fatalf("got %d items for %d queries", len(items), len(queries))
 	}
@@ -90,7 +91,7 @@ func TestRunDeduplicates(t *testing.T) {
 		{Q: 0, K: 3}, // same vertex, different k — not a duplicate
 		{Q: 0, K: 4}, // duplicate of 0
 	}
-	items := Run(s, queries, Options{Workers: 2})
+	items := Run(context.Background(), s, queries, Options{Workers: 2})
 	if items[0].Result == nil || items[2].Result == nil {
 		t.Fatal("duplicate queries not answered")
 	}
@@ -110,7 +111,7 @@ func TestRunDeduplicatedAliasingSafe(t *testing.T) {
 	g := clusteredGraph(11, 6, 6, 8)
 	pool := core.NewPool(core.NewSearcher(g))
 	queries := []Query{{Q: 0, K: 4}, {Q: 0, K: 4}, {Q: 0, K: 4}}
-	items := RunOn(pool, queries, Options{Workers: 1})
+	items := RunOn(context.Background(), pool, queries, Options{Workers: 1})
 	for i, it := range items {
 		if it.Err != nil {
 			t.Fatalf("item %d: %v", i, it.Err)
@@ -127,7 +128,7 @@ func TestRunDeduplicatedAliasingSafe(t *testing.T) {
 	for v := 0; v < g.NumVertices(); v++ {
 		wide = append(wide, Query{Q: graph.V(v), K: 3})
 	}
-	RunOn(pool, wide, Options{Workers: 4})
+	RunOn(context.Background(), pool, wide, Options{Workers: 4})
 
 	if !sameMembers(items[0].Result.Members, members) || items[0].Result.MCC != mcc {
 		t.Fatalf("shared result mutated by a later batch: %v (was %v)", items[0].Result.Members, members)
@@ -139,7 +140,7 @@ func TestRunErrorsPerQuery(t *testing.T) {
 	s := core.NewSearcher(g)
 	bad := graph.V(g.NumVertices() + 5)
 	queries := []Query{{Q: 0, K: 4}, {Q: bad, K: 4}, {Q: 1, K: 4}}
-	items := Run(s, queries, Options{})
+	items := Run(context.Background(), s, queries, Options{})
 	if items[0].Err != nil || items[2].Err != nil {
 		t.Fatalf("valid queries errored: %v %v", items[0].Err, items[2].Err)
 	}
@@ -158,7 +159,7 @@ func TestRunNoCommunity(t *testing.T) {
 	b.SetLoc(4, geom.Point{X: 0.4, Y: 0.5})
 	g := b.Build()
 	s := core.NewSearcher(g)
-	items := Run(s, []Query{{Q: 2, K: 3}}, Options{})
+	items := Run(context.Background(), s, []Query{{Q: 2, K: 3}}, Options{})
 	if !errors.Is(items[0].Err, core.ErrNoCommunity) {
 		t.Fatalf("err = %v, want ErrNoCommunity", items[0].Err)
 	}
@@ -175,9 +176,9 @@ func TestRunWorkerCountsAgree(t *testing.T) {
 		return qs
 	}(), 4)
 
-	base := Run(s, queries, Options{Workers: 1})
+	base := Run(context.Background(), s, queries, Options{Workers: 1})
 	for _, workers := range []int{2, 4, 16} {
-		got := Run(s, queries, Options{Workers: workers})
+		got := Run(context.Background(), s, queries, Options{Workers: workers})
 		for i := range base {
 			if (base[i].Err != nil) != (got[i].Err != nil) {
 				t.Fatalf("workers=%d item %d: error mismatch", workers, i)
@@ -198,7 +199,7 @@ func TestRunAlgorithms(t *testing.T) {
 	s := core.NewSearcher(g)
 	queries := []Query{{Q: 0, K: 4}, {Q: 6, K: 4}}
 	for _, algo := range []Algo{AlgoAppFast, AlgoAppInc, AlgoAppAcc, AlgoExactPlus, AlgoExact} {
-		items := Run(s, queries, Options{Algorithm: algo, Workers: 2})
+		items := Run(context.Background(), s, queries, Options{Algorithm: algo, Workers: 2})
 		for i, it := range items {
 			if it.Err != nil && !errors.Is(it.Err, core.ErrNoCommunity) {
 				t.Fatalf("%v item %d: %v", algo, i, it.Err)
@@ -252,7 +253,7 @@ func TestStream(t *testing.T) {
 		queries = append(queries, Query{Q: graph.V(v), K: 4})
 	}
 	in := make(chan Query)
-	out := Stream(s, in, Options{Workers: 3})
+	out := Stream(context.Background(), s, in, Options{Workers: 3})
 	go func() {
 		for _, q := range queries {
 			in <- q
@@ -303,7 +304,7 @@ func BenchmarkBatch(b *testing.B) {
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(map[int]string{1: "workers=1", 2: "workers=2", 4: "workers=4"}[workers], func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				Run(s, queries, Options{Workers: workers})
+				Run(context.Background(), s, queries, Options{Workers: workers})
 			}
 		})
 	}

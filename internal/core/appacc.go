@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -48,7 +49,15 @@ func (st *appAccState) reset() {
 // threshold β = δ·εA/(√2(2+εA)) and gap α' = δ·εA/4, Lemma 7 bounds the
 // ratio by 1+εA.
 func (s *Searcher) AppAcc(q graph.V, k int, epsA float64) (*Result, error) {
+	return s.AppAccCtx(context.Background(), q, k, epsA)
+}
+
+// AppAccCtx is AppAcc with cancellation: the context is checked once per
+// anchor and once per anchor binary-search iteration, returning ErrCanceled
+// when it fires.
+func (s *Searcher) AppAccCtx(ctx context.Context, q graph.V, k int, epsA float64) (*Result, error) {
 	start := s.begin()
+	s.beginCtx(ctx)
 	if err := s.checkQuery(q, k); err != nil {
 		return nil, err
 	}
@@ -61,6 +70,9 @@ func (s *Searcher) AppAcc(q graph.V, k int, epsA float64) (*Result, error) {
 	st, err := s.appAcc(q, k, epsA)
 	if err != nil {
 		return nil, err
+	}
+	if s.ctxErr != nil {
+		return s.ctxResult(nil, nil)
 	}
 	res := s.buildResult(q, k, st.members, st.delta)
 	return s.finish(res, start), nil
@@ -108,9 +120,15 @@ func (s *Searcher) appAcc(q graph.V, k int, epsA float64) (*appAccState, error) 
 	frontier := quadtree.NewFrontier(quadtree.Root(qLoc, gamma))
 
 	for frontier.Len() > 0 && frontier.Half()*2 >= betaMin {
+		if s.canceled() {
+			return st, nil
+		}
 		cells := frontier.Cells()
 		cover := cells[0].CoverRadius() // √2·β/2 for width β cells
 		for i := range cells {
+			if s.canceled() {
+				return st, nil
+			}
 			cell := &cells[i]
 			// Pruning1: the optimal center o satisfies |o,q| ≤ ropt ≤ rcur,
 			// so a cell farther than rcur + cover from q cannot contain o.
@@ -183,6 +201,9 @@ func (s *Searcher) anchorSearch(st *appAccState, cell *quadtree.Cell, q graph.V,
 		l = cell.InfeasibleR
 	}
 	for u-l > alphaP && u-l > 1e-8 {
+		if s.canceled() {
+			break
+		}
 		s.stats.BinaryIters++
 		r := (l + u) / 2
 		if c := s.feasible(prefix(r), q, k); c != nil {

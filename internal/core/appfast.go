@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
@@ -14,7 +15,14 @@ import (
 // the early-stopping gap α = r·εF/(2+εF) of Lemma 5. εF = 0 converges to
 // exactly the AppInc result Φ.
 func (s *Searcher) AppFast(q graph.V, k int, epsF float64) (*Result, error) {
+	return s.AppFastCtx(context.Background(), q, k, epsF)
+}
+
+// AppFastCtx is AppFast with cancellation: the context is checked once per
+// binary-search iteration, returning ErrCanceled when it fires.
+func (s *Searcher) AppFastCtx(ctx context.Context, q graph.V, k int, epsF float64) (*Result, error) {
 	start := s.begin()
+	s.beginCtx(ctx)
 	if err := s.checkQuery(q, k); err != nil {
 		return nil, err
 	}
@@ -29,6 +37,9 @@ func (s *Searcher) AppFast(q graph.V, k int, epsF float64) (*Result, error) {
 		return nil, err
 	}
 	members, delta := s.appFastSearch(cand, q, k, epsF)
+	if s.ctxErr != nil {
+		return s.ctxResult(nil, nil)
+	}
 	return s.finish(s.buildResult(q, k, members, delta), start), nil
 }
 
@@ -93,6 +104,9 @@ func (s *Searcher) appFastBisectSearch(cand *candidateSet, q graph.V, k int, eps
 	bestDelta := u
 
 	for u-l > 1e-8 {
+		if s.canceled() {
+			break
+		}
 		s.stats.BinaryIters++
 		r := (l + u) / 2
 		alpha := r * epsF / (2 + epsF)
@@ -137,6 +151,9 @@ func (s *Searcher) appFastSearch(cand *candidateSet, q graph.V, k int, epsF floa
 	// prefixWithin; on unit-square data 1e-8 is far below any vertex
 	// spacing that matters.
 	for u-l > 1e-8 {
+		if s.canceled() {
+			break
+		}
 		s.stats.BinaryIters++
 		r := (l + u) / 2
 		alpha := r * epsF / (2 + epsF)

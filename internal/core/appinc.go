@@ -1,6 +1,10 @@
 package core
 
-import "sacsearch/internal/graph"
+import (
+	"context"
+
+	"sacsearch/internal/graph"
+)
 
 // AppInc is the 2-approximation of Section 4.2 (Algorithm 2). It grows the
 // circle O(q, δ) outward one candidate vertex at a time, in ascending
@@ -9,7 +13,14 @@ import "sacsearch/internal/graph"
 //
 // The returned Result carries Φ (Members), γ (MCC.R) and δ (Delta).
 func (s *Searcher) AppInc(q graph.V, k int) (*Result, error) {
+	return s.AppIncCtx(context.Background(), q, k)
+}
+
+// AppIncCtx is AppInc with cancellation: the context is checked once per
+// grown prefix, returning ErrCanceled when it fires.
+func (s *Searcher) AppIncCtx(ctx context.Context, q graph.V, k int) (*Result, error) {
 	start := s.begin()
+	s.beginCtx(ctx)
 	if err := s.checkQuery(q, k); err != nil {
 		return nil, err
 	}
@@ -26,6 +37,9 @@ func (s *Searcher) AppInc(q graph.V, k int) (*Result, error) {
 	qNbrs := 0
 	needQ := s.minQueryNeighbors(k)
 	for i, v := range cand.verts {
+		if s.canceled() {
+			return s.ctxResult(nil, nil)
+		}
 		s.inX.Mark(v)
 		if v != q && s.g.HasEdge(q, v) {
 			qNbrs++

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"slices"
@@ -152,16 +153,16 @@ type Searcher struct {
 	lp         localPeeler
 
 	// Scratch buffers shared by the algorithms.
-	distBuf []float64
-	vertBuf []graph.V
-	subBuf  []graph.V
+	distBuf   []float64
+	vertBuf   []graph.V
+	subBuf    []graph.V
 	fastBuf   []graph.V // appFastSearch's incumbent community Λ
 	bestBuf   []graph.V // Exact's incumbent community
 	anchorBuf []graph.V // anchorSearch's incumbent community
 	f1Buf     []graph.V // ExactPlus's potential fixed vertices F1
-	ptsBuf  []geom.Point
-	inX     *graph.Marker
-	visited *graph.Marker
+	ptsBuf    []geom.Point
+	inX       *graph.Marker
+	visited   *graph.Marker
 
 	// cand is the query's candidate set view. With caching on it aliases the
 	// cache entry's sorted slices; with caching off it owns ownVerts/ownDists.
@@ -188,6 +189,15 @@ type Searcher struct {
 	noAnnulus bool
 
 	stats Stats // counters for the query in flight
+
+	// qctx is the context of the query in flight (nil when the query is not
+	// cancellable); ctxErr latches the first context error observed at a loop
+	// boundary so later boundaries short-circuit, and ctxTick amortizes the
+	// innermost-loop checks (see ctx.go).
+	qctx      context.Context
+	ctxErr    error
+	ctxTick   uint
+	qdeadline time.Time
 }
 
 // SetPruning2 toggles AppAcc's Pruning2 (on by default). Ablation use only.
@@ -399,6 +409,13 @@ func (s *Searcher) communityOf(q graph.V, k int) []graph.V {
 // epoch: a repeated (q, k) with no intervening SetLoc reuses the sorted view
 // outright; otherwise distances are recomputed and re-sorted in place.
 func (s *Searcher) candidates(q graph.V, k int) (*candidateSet, error) {
+	// Candidate construction — community BFS, induced CSR, distance sort —
+	// is the dominant pre-loop cost of the cheap algorithms on a cold
+	// cache, so a dead context bails here too, not only inside the search
+	// loops.
+	if s.canceled() {
+		return nil, s.canceledError()
+	}
 	// Topology-epoch check: any edge churn since the cache was filled makes
 	// every memoized membership, induced CSR and prefix oracle suspect, so
 	// the whole cache is dropped. Core numbers themselves are maintained
@@ -481,6 +498,9 @@ func (s *Searcher) begin() time.Time {
 	s.stats = Stats{}
 	s.curEntry = nil
 	s.curView = nil
+	s.qctx = nil
+	s.ctxErr = nil
+	s.qdeadline = time.Time{}
 	return time.Now()
 }
 

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sacsearch/internal/geom"
+	"sacsearch/internal/graph"
+)
+
+// countdownCtx is a context whose Err starts failing after fuse calls. It
+// measures exactly what the cancellation contract promises: every Err call
+// is one loop-boundary check, so the number of calls after the fuse blows is
+// the work an algorithm did after cancellation fired.
+type countdownCtx struct {
+	fuse  int64
+	calls atomic.Int64
+	done  chan struct{}
+}
+
+func newCountdown(fuse int64) *countdownCtx {
+	return &countdownCtx{fuse: fuse, done: make(chan struct{})}
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countdownCtx) Done() <-chan struct{}       { return c.done }
+func (c *countdownCtx) Value(any) any               { return nil }
+func (c *countdownCtx) Err() error {
+	if c.calls.Add(1) > c.fuse {
+		return context.Canceled
+	}
+	return nil
+}
+
+// ctxTestGraph is one dense 48-vertex community (circulant over a small
+// disc), big enough that every algorithm runs many loop iterations at k=4.
+func ctxTestGraph() *graph.Graph {
+	const n = 48
+	rnd := rand.New(rand.NewSource(5))
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		ang := 2 * math.Pi * float64(v) / n
+		r := 0.05 + 0.04*rnd.Float64()
+		b.SetLoc(graph.V(v), geom.Point{X: 0.5 + r*math.Cos(ang), Y: 0.5 + r*math.Sin(ang)})
+		for d := 1; d <= 5; d++ {
+			b.AddEdge(graph.V(v), graph.V((v+d)%n))
+		}
+	}
+	return b.Build()
+}
+
+type ctxAlgo struct {
+	name string
+	run  func(s *Searcher, ctx context.Context) (*Result, error)
+}
+
+func ctxAlgos() []ctxAlgo {
+	return []ctxAlgo{
+		{"ExactCtx", func(s *Searcher, ctx context.Context) (*Result, error) { return s.ExactCtx(ctx, 0, 4) }},
+		{"AppIncCtx", func(s *Searcher, ctx context.Context) (*Result, error) { return s.AppIncCtx(ctx, 0, 4) }},
+		{"AppFastCtx", func(s *Searcher, ctx context.Context) (*Result, error) { return s.AppFastCtx(ctx, 0, 4, 0) }},
+		{"AppAccCtx", func(s *Searcher, ctx context.Context) (*Result, error) { return s.AppAccCtx(ctx, 0, 4, 0.3) }},
+		{"ExactPlusCtx", func(s *Searcher, ctx context.Context) (*Result, error) { return s.ExactPlusCtx(ctx, 0, 4, 0.3) }},
+	}
+}
+
+// TestCtxCancellationBounded fires the context mid-run and asserts each
+// algorithm (a) returns ErrCanceled wrapping the context error, and (b)
+// performs at most one further loop-boundary check after the firing one —
+// the latch in Searcher.canceled.
+func TestCtxCancellationBounded(t *testing.T) {
+	g := ctxTestGraph()
+	for _, a := range ctxAlgos() {
+		s := NewSearcher(g)
+
+		// Dry run on a fuse that never blows: counts the algorithm's total
+		// loop-boundary checks, proving the canceled run below fires mid-run
+		// rather than after completion.
+		dry := newCountdown(math.MaxInt64)
+		if _, err := a.run(s, dry); err != nil {
+			t.Fatalf("%s dry run: %v", a.name, err)
+		}
+		total := dry.calls.Load()
+		if total < 4 {
+			t.Fatalf("%s: only %d loop-boundary checks; graph too small for a mid-run cancel", a.name, total)
+		}
+
+		fuse := total / 2
+		cd := newCountdown(fuse)
+		res, err := a.run(s, cd)
+		if res != nil || !errors.Is(err, ErrCanceled) {
+			t.Fatalf("%s canceled: res=%v err=%v, want ErrCanceled", a.name, res, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s canceled: %v does not wrap context.Canceled", a.name, err)
+		}
+		if after := cd.calls.Load() - fuse; after > 1 {
+			t.Fatalf("%s: %d loop-boundary checks after the context fired, want ≤ 1", a.name, after)
+		}
+
+		// The searcher is immediately reusable: the next query must succeed
+		// with no residue from the canceled one.
+		if _, err := a.run(s, context.Background()); err != nil {
+			t.Fatalf("%s after cancel: %v", a.name, err)
+		}
+	}
+}
+
+// TestCtxPreCanceled covers the already-dead-context path for every
+// algorithm including θ-SAC (whose single O(m) phases make a mid-run fuse
+// meaningless).
+func TestCtxPreCanceled(t *testing.T) {
+	g := ctxTestGraph()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	algos := append(ctxAlgos(), ctxAlgo{"ThetaSACCtx",
+		func(s *Searcher, c context.Context) (*Result, error) { return s.ThetaSACCtx(c, 0, 4, 0.2) }})
+	for _, a := range algos {
+		s := NewSearcher(g)
+		res, err := a.run(s, ctx)
+		if res != nil || !errors.Is(err, ErrCanceled) {
+			t.Fatalf("%s pre-canceled: res=%v err=%v", a.name, res, err)
+		}
+	}
+}
+
+// TestCtxDeadlineExceededIsWrapped pins the errors.Is contract for
+// deadlines, the shape HTTP handlers check.
+func TestCtxDeadlineExceededIsWrapped(t *testing.T) {
+	g := ctxTestGraph()
+	s := NewSearcher(g)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := s.ExactCtx(ctx, 0, 4)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline err = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+}
+
+// TestCtxBackgroundUnchanged pins that the plain entry points still answer
+// queries and that a background context costs no Err calls at all (the
+// nil-Done fast path).
+func TestCtxBackgroundUnchanged(t *testing.T) {
+	g := ctxTestGraph()
+	s := NewSearcher(g)
+	res, err := s.Exact(0, 4)
+	if err != nil || len(res.Members) == 0 {
+		t.Fatalf("Exact: %v %v", res, err)
+	}
+	res2, err := s.ExactCtx(context.Background(), 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Members) != len(res2.Members) || res.MCC != res2.MCC {
+		t.Fatalf("ExactCtx(Background) diverged: %v vs %v", res.Members, res2.Members)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"sacsearch/internal/geom"
@@ -19,7 +20,15 @@ import (
 // Worst-case cost is O(m·n³); this is the paper's deliberately naive
 // baseline and is only practical on small graphs.
 func (s *Searcher) Exact(q graph.V, k int) (*Result, error) {
+	return s.ExactCtx(context.Background(), q, k)
+}
+
+// ExactCtx is Exact with cancellation: the context is checked once per
+// enumerated candidate pair (bounding the work after cancellation to the
+// triples of one pair), returning ErrCanceled when it fires.
+func (s *Searcher) ExactCtx(ctx context.Context, q graph.V, k int) (*Result, error) {
 	start := s.begin()
+	s.beginCtx(ctx)
 	if err := s.checkQuery(q, k); err != nil {
 		return nil, err
 	}
@@ -52,6 +61,11 @@ func (s *Searcher) Exact(q graph.V, k int) (*Result, error) {
 		if !cc.Contains(qLoc) {
 			return
 		}
+		// Last boundary before the expensive member gather + peel: bounds
+		// post-cancellation work to the feasibility check already in flight.
+		if s.canceled() {
+			return
+		}
 		R := s.circleMembers(cc)
 		if c := s.feasible(R, q, k); c != nil {
 			mcc := s.g.MCCOf(c)
@@ -63,11 +77,15 @@ func (s *Searcher) Exact(q graph.V, k int) (*Result, error) {
 		}
 	}
 
+enum:
 	for i := 2; i < len(X); i++ {
 		if d[i] > 2*rcur {
 			break // Algorithm 1, line 13
 		}
 		for j := 0; j < i; j++ {
+			if s.canceled() {
+				break enum
+			}
 			// Pair-fixed circle: segment X[j]X[i] as diameter (Lemma 1).
 			pj := s.g.Loc(X[j])
 			pi := s.g.Loc(X[i])
@@ -75,6 +93,9 @@ func (s *Searcher) Exact(q graph.V, k int) (*Result, error) {
 				tryCircle(geom.CircleFrom2(pj, pi))
 			}
 			for h := j + 1; h < i; h++ {
+				if s.canceledTick() {
+					break enum
+				}
 				ph := s.g.Loc(X[h])
 				// Lemma 2: all pairwise distances in Ψ are ≤ 2·ropt < 2·rcur.
 				if pj.Dist(ph) > 2*rcur || ph.Dist(pi) > 2*rcur || pj.Dist(pi) > 2*rcur {
@@ -90,6 +111,9 @@ func (s *Searcher) Exact(q graph.V, k int) (*Result, error) {
 		tryCircle(geom.CircleFrom2(s.g.Loc(X[0]), s.g.Loc(X[1])))
 	}
 	s.bestBuf = best
+	if s.ctxErr != nil {
+		return s.ctxResult(nil, nil)
+	}
 	if !found {
 		// Unreachable: X itself is feasible and its MCC is fixed by ≤ 3 of
 		// its vertices, which the enumeration covers.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"sacsearch/internal/geom"
@@ -19,7 +20,15 @@ const sqrt3 = 1.7320508075688772
 // from F1 — typically orders of magnitude fewer than Exact's — with the
 // Lemma 2 distance filters √3·r⁻ ≤ |v1,v2| ≤ 2·rcur.
 func (s *Searcher) ExactPlus(q graph.V, k int, epsA float64) (*Result, error) {
+	return s.ExactPlusCtx(context.Background(), q, k, epsA)
+}
+
+// ExactPlusCtx is ExactPlus with cancellation: the AppAcc phase checks per
+// anchor and per binary-search iteration, the enumeration phase once per F1
+// pair, returning ErrCanceled when the context fires.
+func (s *Searcher) ExactPlusCtx(ctx context.Context, q graph.V, k int, epsA float64) (*Result, error) {
 	start := s.begin()
+	s.beginCtx(ctx)
 	if err := s.checkQuery(q, k); err != nil {
 		return nil, err
 	}
@@ -32,6 +41,9 @@ func (s *Searcher) ExactPlus(q graph.V, k int, epsA float64) (*Result, error) {
 	st, err := s.appAcc(q, k, epsA)
 	if err != nil {
 		return nil, err
+	}
+	if s.ctxErr != nil {
+		return s.ctxResult(nil, nil)
 	}
 	if st.degenerate {
 		// γ = 0: Φ has radius 0, which is optimal.
@@ -77,6 +89,10 @@ func (s *Searcher) ExactPlus(q graph.V, k int, epsA float64) (*Result, error) {
 		if cc.R >= rcur || !cc.Contains(qLoc) {
 			return
 		}
+		// Last boundary before the member gather + peel (see Exact).
+		if s.canceled() {
+			return
+		}
 		R := s.circleMembers(cc)
 		if c := s.feasible(R, q, k); c != nil {
 			mcc := s.g.MCCOf(c)
@@ -90,11 +106,15 @@ func (s *Searcher) ExactPlus(q graph.V, k int, epsA float64) (*Result, error) {
 	// Enumerate F1 pairs and triples with the distance filters of
 	// Algorithm 5, lines 6-10. rcur tightens as better solutions appear,
 	// narrowing the filters further.
+enum:
 	for i1, v1 := range f1 {
 		p1 := s.g.Loc(v1)
 		for i2, v2 := range f1 {
 			if i2 <= i1 {
 				continue
+			}
+			if s.canceled() {
+				break enum
 			}
 			p2 := s.g.Loc(v2)
 			d12 := p1.Dist(p2)
@@ -111,6 +131,9 @@ func (s *Searcher) ExactPlus(q graph.V, k int, epsA float64) (*Result, error) {
 				if i3 == i1 || i3 == i2 {
 					continue
 				}
+				if s.canceledTick() {
+					break enum
+				}
 				p3 := s.g.Loc(v3)
 				if p1.Dist(p3) > d12+geom.Eps || p2.Dist(p3) > d12+geom.Eps {
 					continue
@@ -120,6 +143,9 @@ func (s *Searcher) ExactPlus(q graph.V, k int, epsA float64) (*Result, error) {
 		}
 	}
 	s.bestBuf = best
+	if s.ctxErr != nil {
+		return s.ctxResult(nil, nil)
+	}
 	res := s.buildResult(q, k, best, rcur)
 	return s.finish(res, start), nil
 }

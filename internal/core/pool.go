@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Pool is a concurrency-safe pool of Searcher clones over one graph — the
 // parallel execution substrate for batch and server traffic. A single
@@ -11,29 +14,63 @@ import "sync"
 // buffers and warmed candidate caches survive between queries — the
 // property that makes repeated-community server traffic cheap.
 //
+// Snapshot-isolated serving adds one twist: the graph a worker should query
+// changes with every published snapshot. SetBase repoints the pool at the
+// latest snapshot's base searcher (new clones start there), and GetFor hands
+// out a worker rebound to the exact snapshot a reader pinned — an O(1)
+// pointer adoption that keeps the worker's warmed cache, not a re-clone.
+//
 // The zero Pool is not usable; create one with NewPool. All methods are safe
 // for concurrent use.
 type Pool struct {
-	base *Searcher
-	p    sync.Pool
+	base    atomic.Pointer[Searcher]
+	p       sync.Pool
+	created atomic.Int64
 }
 
 // NewPool creates a pool of clones of base. base itself is never handed
 // out, so it remains safe to use on the caller's own goroutine.
 func NewPool(base *Searcher) *Pool {
-	pl := &Pool{base: base}
-	pl.p.New = func() any { return base.Clone() }
+	pl := &Pool{}
+	pl.base.Store(base)
+	pl.p.New = func() any {
+		pl.created.Add(1)
+		return pl.base.Load().Clone()
+	}
 	return pl
 }
 
-// Base returns the Searcher the pool clones from.
-func (p *Pool) Base() *Searcher { return p.base }
+// Base returns the Searcher the pool currently clones from.
+func (p *Pool) Base() *Searcher { return p.base.Load() }
 
-// Get returns a Searcher for exclusive use by the calling goroutine. Return
-// it with Put when done; Searchers that are never Put are simply collected.
+// SetBase atomically repoints the pool at a new base searcher: workers
+// created after this call clone the new base. Workers already in the pool
+// keep their old binding until a GetFor rebinds them — snapshot serving
+// always goes through GetFor, so readers never see a mixed state.
+func (p *Pool) SetBase(base *Searcher) { p.base.Store(base) }
+
+// Created returns the number of worker clones this pool has ever created —
+// the pool-size signal /api/health reports (sync.Pool does not expose its
+// idle count; clones are only created when all existing ones are busy, so
+// the high-water mark tracks peak concurrency).
+func (p *Pool) Created() int64 { return p.created.Load() }
+
+// Get returns a Searcher for exclusive use by the calling goroutine, bound
+// to whatever base it last served (the pool's current base for fresh
+// clones). Return it with Put when done; Searchers that are never Put are
+// simply collected. Snapshot readers use GetFor instead.
 func (p *Pool) Get() *Searcher { return p.p.Get().(*Searcher) }
 
-// Put returns a Searcher obtained from Get to the pool.
+// GetFor returns a Searcher rebound to base's graph and decomposition — the
+// snapshot-pinned variant of Get. The rebind is O(1) and keeps the worker's
+// scratch space and candidate cache (see Searcher.AdoptFrom).
+func (p *Pool) GetFor(base *Searcher) *Searcher {
+	w := p.Get()
+	w.AdoptFrom(base)
+	return w
+}
+
+// Put returns a Searcher obtained from Get or GetFor to the pool.
 func (p *Pool) Put(s *Searcher) { p.p.Put(s) }
 
 // Do runs f with a pooled Searcher, returning the Searcher afterwards even

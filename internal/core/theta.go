@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"sacsearch/internal/geom"
@@ -14,7 +15,15 @@ import (
 // (ErrNoCommunity), too large and the community is not spatially compact —
 // the sensitivity Figure 11 quantifies.
 func (s *Searcher) ThetaSAC(q graph.V, k int, theta float64) (*Result, error) {
+	return s.ThetaSACCtx(context.Background(), q, k, theta)
+}
+
+// ThetaSACCtx is ThetaSAC with cancellation: the context is checked between
+// the BFS gather and the single feasibility peel (the two O(m) phases),
+// returning ErrCanceled when it fires.
+func (s *Searcher) ThetaSACCtx(ctx context.Context, q graph.V, k int, theta float64) (*Result, error) {
 	start := s.begin()
+	s.beginCtx(ctx)
 	if err := s.checkQuery(q, k); err != nil {
 		return nil, err
 	}
@@ -25,11 +34,17 @@ func (s *Searcher) ThetaSAC(q graph.V, k int, theta float64) (*Result, error) {
 		res := s.buildResult(q, k, []graph.V{q}, 0)
 		return s.finish(res, start), nil
 	}
+	if s.canceled() {
+		return s.ctxResult(nil, nil)
+	}
 	circle := geom.Circle{C: s.g.Loc(q), R: theta}
 	inCircle := func(v graph.V) bool { return circle.Contains(s.g.Loc(v)) }
 	S := graph.BFSFrom(s.g, q, inCircle, s.visited, s.vertBuf[:0])
 	s.vertBuf = S
 	s.stats.CandidateSize = len(S)
+	if s.canceled() {
+		return s.ctxResult(nil, nil)
+	}
 	if c := s.feasible(S, q, k); c != nil {
 		res := s.buildResult(q, k, c, theta)
 		return s.finish(res, start), nil

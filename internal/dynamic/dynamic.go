@@ -13,6 +13,7 @@
 package dynamic
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -40,8 +41,11 @@ type SearchFunc func(q graph.V, k int) ([]graph.V, geom.Circle, error)
 // returns the community timeline of every tracked user. Check-ins before
 // splitTime only move users; from splitTime on, each check-in by a tracked
 // user also runs search. The graph is left at its final replayed state.
-func Replay(g *graph.Graph, checkins []gen.Checkin, tracked []graph.V, splitTime float64, k int, search SearchFunc) (map[graph.V][]Snapshot, error) {
-	return ReplayWithEdges(g, checkins, nil, tracked, splitTime, k, search, nil)
+// Long replays honor ctx: cancellation aborts between events with the
+// context's error, and the search calls themselves can observe the same
+// context when wired through a *Ctx algorithm.
+func Replay(ctx context.Context, g *graph.Graph, checkins []gen.Checkin, tracked []graph.V, splitTime float64, k int, search SearchFunc) (map[graph.V][]Snapshot, error) {
+	return ReplayWithEdges(ctx, g, checkins, nil, tracked, splitTime, k, search, nil)
 }
 
 // EdgeApplyFunc applies one friendship change during a replay. It must
@@ -72,9 +76,22 @@ func ApplyVia(s *core.Searcher) EdgeApplyFunc {
 // a location). Tracked users' searches observe the graph exactly as it was
 // at each check-in — moved locations and churned edges both. edges may be
 // nil (pure location replay); apply is required when it is not.
-func ReplayWithEdges(g *graph.Graph, checkins []gen.Checkin, edges []gen.EdgeEvent, tracked []graph.V, splitTime float64, k int, search SearchFunc, apply EdgeApplyFunc) (map[graph.V][]Snapshot, error) {
+func ReplayWithEdges(ctx context.Context, g *graph.Graph, checkins []gen.Checkin, edges []gen.EdgeEvent, tracked []graph.V, splitTime float64, k int, search SearchFunc, apply EdgeApplyFunc) (map[graph.V][]Snapshot, error) {
 	if len(edges) > 0 && apply == nil {
 		return nil, fmt.Errorf("dynamic: %d edge events but no apply function", len(edges))
+	}
+	// Validate ordering up front, before any mutation: a replay that fails
+	// validation must leave the graph untouched, not mutated by whatever
+	// sorted prefix preceded the violation.
+	for i := 1; i < len(checkins); i++ {
+		if checkins[i].Time < checkins[i-1].Time {
+			return nil, fmt.Errorf("dynamic: check-ins not time sorted at index %d", i)
+		}
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i].Time < edges[i-1].Time {
+			return nil, fmt.Errorf("dynamic: edge events not time sorted at index %d", i)
+		}
 	}
 	isTracked := make(map[graph.V]bool, len(tracked))
 	for _, v := range tracked {
@@ -83,13 +100,10 @@ func ReplayWithEdges(g *graph.Graph, checkins []gen.Checkin, edges []gen.EdgeEve
 	out := make(map[graph.V][]Snapshot, len(tracked))
 	ei := 0
 	for i, c := range checkins {
-		if i > 0 && c.Time < checkins[i-1].Time {
-			return nil, fmt.Errorf("dynamic: check-ins not time sorted at index %d", i)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("dynamic: replay aborted at check-in %d (day %.3f): %w", i, c.Time, err)
 		}
 		for ei < len(edges) && edges[ei].Time <= c.Time {
-			if ei > 0 && edges[ei].Time < edges[ei-1].Time {
-				return nil, fmt.Errorf("dynamic: edge events not time sorted at index %d", ei)
-			}
 			e := edges[ei]
 			if err := apply(e.U, e.V, e.Insert); err != nil {
 				return nil, fmt.Errorf("dynamic: edge event (%d,%d) at day %.3f: %w", e.U, e.V, e.Time, err)
@@ -115,9 +129,6 @@ func ReplayWithEdges(g *graph.Graph, checkins []gen.Checkin, edges []gen.EdgeEve
 	// Trailing edge events (after the last check-in) still apply, leaving
 	// the graph at its true final state.
 	for ; ei < len(edges); ei++ {
-		if ei > 0 && edges[ei].Time < edges[ei-1].Time {
-			return nil, fmt.Errorf("dynamic: edge events not time sorted at index %d", ei)
-		}
 		e := edges[ei]
 		if err := apply(e.U, e.V, e.Insert); err != nil {
 			return nil, fmt.Errorf("dynamic: edge event (%d,%d) at day %.3f: %w", e.U, e.V, e.Time, err)

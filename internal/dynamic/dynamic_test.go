@@ -1,6 +1,7 @@
 package dynamic
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -48,7 +49,7 @@ func TestReplayMovingUser(t *testing.T) {
 		{User: 0, Time: 1.0, Loc: geom.Point{X: 0.11, Y: 0.1}}, // near triangle 1
 		{User: 0, Time: 2.0, Loc: geom.Point{X: 0.89, Y: 0.9}}, // moved to triangle 2
 	}
-	timelines, err := Replay(g, checkins, []graph.V{0}, 0.9, 2, searchWith(s))
+	timelines, err := Replay(context.Background(), g, checkins, []graph.V{0}, 0.9, 2, searchWith(s))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestReplayRejectsUnsorted(t *testing.T) {
 		{User: 0, Time: 2, Loc: geom.Point{X: 0.1, Y: 0.1}},
 		{User: 0, Time: 1, Loc: geom.Point{X: 0.2, Y: 0.1}},
 	}
-	if _, err := Replay(g, checkins, []graph.V{0}, 0, 2, searchWith(s)); err == nil {
+	if _, err := Replay(context.Background(), g, checkins, []graph.V{0}, 0, 2, searchWith(s)); err == nil {
 		t.Fatal("unsorted stream accepted")
 	}
 }
@@ -96,7 +97,7 @@ func TestReplaySkipsInfeasible(t *testing.T) {
 	g := b.Build()
 	s := core.NewSearcher(g)
 	checkins := []gen.Checkin{{User: 0, Time: 1, Loc: geom.Point{X: 0.5, Y: 0.5}}}
-	timelines, err := Replay(g, checkins, []graph.V{0}, 0, 2, searchWith(s))
+	timelines, err := Replay(context.Background(), g, checkins, []graph.V{0}, 0, 2, searchWith(s))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestDecayEndToEnd(t *testing.T) {
 		}
 		return res.Members, res.MCC, nil
 	}
-	timelines, err := Replay(g, checkins, movers, 10, 3, search)
+	timelines, err := Replay(context.Background(), g, checkins, movers, 10, 3, search)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestReplayPropagatesGenuineErrors(t *testing.T) {
 		}
 		return nil, geom.Circle{}, boom
 	}
-	_, err := Replay(g, checkins, []graph.V{0}, 0, 2, search)
+	_, err := Replay(context.Background(), g, checkins, []graph.V{0}, 0, 2, search)
 	if err == nil {
 		t.Fatal("genuine search error swallowed")
 	}
@@ -216,7 +217,7 @@ func TestReplayWithEdgesChangesCommunities(t *testing.T) {
 		{U: 1, V: 2, Time: 4.5, Insert: false},
 		{U: 1, V: 2, Time: 7.5, Insert: true},
 	}
-	timelines, err := ReplayWithEdges(g, checkins, edges, []graph.V{0}, 0, 2, searchWith(s), ApplyVia(s))
+	timelines, err := ReplayWithEdges(context.Background(), g, checkins, edges, []graph.V{0}, 0, 2, searchWith(s), ApplyVia(s))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,15 +259,15 @@ func TestReplayWithEdgesValidation(t *testing.T) {
 	s := core.NewSearcher(g)
 	checkins := []gen.Checkin{{User: 0, Time: 1, Loc: geom.Point{X: 0.1, Y: 0.1}}}
 	edges := []gen.EdgeEvent{{U: 1, V: 2, Time: 0.5}}
-	if _, err := ReplayWithEdges(g, checkins, edges, nil, 0, 2, searchWith(s), nil); err == nil {
+	if _, err := ReplayWithEdges(context.Background(), g, checkins, edges, nil, 0, 2, searchWith(s), nil); err == nil {
 		t.Fatal("edge events without an apply function accepted")
 	}
 	unsorted := []gen.EdgeEvent{{U: 1, V: 2, Time: 0.8}, {U: 1, V: 2, Time: 0.2, Insert: true}}
-	if _, err := ReplayWithEdges(g, checkins, unsorted, nil, 0, 2, searchWith(s), ApplyVia(s)); err == nil {
+	if _, err := ReplayWithEdges(context.Background(), g, checkins, unsorted, nil, 0, 2, searchWith(s), ApplyVia(s)); err == nil {
 		t.Fatal("unsorted edge events accepted")
 	}
 	bad := []gen.EdgeEvent{{U: 1, V: 99, Time: 0.5, Insert: true}}
-	if _, err := ReplayWithEdges(movingWorld(), checkins, bad, nil, 0, 2, searchWith(s), ApplyVia(s)); err == nil {
+	if _, err := ReplayWithEdges(context.Background(), movingWorld(), checkins, bad, nil, 0, 2, searchWith(s), ApplyVia(s)); err == nil {
 		t.Fatal("out-of-range edge event accepted")
 	}
 }

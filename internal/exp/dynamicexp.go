@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"io"
 
 	"sacsearch/internal/core"
@@ -70,7 +71,7 @@ func Fig13(cfg Fig13Config) ([]dynamic.DecayPoint, error) {
 		}
 		return res.Members, res.MCC, nil
 	}
-	timelines, err := dynamic.Replay(g, checkins, movers, cfg.Days*cfg.SplitFrac, cfg.K, search)
+	timelines, err := dynamic.Replay(context.Background(), g, checkins, movers, cfg.Days*cfg.SplitFrac, cfg.K, search)
 	if err != nil {
 		return nil, err
 	}

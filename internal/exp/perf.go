@@ -1,9 +1,14 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
+	"math/rand"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -11,16 +16,21 @@ import (
 	"sacsearch/internal/core"
 	"sacsearch/internal/dataset"
 	"sacsearch/internal/gen"
+	"sacsearch/internal/geom"
 	"sacsearch/internal/graph"
 	"sacsearch/internal/kcore"
+	"sacsearch/internal/snapshot"
 )
 
 // Perf tracking. `sacbench -benchjson <path>` emits a machine-readable
 // snapshot of the query hot path — repeated-query throughput with the
 // candidate cache on/off, hot-path allocations, batch scaling across worker
-// counts, and edge-churn throughput (incremental core maintenance vs
-// re-decomposing) — so the performance trajectory is recorded PR over PR
-// (BENCH_1.json, then BENCH_2.json with the churn metric). Measurements use
+// counts, edge-churn throughput (incremental core maintenance vs
+// re-decomposing), and concurrent serving throughput (lock-coupled RWMutex
+// baseline vs snapshot-isolated readers under the same write churn, plus
+// mid-Exact cancellation latency) — so the performance trajectory is
+// recorded PR over PR (BENCH_1.json, BENCH_2.json with the churn metric,
+// BENCH_3.json with the serving metrics). Measurements use
 // testing.Benchmark so ns/op and allocs/op match what `go test -bench`
 // reports.
 
@@ -42,8 +52,8 @@ type BatchScalePoint struct {
 
 // PerfReport is the full snapshot sacbench writes as JSON.
 type PerfReport struct {
-	Schema     string `json:"schema"` // "sacsearch-bench/2"
-	Dataset    string `json:"dataset"`
+	Schema     string  `json:"schema"` // "sacsearch-bench/3"
+	Dataset    string  `json:"dataset"`
 	Scale      float64 `json:"scale"`
 	Queries    int     `json:"queries"`
 	K          int     `json:"k"`
@@ -63,6 +73,10 @@ type PerfReport struct {
 	// core maintenance versus a full re-decomposition per update.
 	EdgeChurn EdgeChurnPerf `json:"edgeChurn"`
 
+	// Serving: concurrent read throughput under write churn, lock-coupled
+	// versus snapshot-isolated, and cancellation latency (BENCH_3).
+	Serving ServingPerf `json:"serving"`
+
 	ElapsedMillis int64 `json:"elapsedMillis"`
 }
 
@@ -78,6 +92,32 @@ type EdgeChurnPerf struct {
 	Speedup float64 `json:"speedup"`
 	// UpdatesPerSecond is the sustained incremental churn rate.
 	UpdatesPerSecond float64 `json:"updatesPerSecond"`
+}
+
+// ServingPerf compares the two serving architectures under identical
+// concurrent load: GOMAXPROCS reader goroutines answering AppFast queries
+// while one writer goroutine churns check-ins continuously. The locked
+// baseline is PR 2's architecture (queries under RLock, writes under Lock
+// on one RWMutex); the snapshot path is PR 3's (writes through the
+// snapshot.Engine, readers pinning published snapshots, zero locks).
+type ServingPerf struct {
+	// LockedReadNsPerOp is ns per query with RWMutex coupling under churn.
+	LockedReadNsPerOp float64 `json:"lockedReadNsPerOp"`
+	// SnapshotReadNsPerOp is ns per query with snapshot isolation under the
+	// same churn.
+	SnapshotReadNsPerOp float64 `json:"snapshotReadNsPerOp"`
+	// ReadSpeedup = locked ÷ snapshot (≥ 1 means snapshot serving reads at
+	// least as fast as the locked baseline — the acceptance bar).
+	ReadSpeedup float64 `json:"readSpeedup"`
+	// SnapshotReadsPerSec is the sustained snapshot-isolated query rate
+	// across all readers.
+	SnapshotReadsPerSec float64 `json:"snapshotReadsPerSec"`
+	// CancelLatencyMicros is the mean time for ExactCtx to return after its
+	// context fires mid-run (over CancelSamples queries whose deadline fired
+	// before completion).
+	CancelLatencyMicros float64 `json:"cancelLatencyMicros"`
+	// CancelSamples is how many mid-run cancellations the mean covers.
+	CancelSamples int `json:"cancelSamples"`
 }
 
 // Perf measures the report on cfg's first dataset.
@@ -96,7 +136,7 @@ func Perf(cfg Config) (*PerfReport, error) {
 		return nil, errNoQueries(name)
 	}
 	rep := &PerfReport{
-		Schema:     "sacsearch-bench/2",
+		Schema:     "sacsearch-bench/3",
 		Dataset:    name,
 		Scale:      cfg.Scale,
 		Queries:    len(queries),
@@ -153,7 +193,7 @@ func Perf(cfg Config) (*PerfReport, error) {
 		opt := batch.Options{Workers: w, Algorithm: batch.AlgoAppFast, EpsF: 0.5}
 		r := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				batch.RunOn(pool, work, opt)
+				batch.RunOn(context.Background(), pool, work, opt)
 			}
 		})
 		nsPerQuery := float64(r.NsPerOp()) / float64(len(work))
@@ -213,8 +253,169 @@ func Perf(cfg Config) (*PerfReport, error) {
 		}
 	}
 
+	serving, err := measureServing(ds.Graph, queries, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Serving = serving
+
 	rep.ElapsedMillis = time.Since(start).Milliseconds()
 	return rep, nil
+}
+
+// writePeriod paces the churning writer in both serving measurements: a
+// fixed-rate external write stream (~5k check-ins/s) is the thing being
+// served under, so both architectures face identical write load and the
+// numbers compare reader throughput alone.
+const writePeriod = 200 * time.Microsecond
+
+// measureServing benchmarks read throughput under concurrent location churn
+// for both serving architectures, then measures mid-Exact cancellation
+// latency. Each architecture gets its own clone of g, the same query
+// workload, GOMAXPROCS reader goroutines and one writer churning at
+// writePeriod.
+func measureServing(g *graph.Graph, queries []graph.V, cfg Config) (ServingPerf, error) {
+	var out ServingPerf
+
+	// readErr collects the first unexpected query error from the reader
+	// goroutines. b.Fatal is off-limits inside RunParallel bodies (FailNow
+	// must run on the benchmark goroutine, and testing.Benchmark would
+	// swallow the failure anyway), so the error is latched and surfaced
+	// after the measurement.
+	var errMu sync.Mutex
+	var readErr error
+	recordErr := func(err error) {
+		if err != nil && !errors.Is(err, core.ErrNoCommunity) {
+			errMu.Lock()
+			if readErr == nil {
+				readErr = err
+			}
+			errMu.Unlock()
+		}
+	}
+
+	// runArm measures one serving architecture: a paced writer goroutine
+	// driving write (one churn event per call) races GOMAXPROCS reader
+	// goroutines driving read (one query per call, worker checkout
+	// included, matching what the HTTP handler does per request). Both
+	// arms share this harness so the load shape cannot diverge between
+	// them. Each arm takes the best of three runs — the minimum is the
+	// least-noise estimator on a shared machine, and the noise (GC pauses,
+	// scheduler interference) otherwise swamps the few-percent differences
+	// the comparison exists to resolve.
+	runOnce := func(write func(rnd *rand.Rand), read func(q graph.V) error) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rnd := rand.New(rand.NewSource(cfg.Seed))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					write(rnd)
+					time.Sleep(writePeriod)
+				}
+			}()
+			var qi atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					recordErr(read(queries[int(qi.Add(1))%len(queries)]))
+				}
+			})
+			close(stop)
+			wg.Wait()
+		})
+		return float64(r.NsPerOp())
+	}
+	runArm := func(write func(rnd *rand.Rand), read func(q graph.V) error) float64 {
+		best := runOnce(write, read)
+		for i := 1; i < 3; i++ {
+			if ns := runOnce(write, read); ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+
+	// Locked baseline: PR 2's RWMutex coupling.
+	{
+		gl := g.Clone()
+		pool := core.NewPool(core.NewSearcher(gl))
+		n := gl.NumVertices()
+		var mu sync.RWMutex
+		out.LockedReadNsPerOp = runArm(
+			func(rnd *rand.Rand) {
+				v := graph.V(rnd.Intn(n))
+				p := geom.Point{X: rnd.Float64(), Y: rnd.Float64()}
+				mu.Lock()
+				gl.SetLoc(v, p)
+				mu.Unlock()
+			},
+			func(q graph.V) error {
+				w := pool.Get()
+				mu.RLock()
+				_, err := w.AppFast(q, cfg.K, 0.5)
+				mu.RUnlock()
+				pool.Put(w)
+				return err
+			})
+	}
+
+	// Snapshot isolation: PR 3's writer loop + atomic publication.
+	{
+		eng := snapshot.New(g.Clone(), snapshot.Options{})
+		defer eng.Close()
+		ctx := context.Background()
+		n := eng.NumVertices()
+		out.SnapshotReadNsPerOp = runArm(
+			func(rnd *rand.Rand) {
+				v := graph.V(rnd.Intn(n))
+				p := geom.Point{X: rnd.Float64(), Y: rnd.Float64()}
+				_ = eng.CheckIn(ctx, v, p)
+			},
+			func(q graph.V) error {
+				snap := eng.Current()
+				w := snap.Get()
+				_, err := w.AppFast(q, cfg.K, 0.5)
+				snap.Put(w)
+				return err
+			})
+	}
+
+	if out.SnapshotReadNsPerOp > 0 {
+		out.ReadSpeedup = out.LockedReadNsPerOp / out.SnapshotReadNsPerOp
+		out.SnapshotReadsPerSec = 1e9 / out.SnapshotReadNsPerOp
+	}
+
+	// Cancellation latency: give ExactCtx a deadline shorter than its run
+	// time and measure how far past the deadline it returns. Queries that
+	// finish inside the deadline don't sample latency (nothing fired).
+	{
+		s := core.NewSearcher(g.Clone())
+		var total time.Duration
+		for _, q := range queries {
+			budget := 2 * time.Millisecond
+			ctx, cancel := context.WithTimeout(context.Background(), budget)
+			qStart := time.Now()
+			_, err := s.ExactCtx(ctx, q, cfg.K)
+			elapsed := time.Since(qStart)
+			cancel()
+			if errors.Is(err, core.ErrCanceled) {
+				total += elapsed - budget
+				out.CancelSamples++
+			}
+		}
+		if out.CancelSamples > 0 {
+			mean := total / time.Duration(out.CancelSamples)
+			out.CancelLatencyMicros = float64(mean.Microseconds())
+		}
+	}
+	return out, readErr
 }
 
 // WritePerfJSON runs Perf and writes the indented JSON report to w.

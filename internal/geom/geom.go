@@ -50,6 +50,11 @@ func (p Point) Scale(f float64) Point { return Point{p.X * f, p.Y * f} }
 // Mid returns the midpoint of p and o.
 func (p Point) Mid(o Point) Point { return Point{(p.X + o.X) / 2, (p.Y + o.Y) / 2} }
 
+// Finite reports whether f is neither NaN nor ±Inf. Input validation shares
+// it: a NaN coordinate silently poisons every distance sort it touches and
+// ±Inf breaks MCC, so writers reject non-finite coordinates up front.
+func Finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
 // Circle is a closed disk with center C and radius R. The paper writes it
 // O(o, r).
 type Circle struct {

@@ -51,6 +51,7 @@ func (g *Graph) PatchedVertices() int { return len(g.patched) }
 // out of range panic, matching Builder.AddEdge. Not safe for concurrent use
 // with readers.
 func (g *Graph) AddEdge(u, v V) bool {
+	g.mustBeMutable()
 	if u == v {
 		return false
 	}
@@ -73,6 +74,7 @@ func (g *Graph) AddEdge(u, v V) bool {
 // existed. Vertices out of range panic. Not safe for concurrent use with
 // readers.
 func (g *Graph) RemoveEdge(u, v V) bool {
+	g.mustBeMutable()
 	if u == v {
 		return false
 	}
@@ -138,6 +140,7 @@ func (g *Graph) maybeCompact() {
 // not bumped and Neighbors results are identical before and after; only the
 // backing representation moves. Not safe for concurrent use with readers.
 func (g *Graph) Compact() {
+	g.mustBeMutable()
 	if len(g.patched) == 0 {
 		g.patched = nil
 		return

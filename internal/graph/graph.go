@@ -46,6 +46,12 @@ type Graph struct {
 	m      int      // number of undirected edges
 	labels []string // optional external vertex names; may be nil
 
+	// frozen marks the graph as an immutable published view (Freeze). Every
+	// mutator panics on a frozen graph: snapshot-isolated serving publishes
+	// clones to lock-free readers, so a mutation slipping through would be a
+	// data race, not a recoverable error.
+	frozen bool
+
 	// locEpoch counts SetLoc calls. Location-derived caches (sorted candidate
 	// distances, spatial indexes) validate against it instead of re-deriving
 	// from scratch on every query: a cache is stale only when the epoch moved.
@@ -99,10 +105,29 @@ func (g *Graph) Degree(v V) int {
 func (g *Graph) Loc(v V) geom.Point { return g.locs[v] }
 
 // SetLoc updates the location of v. It is not safe for concurrent use with
-// readers.
+// readers, and panics on a frozen graph.
 func (g *Graph) SetLoc(v V, p geom.Point) {
+	g.mustBeMutable()
 	g.locs[v] = p
 	g.locEpoch++
+}
+
+// Freeze marks the graph immutable: every later SetLoc, AddEdge, RemoveEdge
+// or Compact panics. A frozen graph is safe for concurrent readers without
+// any locking — the property snapshot publication relies on. Freezing is
+// one-way; Clone returns a mutable copy.
+func (g *Graph) Freeze() { g.frozen = true }
+
+// Frozen reports whether Freeze has been called.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// mustBeMutable panics when the graph is frozen. Mutating a published
+// snapshot is a programming bug (it races with lock-free readers), so it is
+// a panic rather than an error.
+func (g *Graph) mustBeMutable() {
+	if g.frozen {
+		panic("graph: mutation of a frozen graph")
+	}
 }
 
 // LocEpoch returns the location version: it changes whenever SetLoc is
@@ -134,8 +159,10 @@ func (g *Graph) Label(v V) string {
 	return fmt.Sprintf("v%d", v)
 }
 
-// SetLabels attaches external vertex names; len(labels) must equal n.
+// SetLabels attaches external vertex names; len(labels) must equal n. It is
+// a mutator like SetLoc and panics on a frozen graph.
 func (g *Graph) SetLabels(labels []string) error {
+	g.mustBeMutable()
 	if len(labels) != g.NumVertices() {
 		return fmt.Errorf("graph: %d labels for %d vertices", len(labels), g.NumVertices())
 	}
@@ -176,7 +203,8 @@ func (g *Graph) NearestNeighbor(q V) V {
 // are never edited in place (mutations go through the delta layer and
 // compaction replaces them wholesale) — while the delta layer, locations and
 // labels are copied so the clone can diverge, which the dynamic-replay
-// experiments rely on.
+// experiments and snapshot publication rely on. The clone is always mutable,
+// even when g is frozen.
 func (g *Graph) Clone() *Graph {
 	locs := make([]geom.Point, len(g.locs))
 	copy(locs, g.locs)

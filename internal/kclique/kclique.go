@@ -264,6 +264,16 @@ func NewChecker(g *graph.Graph) *Checker {
 	return &Checker{g: g, inS: graph.NewMarker(g.NumVertices())}
 }
 
+// SetGraph rebinds the Checker to another graph with the same vertex count
+// (snapshot serving hands workers freshly published clones). A different
+// vertex count panics.
+func (c *Checker) SetGraph(g *graph.Graph) {
+	if g.NumVertices() != c.inS.Len() {
+		panic("kclique: SetGraph with a different vertex count")
+	}
+	c.g = g
+}
+
 // KCliqueWithin returns the vertices of the k-clique community of G[S]
 // containing q, or nil. The returned slice is freshly allocated per call
 // (clique percolation has no incremental scratch worth keeping).

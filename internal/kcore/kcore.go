@@ -125,6 +125,17 @@ func NewPeeler(g *graph.Graph) *Peeler {
 	}
 }
 
+// SetGraph rebinds the Peeler to another graph with the same vertex count —
+// the snapshot-serving path hands pooled workers a freshly published clone,
+// and vertex counts never change, so the scratch buffers carry over. A
+// different vertex count panics: that is a different graph, not a snapshot.
+func (p *Peeler) SetGraph(g *graph.Graph) {
+	if g.NumVertices() != p.inS.Len() {
+		panic("kcore: SetGraph with a different vertex count")
+	}
+	p.g = g
+}
+
 // KCoreWithin returns the vertices of the connected k-core of G[S]
 // containing q, or nil when none exists. The returned slice is owned by the
 // Peeler and valid until the next call; callers that retain it must copy.

@@ -188,6 +188,16 @@ func NewChecker(g *graph.Graph) *Checker {
 	}
 }
 
+// SetGraph rebinds the Checker to another graph with the same vertex count
+// (snapshot serving hands workers freshly published clones). A different
+// vertex count panics.
+func (c *Checker) SetGraph(g *graph.Graph) {
+	if g.NumVertices() != c.inS.Len() {
+		panic("ktruss: SetGraph with a different vertex count")
+	}
+	c.g = g
+}
+
 // KTrussWithin returns the vertices of the connected k-truss of G[S]
 // containing q, or nil. The returned slice is owned by the Checker until the
 // next call.

@@ -5,7 +5,7 @@
 //
 // Endpoints:
 //
-//	GET  /api/health            service and dataset summary
+//	GET  /api/health            service, dataset and snapshot/writer status
 //	GET  /api/algorithms        available algorithms and their parameters
 //	GET  /api/vertex/{id}       one vertex: location, degree, core number
 //	POST /api/query             one SAC query
@@ -13,55 +13,93 @@
 //	POST /api/checkin           update one vertex's location (dynamic graphs)
 //	POST /api/edge              insert or delete one friendship edge
 //
-// Concurrency model: queries run on core.Pool workers without coordination —
-// each pooled Searcher keeps its scratch space and warmed candidate cache
-// across requests, and batch requests fan out over the same pool. Mutations
-// are guarded by a RWMutex: queries hold the read lock; check-ins and edge
-// updates the write lock. The graph's location epoch invalidates the
-// workers' cached distance orderings, its topology epoch invalidates their
-// cached community memberships, and edge updates incrementally repair the
-// shared core decomposition (kcore.Maintainer via the base searcher) — so
-// workers never serve a stale community after churn. This extends the
-// paper's dynamic setting ("a user's location often changes frequently") to
-// friendship churn, which real geo-social backends see as well.
+// Concurrency model: snapshot isolation, no locks on the query path. A
+// single writer goroutine (internal/snapshot.Engine) owns the mutable
+// graph, applies check-ins and edge events in batches, and publishes
+// immutable snapshots through an atomic pointer. Every query pins the
+// current snapshot with one atomic load and runs on a pooled worker rebound
+// to that snapshot — readers never block writers, writers never block
+// readers, and a query observes exactly one published state from start to
+// finish. Mutating requests return once the snapshot containing their write
+// is published (read-your-writes). Each request carries a context with a
+// per-request deadline: an abandoned client or an expired deadline cancels
+// the query at its next loop boundary instead of burning CPU to completion.
+// POST bodies are capped by http.MaxBytesReader; oversized payloads come
+// back as 413 before any JSON is decoded.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"net/http"
 	"strconv"
-	"sync"
+	"time"
 
 	"sacsearch/internal/batch"
 	"sacsearch/internal/core"
 	"sacsearch/internal/geom"
 	"sacsearch/internal/graph"
+	"sacsearch/internal/snapshot"
 )
+
+// Config tunes a Server. The zero value serves defaults.
+type Config struct {
+	// QueryTimeout is the per-request deadline applied on top of the
+	// client's own cancellation for /api/query and /api/batch, and the wait
+	// bound for /api/checkin and /api/edge publication. Default 15s.
+	QueryTimeout time.Duration
+	// MaxBodyBytes caps every POST body; larger payloads are rejected with
+	// 413 before decoding. Default 1 MiB.
+	MaxBodyBytes int64
+	// WriterQueue and WriterBatch configure the snapshot engine's event
+	// queue capacity and maximum events applied per publication (defaults
+	// from internal/snapshot).
+	WriterQueue int
+	WriterBatch int
+}
+
+func (c Config) queryTimeout() time.Duration {
+	if c.QueryTimeout > 0 {
+		return c.QueryTimeout
+	}
+	return 15 * time.Second
+}
+
+func (c Config) maxBodyBytes() int64 {
+	if c.MaxBodyBytes > 0 {
+		return c.MaxBodyBytes
+	}
+	return 1 << 20
+}
 
 // Server serves SAC queries over one spatial graph.
 type Server struct {
 	name string
-	g    *graph.Graph
-	base *core.Searcher
-
-	mu   sync.RWMutex // guards vertex locations (check-ins)
-	pool *core.Pool   // searcher workers for concurrent queries and batches
-
-	mux *http.ServeMux
+	eng  *snapshot.Engine
+	cfg  Config
+	mux  *http.ServeMux
 }
 
-// New creates a server over g. name labels the dataset in /api/health.
+// New creates a server over g with default configuration. The server takes
+// ownership of g (its writer goroutine mutates it); release the writer with
+// Close when done. name labels the dataset in /api/health.
 func New(name string, g *graph.Graph) *Server {
-	base := core.NewSearcher(g)
+	return NewWithConfig(name, g, Config{})
+}
+
+// NewWithConfig creates a server over g with explicit configuration.
+func NewWithConfig(name string, g *graph.Graph, cfg Config) *Server {
 	s := &Server{
 		name: name,
-		g:    g,
-		base: base,
-		pool: core.NewPool(base),
-		mux:  http.NewServeMux(),
+		eng: snapshot.New(g, snapshot.Options{
+			QueueLen: cfg.WriterQueue,
+			BatchMax: cfg.WriterBatch,
+		}),
+		cfg: cfg,
+		mux: http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /api/health", s.handleHealth)
 	s.mux.HandleFunc("GET /api/algorithms", s.handleAlgorithms)
@@ -72,6 +110,13 @@ func New(name string, g *graph.Graph) *Server {
 	s.mux.HandleFunc("POST /api/edge", s.handleEdge)
 	return s
 }
+
+// Close stops the writer goroutine. In-flight queries finish against their
+// pinned snapshots; pending writes fail with an error.
+func (s *Server) Close() { s.eng.Close() }
+
+// Engine exposes the snapshot engine (benchmarks and embedding callers).
+func (s *Server) Engine() *snapshot.Engine { return s.eng }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -178,17 +223,23 @@ type errorJSON struct {
 
 // --- handlers ---------------------------------------------------------------
 
+// handleHealth reports the published snapshot's epochs, the writer queue
+// depth and the worker-pool size, so operators can see publication lag at a
+// glance: a growing writerQueue with a stalled snapshotSeq means the writer
+// is behind.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	edges := s.g.NumEdges()
-	topo := s.g.TopoEpoch()
-	s.mu.RUnlock()
+	snap := s.eng.Current()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"dataset":   s.name,
-		"vertices":  s.g.NumVertices(),
-		"edges":     edges,
-		"topoEpoch": topo,
+		"status":        "ok",
+		"dataset":       s.name,
+		"vertices":      snap.Graph().NumVertices(),
+		"edges":         snap.Edges(),
+		"topoEpoch":     snap.TopoEpoch(),
+		"locEpoch":      snap.LocEpoch(),
+		"snapshotSeq":   snap.Seq(),
+		"writerQueue":   s.eng.QueueDepth(),
+		"eventsApplied": s.eng.Applied(),
+		"poolClones":    s.eng.PoolClones(),
 	})
 }
 
@@ -204,39 +255,72 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+	snap := s.eng.Current()
+	g := snap.Graph()
 	id, err := strconv.Atoi(r.PathValue("id"))
-	if err != nil || id < 0 || id >= s.g.NumVertices() {
+	if err != nil || id < 0 || id >= g.NumVertices() {
 		writeJSON(w, http.StatusNotFound, errorJSON{fmt.Sprintf("unknown vertex %q", r.PathValue("id"))})
 		return
 	}
 	v := graph.V(id)
-	s.mu.RLock()
-	loc := s.g.Loc(v)
-	degree := s.g.Degree(v)
-	coreNum := s.base.CoreNumber(v)
-	s.mu.RUnlock()
+	loc := g.Loc(v)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"id":     v,
 		"x":      loc.X,
 		"y":      loc.Y,
-		"degree": degree,
-		"core":   coreNum,
+		"degree": g.Degree(v),
+		"core":   snap.CoreNumber(v),
 	})
+}
+
+// decodeJSON decodes a POST body under the configured size cap, translating
+// an exceeded cap into 413 and malformed JSON into 400. It reports whether
+// decoding succeeded; on failure the response has been written.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes())
+	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorJSON{fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, errorJSON{"invalid JSON: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// requestCtx derives the per-request context: the client's own cancellation
+// plus the server's query deadline.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.cfg.queryTimeout())
+}
+
+// writeQueryError maps a query error onto a status code.
+func writeQueryError(w http.ResponseWriter, err error) {
+	status := http.StatusUnprocessableEntity
+	switch {
+	case errors.Is(err, core.ErrNoCommunity):
+		status = http.StatusNotFound
+	case errors.Is(err, core.ErrCanceled):
+		// The deadline fired (a vanished client never reads the response, so
+		// in practice this status reports server-side timeouts).
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorJSON{err.Error()})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{"invalid JSON: " + err.Error()})
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	res, err := s.runQuery(req)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	res, err := s.runQuery(ctx, req)
 	if err != nil {
-		status := http.StatusUnprocessableEntity
-		if errors.Is(err, core.ErrNoCommunity) {
-			status = http.StatusNotFound
-		}
-		writeJSON(w, status, errorJSON{err.Error()})
+		writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toQueryResponse(req.Algo, res))
@@ -255,40 +339,40 @@ func epsOrDefault(p *float64, def float64) (float64, error) {
 	return *p, nil
 }
 
-// runQuery dispatches one request on a pooled searcher under the read lock.
-func (s *Server) runQuery(req QueryRequest) (*core.Result, error) {
-	searcher := s.pool.Get()
-	defer s.pool.Put(searcher)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+// runQuery pins the current snapshot and dispatches one request on a pooled
+// worker rebound to it — no locks anywhere on this path.
+func (s *Server) runQuery(ctx context.Context, req QueryRequest) (*core.Result, error) {
+	snap := s.eng.Current()
+	searcher := snap.Get()
+	defer snap.Put(searcher)
 	switch req.Algo {
 	case "", "appfast":
 		epsF, err := epsOrDefault(req.EpsF, 0.5)
 		if err != nil {
 			return nil, err
 		}
-		return searcher.AppFast(req.Q, req.K, epsF)
+		return searcher.AppFastCtx(ctx, req.Q, req.K, epsF)
 	case "appinc":
-		return searcher.AppInc(req.Q, req.K)
+		return searcher.AppIncCtx(ctx, req.Q, req.K)
 	case "appacc":
 		epsA, err := epsOrDefault(req.EpsA, 0.5)
 		if err != nil {
 			return nil, err
 		}
-		return searcher.AppAcc(req.Q, req.K, epsA)
+		return searcher.AppAccCtx(ctx, req.Q, req.K, epsA)
 	case "exact+":
 		epsA, err := epsOrDefault(req.EpsA, 1e-3)
 		if err != nil {
 			return nil, err
 		}
-		return searcher.ExactPlus(req.Q, req.K, epsA)
+		return searcher.ExactPlusCtx(ctx, req.Q, req.K, epsA)
 	case "exact":
-		return searcher.Exact(req.Q, req.K)
+		return searcher.ExactCtx(ctx, req.Q, req.K)
 	case "theta":
 		if !(req.Theta > 0) || math.IsInf(req.Theta, 0) {
 			return nil, fmt.Errorf("server: algo \"theta\" requires finite theta > 0")
 		}
-		return searcher.ThetaSAC(req.Q, req.K, req.Theta)
+		return searcher.ThetaSACCtx(ctx, req.Q, req.K, req.Theta)
 	default:
 		return nil, fmt.Errorf("server: unknown algorithm %q", req.Algo)
 	}
@@ -296,8 +380,7 @@ func (s *Server) runQuery(req QueryRequest) (*core.Result, error) {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{"invalid JSON: " + err.Error()})
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if len(req.Queries) == 0 {
@@ -345,9 +428,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, q := range req.Queries {
 		queries[i] = batch.Query{Q: q.Q, K: q.K}
 	}
-	s.mu.RLock()
-	items := batch.RunOn(s.pool, queries, opt)
-	s.mu.RUnlock()
+	// The whole batch runs pinned to one snapshot: the Snap is the worker
+	// source, so every worker is rebound to the same published state and the
+	// batch deadline cancels stragglers mid-algorithm.
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	items := batch.RunOn(ctx, s.eng.Current(), queries, opt)
+	// A batch whose deadline actually cut queries short is a server-side
+	// timeout, same as a single query's: report 503 rather than
+	// 200-with-error-items, so status-keyed clients and monitors see it.
+	// The signal is the items themselves, not ctx.Err() — a deadline that
+	// fires in the instant after the last query completed should not throw
+	// a fully successful batch away. (Partial results are discarded; the
+	// client's retry re-runs the batch.)
+	for _, it := range items {
+		if it.Err != nil && errors.Is(it.Err, core.ErrCanceled) {
+			writeJSON(w, http.StatusServiceUnavailable, errorJSON{"batch deadline exceeded: " + it.Err.Error()})
+			return
+		}
+	}
 
 	resp := BatchResponse{Items: make([]BatchItemJSON, len(items))}
 	for i, it := range items {
@@ -363,41 +462,54 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// writeWriteError maps a mutation error (checkin/edge) onto a status code.
+func (s *Server) writeWriteError(w http.ResponseWriter, err error) {
+	status := http.StatusUnprocessableEntity
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, snapshot.ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorJSON{err.Error()})
+}
+
 func (s *Server) handleCheckin(w http.ResponseWriter, r *http.Request) {
 	var req CheckinRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{"invalid JSON: " + err.Error()})
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	if req.V < 0 || int(req.V) >= s.g.NumVertices() {
+	if req.V < 0 || int(req.V) >= s.eng.NumVertices() {
 		writeJSON(w, http.StatusNotFound, errorJSON{fmt.Sprintf("unknown vertex %d", req.V)})
 		return
 	}
 	// Reject non-finite coordinates before they reach the graph: NaN poisons
 	// every distance sort it touches and ±Inf breaks geom.MCC, silently, on
 	// queries that may run long after this request returned 200.
-	if !finite(req.X) || !finite(req.Y) {
+	if !geom.Finite(req.X) || !geom.Finite(req.Y) {
 		writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("coordinates (%v, %v) must be finite", req.X, req.Y)})
 		return
 	}
-	s.mu.Lock()
-	s.g.SetLoc(req.V, geom.Point{X: req.X, Y: req.Y})
-	s.mu.Unlock()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	if err := s.eng.CheckIn(ctx, req.V, geom.Point{X: req.X, Y: req.Y}); err != nil {
+		s.writeWriteError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 }
 
-// handleEdge mutates the friendship graph. Updates run under the write lock
-// and go through the base searcher, which repairs the shared core
-// decomposition incrementally; pooled workers pick the change up via the
-// graph's topology epoch on their next query.
+// handleEdge mutates the friendship graph through the writer goroutine,
+// which repairs the core decomposition incrementally and publishes a
+// snapshot containing the change before this handler responds; queries
+// pinned to older snapshots keep serving the pre-change state.
 func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 	var req EdgeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{"invalid JSON: " + err.Error()})
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	for _, v := range [2]graph.V{req.U, req.V} {
-		if v < 0 || int(v) >= s.g.NumVertices() {
+		if v < 0 || int(v) >= s.eng.NumVertices() {
 			writeJSON(w, http.StatusNotFound, errorJSON{fmt.Sprintf("unknown vertex %d", v)})
 			return
 		}
@@ -406,29 +518,25 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("self-loop (%d,%d) rejected", req.U, req.V)})
 		return
 	}
-	var apply func(u, v graph.V) (bool, error)
+	var insert bool
 	switch req.Op {
 	case "insert":
-		apply = s.base.ApplyEdgeInsert
+		insert = true
 	case "delete":
-		apply = s.base.ApplyEdgeRemove
+		insert = false
 	default:
 		writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("unknown op %q (want insert or delete)", req.Op)})
 		return
 	}
-	s.mu.Lock()
-	changed, err := apply(req.U, req.V)
-	edges := s.g.NumEdges()
-	s.mu.Unlock()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	changed, err := s.eng.UpdateEdge(ctx, req.U, req.V, insert)
 	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorJSON{err.Error()})
+		s.writeWriteError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, EdgeResponse{OK: true, Changed: changed, Edges: edges})
+	writeJSON(w, http.StatusOK, EdgeResponse{OK: true, Changed: changed, Edges: s.eng.Current().Edges()})
 }
-
-// finite reports whether f is neither NaN nor ±Inf.
-func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
 
 // toQueryResponse converts a core result to the wire shape.
 func toQueryResponse(algo string, res *core.Result) QueryResponse {

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"sacsearch/internal/core"
 	"sacsearch/internal/geom"
@@ -43,7 +44,9 @@ func testGraph() *graph.Graph {
 func newTestServer(t *testing.T) (*httptest.Server, *graph.Graph) {
 	t.Helper()
 	g := testGraph()
-	ts := httptest.NewServer(New("test", g))
+	srv := New("test", g)
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return ts, g
 }
@@ -368,7 +371,9 @@ func telescopeGraph() *graph.Graph {
 // epsF means the 0.5 default, while an explicit 0 must reach AppFast(0)
 // instead of being coerced back to the default.
 func TestQueryExplicitZeroEpsF(t *testing.T) {
-	ts := httptest.NewServer(New("telescope", telescopeGraph()))
+	srv := New("telescope", telescopeGraph())
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 
 	_, body := postJSON(t, ts.URL+"/api/query", QueryRequest{Q: 0, K: 2})
@@ -549,6 +554,100 @@ func TestEdgeEndpoint(t *testing.T) {
 	}
 	if status, _ = edge(0, 1, "frobnicate"); status != http.StatusBadRequest {
 		t.Fatalf("unknown op: status=%d", status)
+	}
+}
+
+// TestHealthSnapshotFields pins the operator-facing health satellite: the
+// endpoint reports the published snapshot's epochs and sequence, the writer
+// queue depth and the worker-pool size, and the epochs advance with writes.
+func TestHealthSnapshotFields(t *testing.T) {
+	ts, _ := newTestServer(t)
+	type health struct {
+		SnapshotSeq   uint64 `json:"snapshotSeq"`
+		LocEpoch      uint64 `json:"locEpoch"`
+		TopoEpoch     uint64 `json:"topoEpoch"`
+		WriterQueue   *int   `json:"writerQueue"`
+		PoolClones    *int64 `json:"poolClones"`
+		EventsApplied uint64 `json:"eventsApplied"`
+	}
+	var before health
+	getJSON(t, ts.URL+"/api/health", &before)
+	if before.SnapshotSeq < 1 || before.WriterQueue == nil || before.PoolClones == nil {
+		t.Fatalf("health missing snapshot fields: %+v", before)
+	}
+	// A check-in and an edge update must advance their epochs and the
+	// sequence number.
+	postJSON(t, ts.URL+"/api/checkin", CheckinRequest{V: 2, X: 0.4, Y: 0.4})
+	postJSON(t, ts.URL+"/api/edge", EdgeRequest{U: 0, V: 30, Op: "insert"})
+	var after health
+	getJSON(t, ts.URL+"/api/health", &after)
+	if after.SnapshotSeq <= before.SnapshotSeq {
+		t.Fatalf("snapshotSeq did not advance: %d -> %d", before.SnapshotSeq, after.SnapshotSeq)
+	}
+	if after.LocEpoch <= before.LocEpoch || after.TopoEpoch <= before.TopoEpoch {
+		t.Fatalf("epochs did not advance: %+v -> %+v", before, after)
+	}
+	if after.EventsApplied < 2 {
+		t.Fatalf("eventsApplied = %d, want ≥ 2", after.EventsApplied)
+	}
+}
+
+// TestOversizedBodyRejected pins the MaxBytesReader satellite: a POST body
+// over the configured cap comes back as 413 without being decoded, on every
+// mutating and querying endpoint.
+func TestOversizedBodyRejected(t *testing.T) {
+	srv := NewWithConfig("test", testGraph(), Config{MaxBodyBytes: 512})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	big := BatchRequest{}
+	for i := 0; i < 2000; i++ {
+		big.Queries = append(big.Queries, struct {
+			Q graph.V `json:"q"`
+			K int     `json:"k"`
+		}{graph.V(i % 36), 4})
+	}
+	for _, ep := range []string{"/api/batch", "/api/query", "/api/checkin", "/api/edge"} {
+		resp, _ := postJSON(t, ts.URL+ep, big)
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s oversized body: status = %d, want 413", ep, resp.StatusCode)
+		}
+	}
+	// Within the cap still works.
+	resp, body := postJSON(t, ts.URL+"/api/query", QueryRequest{Q: 1, K: 4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small body after cap: status = %d body %s", resp.StatusCode, body)
+	}
+}
+
+// TestQueryDeadline pins the per-request deadline: with an immediately
+// expiring budget, queries come back 503 as ErrCanceled instead of running
+// to completion.
+func TestQueryDeadline(t *testing.T) {
+	srv := NewWithConfig("test", testGraph(), Config{QueryTimeout: time.Nanosecond})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	resp, body := postJSON(t, ts.URL+"/api/query", QueryRequest{Q: 1, K: 4, Algo: "exact"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("expired deadline: status = %d body %s, want 503", resp.StatusCode, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("expired deadline: body %s", body)
+	}
+	// Batches report the same way: 503, not 200 with per-item errors.
+	req := BatchRequest{}
+	req.Queries = append(req.Queries, struct {
+		Q graph.V `json:"q"`
+		K int     `json:"k"`
+	}{1, 4})
+	resp, body = postJSON(t, ts.URL+"/api/batch", req)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("expired batch deadline: status = %d body %s, want 503", resp.StatusCode, body)
 	}
 }
 

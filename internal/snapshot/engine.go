@@ -1,0 +1,372 @@
+// Package snapshot implements MVCC-style snapshot isolation for SAC serving:
+// one writer goroutine owns the mutable graph and publishes immutable Snap
+// values through an atomic pointer, so queries pin a snapshot and run with
+// zero locks — readers never observe torn state, and a burst of check-ins or
+// edge churn never stalls a single query.
+//
+// Architecture:
+//
+//	CheckIn / UpdateEdge ──► events channel ──► writer goroutine
+//	                                            │  applies a batch to the
+//	                                            │  mutable graph (SetLoc,
+//	                                            │  kcore.Maintainer repair)
+//	                                            ▼
+//	                              publish: Clone + Freeze the graph,
+//	                              SnapshotOnto a base Searcher (O(n) core
+//	                              copy, no re-decomposition), store the
+//	                              Snap in an atomic.Pointer
+//	                                            ▼
+//	queries ──► Current() ──► Snap.Get() ──► pooled worker rebound to the
+//	            (atomic load)               pinned snapshot (AdoptFrom: O(1),
+//	                                        warm candidate cache kept)
+//
+// Writers batch: every event waits for the publication that contains it
+// (read-your-writes), but a burst of events is applied together and
+// published once, so publication cost — an O(n) location copy plus an O(n)
+// core-slice copy; the CSR is shared — amortizes over the burst. Workers
+// rebind across snapshots instead of re-cloning, and their epoch-validated
+// candidate caches drop exactly the state the snapshot actually invalidated
+// (sorted views on a location change, memberships on a topology change).
+package snapshot
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sacsearch/internal/core"
+	"sacsearch/internal/geom"
+	"sacsearch/internal/graph"
+)
+
+// ErrClosed is returned by writes submitted to a closed Engine.
+var ErrClosed = errors.New("snapshot: engine closed")
+
+// Options configures an Engine. The zero value serves defaults.
+type Options struct {
+	// QueueLen is the writer queue capacity; writes beyond it block the
+	// submitter (back-pressure, not unbounded buffering). Default 1024.
+	QueueLen int
+	// BatchMax is the most events the writer applies before publishing a
+	// snapshot. Larger batches amortize publication cost under write bursts
+	// at the price of write latency. Default 128.
+	BatchMax int
+}
+
+func (o Options) queueLen() int {
+	if o.QueueLen > 0 {
+		return o.QueueLen
+	}
+	return 1024
+}
+
+func (o Options) batchMax() int {
+	if o.BatchMax > 0 {
+		return o.BatchMax
+	}
+	return 128
+}
+
+// Engine owns one mutable spatial graph and serves immutable snapshots of
+// it. All methods are safe for concurrent use; the mutable graph is touched
+// only by the writer goroutine.
+type Engine struct {
+	pool *core.Pool
+	cur  atomic.Pointer[Snap]
+
+	events chan event
+	stop   chan struct{}
+	done   chan struct{}
+	closed sync.Once
+
+	// Writer-owned state: the live graph, the master searcher whose
+	// kcore.Maintainer repairs the decomposition incrementally, and the
+	// previously published snapshot (so location-only publications share its
+	// immutable core slice instead of copying). Nothing outside the writer
+	// goroutine may touch these after New returns.
+	g    *graph.Graph
+	base *core.Searcher
+	prev *Snap
+
+	published atomic.Uint64 // snapshots published (== latest Snap.Seq)
+	applied   atomic.Uint64 // events applied
+}
+
+type opKind uint8
+
+const (
+	opCheckin opKind = iota
+	opEdge
+)
+
+// result is one applied event's outcome, delivered after the snapshot
+// containing the event is published.
+type result struct {
+	changed bool
+	err     error
+}
+
+type event struct {
+	op     opKind
+	v      graph.V    // opCheckin
+	loc    geom.Point // opCheckin
+	u, w   graph.V    // opEdge
+	insert bool       // opEdge
+	done   chan result
+}
+
+// New takes ownership of g (the caller must not mutate or query it again),
+// publishes the initial snapshot and starts the writer goroutine. Close
+// releases the writer.
+func New(g *graph.Graph, opt Options) *Engine {
+	e := &Engine{
+		g:      g,
+		base:   core.NewSearcher(g),
+		events: make(chan event, opt.queueLen()),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	snap := e.freeze()
+	e.pool = core.NewPool(snap.base)
+	e.cur.Store(snap)
+	go e.writer(opt.batchMax())
+	return e
+}
+
+// Current returns the latest published snapshot: one atomic load, no locks.
+// The snapshot stays valid (and immutable) for as long as the caller holds
+// it, however many publications happen meanwhile.
+func (e *Engine) Current() *Snap { return e.cur.Load() }
+
+// QueueDepth returns the number of writes waiting for the writer goroutine —
+// the publication-lag signal /api/health reports.
+func (e *Engine) QueueDepth() int { return len(e.events) }
+
+// Published returns the number of snapshots published so far.
+func (e *Engine) Published() uint64 { return e.published.Load() }
+
+// Applied returns the number of write events applied so far.
+func (e *Engine) Applied() uint64 { return e.applied.Load() }
+
+// PoolClones returns the number of searcher workers ever created to serve
+// queries — the peak-concurrency signal /api/health reports.
+func (e *Engine) PoolClones() int64 { return e.pool.Created() }
+
+// NumVertices returns the (immutable) vertex count.
+func (e *Engine) NumVertices() int { return e.g.NumVertices() }
+
+// CheckIn moves vertex v to p in the next published snapshot. It returns
+// after that snapshot is visible to Current (read-your-writes), when ctx
+// fires (the write may still be applied afterwards), or when the engine
+// closes.
+func (e *Engine) CheckIn(ctx context.Context, v graph.V, p geom.Point) error {
+	if v < 0 || int(v) >= e.NumVertices() {
+		return fmt.Errorf("snapshot: vertex %d out of range [0,%d)", v, e.NumVertices())
+	}
+	if !geom.Finite(p.X) || !geom.Finite(p.Y) {
+		return fmt.Errorf("snapshot: coordinates (%v, %v) must be finite", p.X, p.Y)
+	}
+	_, err := e.submit(ctx, event{op: opCheckin, v: v, loc: p, done: make(chan result, 1)})
+	return err
+}
+
+// UpdateEdge inserts (insert=true) or deletes the undirected edge {u, v} in
+// the next published snapshot, repairing the writer's core decomposition
+// incrementally. It reports whether the edge set changed, with the same
+// blocking semantics as CheckIn.
+func (e *Engine) UpdateEdge(ctx context.Context, u, v graph.V, insert bool) (bool, error) {
+	r, err := e.submit(ctx, event{op: opEdge, u: u, w: v, insert: insert, done: make(chan result, 1)})
+	if err != nil {
+		return false, err
+	}
+	return r.changed, r.err
+}
+
+// Close stops the writer goroutine and fails pending writes with ErrClosed.
+// The last published snapshot remains readable.
+func (e *Engine) Close() {
+	e.closed.Do(func() { close(e.stop) })
+	<-e.done
+}
+
+// submit enqueues ev and waits for its post-publication result.
+func (e *Engine) submit(ctx context.Context, ev event) (result, error) {
+	select {
+	case e.events <- ev:
+	case <-e.stop:
+		return result{}, ErrClosed
+	case <-ctx.Done():
+		return result{}, ctx.Err()
+	}
+	select {
+	case r := <-ev.done:
+		return r, nil
+	case <-e.stop:
+		// The writer finishes a batch it has already dequeued even as stop
+		// closes, so an applied-and-published write must never be reported
+		// as failed: wait for the writer to exit (e.done), then a final
+		// non-blocking drain of ev.done is authoritative — nothing can send
+		// on it afterwards.
+		select {
+		case r := <-ev.done:
+			return r, nil
+		case <-e.done:
+		}
+		select {
+		case r := <-ev.done:
+			return r, nil
+		default:
+		}
+		return result{}, ErrClosed
+	case <-ctx.Done():
+		// The event may still be applied later (documented); prefer a
+		// result that already landed.
+		select {
+		case r := <-ev.done:
+			return r, nil
+		default:
+		}
+		return result{}, ctx.Err()
+	}
+}
+
+// writer is the single goroutine that owns the mutable graph: it drains
+// bursts of events, applies them, publishes one snapshot per burst, and only
+// then releases the events' waiters.
+func (e *Engine) writer(batchMax int) {
+	defer close(e.done)
+	pending := make([]event, 0, batchMax)
+	results := make([]result, 0, batchMax)
+	for {
+		select {
+		case <-e.stop:
+			return
+		case ev := <-e.events:
+			pending = append(pending[:0], ev)
+		drain:
+			for len(pending) < batchMax {
+				select {
+				case more := <-e.events:
+					pending = append(pending, more)
+				default:
+					break drain
+				}
+			}
+			results = results[:0]
+			for _, ev := range pending {
+				results = append(results, e.apply(ev))
+			}
+			// Publish only when the batch actually moved an epoch: a batch
+			// of rejected or no-op events (re-inserting a present edge, say)
+			// changed nothing, so the previous snapshot already contains
+			// every write — skipping the O(n) clone keeps garbage write
+			// traffic from turning into allocation churn, and snapshotSeq
+			// keeps meaning "distinct published states".
+			if e.prev == nil ||
+				e.g.LocEpoch() != e.prev.locEpoch || e.g.TopoEpoch() != e.prev.topoEpoch {
+				e.cur.Store(e.freeze())
+			}
+			for i, ev := range pending {
+				ev.done <- results[i]
+			}
+		}
+	}
+}
+
+// apply mutates the writer's graph with one event. Only events that
+// actually reached the graph count toward Applied; rejected ones (edge
+// validation errors) do not.
+func (e *Engine) apply(ev event) result {
+	switch ev.op {
+	case opCheckin:
+		e.g.SetLoc(ev.v, ev.loc)
+		e.applied.Add(1)
+		return result{changed: true}
+	default:
+		var changed bool
+		var err error
+		if ev.insert {
+			changed, err = e.base.ApplyEdgeInsert(ev.u, ev.w)
+		} else {
+			changed, err = e.base.ApplyEdgeRemove(ev.u, ev.w)
+		}
+		if err == nil {
+			e.applied.Add(1)
+		}
+		return result{changed: changed, err: err}
+	}
+}
+
+// freeze clones the writer's graph into an immutable view, derives its base
+// searcher (O(n) core copy, no re-decomposition) and repoints the worker
+// pool, returning the new snapshot.
+func (e *Engine) freeze() *Snap {
+	frozen := e.g.Clone()
+	frozen.Freeze()
+	// A publication whose topology epoch matches the previous one changed
+	// only locations: the core decomposition is byte-identical, so the new
+	// base shares the previous snapshot's immutable core slice.
+	var coresFrom *core.Searcher
+	if e.prev != nil && e.prev.topoEpoch == frozen.TopoEpoch() {
+		coresFrom = e.prev.base
+	}
+	base := e.base.SnapshotOnto(frozen, coresFrom)
+	snap := &Snap{
+		eng:       e,
+		g:         frozen,
+		base:      base,
+		seq:       e.published.Add(1),
+		edges:     frozen.NumEdges(),
+		locEpoch:  frozen.LocEpoch(),
+		topoEpoch: frozen.TopoEpoch(),
+	}
+	if e.pool != nil {
+		e.pool.SetBase(base)
+	}
+	e.prev = snap
+	return snap
+}
+
+// Snap is one immutable published view: a frozen graph plus a base searcher
+// carrying the core decomposition as of publication, keyed by the location
+// and topology epochs it was frozen at. A Snap is safe for any number of
+// concurrent readers; Get/Put satisfy the batch package's searcher source,
+// so whole batches run pinned to one snapshot.
+type Snap struct {
+	eng       *Engine
+	g         *graph.Graph
+	base      *core.Searcher
+	seq       uint64
+	edges     int
+	locEpoch  uint64
+	topoEpoch uint64
+}
+
+// Graph returns the frozen graph view. It never mutates; reading it
+// concurrently is safe without locks.
+func (sn *Snap) Graph() *graph.Graph { return sn.g }
+
+// Seq returns the publication sequence number (1 = the initial snapshot).
+func (sn *Snap) Seq() uint64 { return sn.seq }
+
+// Edges returns the undirected edge count at publication.
+func (sn *Snap) Edges() int { return sn.edges }
+
+// LocEpoch returns the location epoch the snapshot was frozen at.
+func (sn *Snap) LocEpoch() uint64 { return sn.locEpoch }
+
+// TopoEpoch returns the topology epoch the snapshot was frozen at.
+func (sn *Snap) TopoEpoch() uint64 { return sn.topoEpoch }
+
+// CoreNumber returns the k-core number of v as of this snapshot.
+func (sn *Snap) CoreNumber(v graph.V) int { return sn.base.CoreNumber(v) }
+
+// Get returns a pooled worker rebound to this snapshot. Queries on it see
+// exactly the published state, whatever the writer does meanwhile. Return
+// the worker with Put.
+func (sn *Snap) Get() *core.Searcher { return sn.eng.pool.GetFor(sn.base) }
+
+// Put returns a worker obtained from Get.
+func (sn *Snap) Put(s *core.Searcher) { sn.eng.pool.Put(s) }

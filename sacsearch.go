@@ -19,7 +19,11 @@
 // Graph.RemoveEdge churn friendships through a delta-CSR overlay,
 // Searcher.ApplyEdgeInsert/ApplyEdgeRemove keep the core decomposition
 // current incrementally, and ReplayWithEdges interleaves edge events with
-// check-in streams.
+// check-in streams. Serving is snapshot-isolated: a ServingEngine owns the
+// mutable graph in one writer goroutine and publishes immutable
+// ServingSnapshot views through an atomic pointer, so queries run with zero
+// locks; every algorithm has a *Ctx variant that honors cancellation and
+// deadlines mid-query (ErrCanceled).
 //
 // # Quick start
 //
@@ -45,6 +49,8 @@
 package sacsearch
 
 import (
+	"context"
+
 	"sacsearch/internal/batch"
 	"sacsearch/internal/community"
 	"sacsearch/internal/core"
@@ -54,6 +60,7 @@ import (
 	"sacsearch/internal/geom"
 	"sacsearch/internal/graph"
 	"sacsearch/internal/metrics"
+	"sacsearch/internal/snapshot"
 )
 
 // Geometry.
@@ -110,6 +117,13 @@ const (
 // community for the requested k.
 var ErrNoCommunity = core.ErrNoCommunity
 
+// ErrCanceled reports that a query's context was canceled or its deadline
+// expired mid-algorithm. Every Searcher method has a *Ctx variant
+// (ExactCtx, AppFastCtx, ...) that checks its context at loop boundaries;
+// the underlying context error is wrapped, so errors.Is against
+// context.Canceled or context.DeadlineExceeded reports the cause.
+var ErrCanceled = core.ErrCanceled
+
 // NewSearcher prepares SAC search over g with the minimum-degree metric.
 func NewSearcher(g *Graph) *Searcher { return core.NewSearcher(g) }
 
@@ -126,6 +140,28 @@ type Pool = core.Pool
 
 // NewPool creates a worker pool of clones of s.
 func NewPool(s *Searcher) *Pool { return core.NewPool(s) }
+
+// Snapshot-isolated serving (the production concurrency model; the HTTP
+// server in cmd/sacserver runs on it). A ServingEngine owns the mutable
+// graph in a single writer goroutine and publishes immutable
+// ServingSnapshot values through an atomic pointer: queries pin a snapshot
+// (one atomic load) and run lock-free on pooled workers, writers batch and
+// never block readers.
+type (
+	// ServingEngine is the writer loop plus snapshot publication.
+	ServingEngine = snapshot.Engine
+	// ServingSnapshot is one immutable published graph view; it is a
+	// BatchSource, so whole batches run pinned to one state.
+	ServingSnapshot = snapshot.Snap
+	// ServingOptions tunes the writer queue length and publication batch.
+	ServingOptions = snapshot.Options
+)
+
+// NewServingEngine takes ownership of g and starts serving snapshots of it.
+// Release the writer goroutine with Close.
+func NewServingEngine(g *Graph, opt ServingOptions) *ServingEngine {
+	return snapshot.New(g, opt)
+}
 
 // Batch processing (Section 6 future work: answering many SAC queries at
 // once with a shared decomposition and parallel workers).
@@ -149,28 +185,56 @@ const (
 	BatchExact     = batch.AlgoExact
 )
 
+// BatchSource supplies searcher workers to a batch: a *Pool, or a published
+// ServingSnapshot (which pins the whole batch to one graph state).
+type BatchSource = batch.Source
+
 // BatchSearch answers every query using cloned searchers on parallel
 // workers, deduplicating identical queries; items come back in input order.
 func BatchSearch(s *Searcher, queries []BatchQuery, opt BatchOptions) []BatchItem {
-	return batch.Run(s, queries, opt)
+	return batch.Run(context.Background(), s, queries, opt)
+}
+
+// BatchSearchCtx is BatchSearch with a deadline: when ctx fires, in-flight
+// queries return ErrCanceled at their next loop boundary and undispatched
+// queries fail without running.
+func BatchSearchCtx(ctx context.Context, s *Searcher, queries []BatchQuery, opt BatchOptions) []BatchItem {
+	return batch.Run(ctx, s, queries, opt)
 }
 
 // BatchStream answers queries from a channel as they arrive, emitting items
 // as they complete; the output channel closes when in closes and all
 // in-flight work is done.
 func BatchStream(s *Searcher, in <-chan BatchQuery, opt BatchOptions) <-chan BatchItem {
-	return batch.Stream(s, in, opt)
+	return batch.Stream(context.Background(), s, in, opt)
 }
 
-// BatchSearchOn is BatchSearch over an existing worker pool; reusing one
+// BatchSearchOn is BatchSearch over an existing worker source; reusing one
 // pool across batches keeps the workers' candidate caches warm.
-func BatchSearchOn(p *Pool, queries []BatchQuery, opt BatchOptions) []BatchItem {
-	return batch.RunOn(p, queries, opt)
+func BatchSearchOn(p BatchSource, queries []BatchQuery, opt BatchOptions) []BatchItem {
+	return batch.RunOn(context.Background(), p, queries, opt)
 }
 
-// BatchStreamOn is BatchStream over an existing worker pool.
-func BatchStreamOn(p *Pool, in <-chan BatchQuery, opt BatchOptions) <-chan BatchItem {
-	return batch.StreamOn(p, in, opt)
+// BatchSearchOnCtx is BatchSearchOn with a deadline (see BatchSearchCtx).
+func BatchSearchOnCtx(ctx context.Context, p BatchSource, queries []BatchQuery, opt BatchOptions) []BatchItem {
+	return batch.RunOn(ctx, p, queries, opt)
+}
+
+// BatchStreamCtx is BatchStream with cancellation: when ctx fires, queries
+// still arriving come back immediately as ErrCanceled items (the caller
+// remains responsible for closing in).
+func BatchStreamCtx(ctx context.Context, s *Searcher, in <-chan BatchQuery, opt BatchOptions) <-chan BatchItem {
+	return batch.Stream(ctx, s, in, opt)
+}
+
+// BatchStreamOn is BatchStream over an existing worker source.
+func BatchStreamOn(p BatchSource, in <-chan BatchQuery, opt BatchOptions) <-chan BatchItem {
+	return batch.StreamOn(context.Background(), p, in, opt)
+}
+
+// BatchStreamOnCtx is BatchStreamOn with cancellation (see BatchStreamCtx).
+func BatchStreamOnCtx(ctx context.Context, p BatchSource, in <-chan BatchQuery, opt BatchOptions) <-chan BatchItem {
+	return batch.StreamOn(ctx, p, in, opt)
 }
 
 // BatchWorkload pairs each query vertex with k.
@@ -256,7 +320,13 @@ type (
 // Replay applies a check-in stream to g and snapshots the tracked users'
 // communities from splitTime on.
 func Replay(g *Graph, checkins []Checkin, tracked []V, splitTime float64, k int, search SearchFunc) (map[V][]Snapshot, error) {
-	return dynamic.Replay(g, checkins, tracked, splitTime, k, search)
+	return dynamic.Replay(context.Background(), g, checkins, tracked, splitTime, k, search)
+}
+
+// ReplayCtx is Replay with cancellation: when ctx fires the replay aborts
+// between events with the context's error.
+func ReplayCtx(ctx context.Context, g *Graph, checkins []Checkin, tracked []V, splitTime float64, k int, search SearchFunc) (map[V][]Snapshot, error) {
+	return dynamic.Replay(ctx, g, checkins, tracked, splitTime, k, search)
 }
 
 // ReplayWithEdges replays friendship churn interleaved with check-ins on one
@@ -264,7 +334,12 @@ func Replay(g *Graph, checkins []Checkin, tracked []V, splitTime float64, k int,
 // instant. Wire apply with ApplyEdgesVia(searcher) so the searcher's core
 // decomposition stays current incrementally.
 func ReplayWithEdges(g *Graph, checkins []Checkin, edges []EdgeEvent, tracked []V, splitTime float64, k int, search SearchFunc, apply EdgeApplyFunc) (map[V][]Snapshot, error) {
-	return dynamic.ReplayWithEdges(g, checkins, edges, tracked, splitTime, k, search, apply)
+	return dynamic.ReplayWithEdges(context.Background(), g, checkins, edges, tracked, splitTime, k, search, apply)
+}
+
+// ReplayWithEdgesCtx is ReplayWithEdges with cancellation (see ReplayCtx).
+func ReplayWithEdgesCtx(ctx context.Context, g *Graph, checkins []Checkin, edges []EdgeEvent, tracked []V, splitTime float64, k int, search SearchFunc, apply EdgeApplyFunc) (map[V][]Snapshot, error) {
+	return dynamic.ReplayWithEdges(ctx, g, checkins, edges, tracked, splitTime, k, search, apply)
 }
 
 // ApplyEdgesVia adapts a Searcher's incremental topology updates

@@ -7,21 +7,25 @@
 //	sacbench -exp all -scale 0.1 -queries 200 -datasets brightkite,gowalla
 //	sacbench -list                      # show available experiment ids
 //	sacbench -exp fig12exact -paper     # start from the paper-sized config
-//	sacbench -benchjson BENCH_3.json    # machine-readable perf snapshot
+//	sacbench -benchjson BENCH_4.json    # machine-readable perf snapshot
+//	sacbench -exp fig10 -load g.sacg    # bench a saved graph file
 //
 // Output goes to stdout; redirect to keep a record alongside EXPERIMENTS.md.
 // The -benchjson report records repeated-query ns/op and allocs/op with the
 // candidate cache on/off, the cache speedup, batch scaling per worker
 // count, edge-churn throughput (incremental core maintenance vs
-// re-decomposition), and serving throughput (lock-coupled vs
-// snapshot-isolated reads under concurrent churn, plus mid-Exact
-// cancellation latency), so regressions are visible PR over PR.
+// re-decomposition), serving throughput (lock-coupled vs snapshot-isolated
+// reads under concurrent churn, plus mid-Exact cancellation latency), and
+// durability costs (WAL append throughput per fsync policy, crash-recovery
+// time vs WAL length with and without checkpoint truncation), so
+// regressions are visible PR over PR.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"sacsearch/internal/exp"
@@ -37,9 +41,15 @@ func main() {
 		queries   = flag.Int("queries", 0, "queries per dataset (0 = config default)")
 		k         = flag.Int("k", 0, "default minimum degree (0 = config default)")
 		seed      = flag.Int64("seed", 0, "workload seed (0 = config default)")
+		load      = flag.String("load", "", "bench a saved binary graph file instead of the dataset presets")
 		benchJSON = flag.String("benchjson", "", "write the hot-path perf report as JSON to this file ('-' for stdout)")
 	)
 	flag.Parse()
+
+	if *load != "" && *datasets != "" {
+		fmt.Fprintln(os.Stderr, "sacbench: -load and -datasets are mutually exclusive")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range exp.IDs() {
@@ -71,6 +81,13 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *load != "" {
+		cfg.LoadPath = *load
+		// One file, one "dataset": experiments iterate cfg.Datasets, so
+		// collapse it to a single label the loader will override.
+		base := strings.TrimSuffix(filepath.Base(*load), filepath.Ext(*load))
+		cfg.Datasets = []string{base}
 	}
 
 	if *benchJSON != "" {

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	sacserver -dataset brightkite -scale 0.05 -addr :8080
+//	sacserver -load graph.bin -data-dir /var/lib/sacsearch -fsync always
 //
 // Then:
 //
@@ -12,10 +13,18 @@
 //	curl -X POST localhost:8080/api/batch -d '{"queries":[{"q":17,"k":4},{"q":23,"k":4}]}'
 //	curl -X POST localhost:8080/api/checkin -d '{"v":17,"x":0.5,"y":0.5}'
 //
+// With -data-dir the server is durable: writes go through a write-ahead log
+// before becoming visible (fsync policy from -fsync), a background
+// checkpointer bounds recovery time, and a restart recovers the last served
+// state from the directory — the -dataset/-load graph then only seeds the
+// very first boot. Without -data-dir the graph lives and dies with the
+// process, as before.
+//
 // The process runs a configured http.Server (read/write/idle timeouts, not
 // the bare ListenAndServe defaults) and shuts down gracefully on SIGINT or
 // SIGTERM: the listener closes, in-flight queries drain up to the grace
-// period, then the snapshot writer stops.
+// period, then the snapshot writer stops (and a durable server writes its
+// final checkpoint).
 package main
 
 import (
@@ -25,18 +34,26 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"sacsearch/internal/dataset"
+	"sacsearch/internal/graph"
 	"sacsearch/internal/server"
+	"sacsearch/internal/store"
 )
 
 func main() {
 	var (
 		name     = flag.String("dataset", "brightkite", "dataset preset to serve")
 		scale    = flag.Float64("scale", 0.05, "dataset scale in (0,1]")
+		load     = flag.String("load", "", "serve a saved binary graph file instead of a dataset preset")
+		dataDir  = flag.String("data-dir", "", "durable state directory (WAL + checkpoints); empty = in-memory only")
+		fsync    = flag.String("fsync", "always", "WAL fsync policy: always, interval or never (with -data-dir)")
 		addr     = flag.String("addr", ":8080", "listen address")
 		qTimeout = flag.Duration("query-timeout", 15*time.Second, "per-request query deadline")
 		maxBody  = flag.Int64("max-body", 1<<20, "maximum POST body size in bytes")
@@ -44,19 +61,60 @@ func main() {
 	)
 	flag.Parse()
 
-	ds, err := dataset.Load(*name, *scale)
-	if err != nil {
-		log.Fatalf("sacserver: %v", err)
-	}
-	// Capture the counts before the server's writer goroutine takes
-	// ownership of the graph — reading it afterwards would race with writes
-	// already arriving on the listener.
-	vertices, edges := ds.Graph.NumVertices(), ds.Graph.NumEdges()
-	api := server.NewWithConfig(ds.Name, ds.Graph, server.Config{
-		QueryTimeout: *qTimeout,
-		MaxBodyBytes: *maxBody,
+	// -load and -dataset both name the graph to serve; explicitly setting
+	// the two together is ambiguous, so refuse rather than pick one.
+	datasetSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "dataset" {
+			datasetSet = true
+		}
 	})
+	if *load != "" && datasetSet {
+		log.Fatal("sacserver: -load and -dataset are mutually exclusive")
+	}
+
+	cfg := server.Config{QueryTimeout: *qTimeout, MaxBodyBytes: *maxBody}
+	srvName := graphName(*load, *name)
+
+	var api *server.Server
+	if *dataDir != "" {
+		policy, err := store.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			log.Fatalf("sacserver: %v", err)
+		}
+		// Recovery discards the bootstrap graph, so only build it (seconds
+		// for the big presets) when the data dir holds nothing to recover.
+		var g *graph.Graph
+		if !store.HasState(*dataDir) {
+			if g, err = buildGraph(*load, *name, *scale); err != nil {
+				log.Fatalf("sacserver: %v", err)
+			}
+		}
+		st, err := store.Open(*dataDir, store.Options{Init: g, Fsync: policy})
+		if err != nil {
+			log.Fatalf("sacserver: %v", err)
+		}
+		s := st.Stats()
+		if s.Recovered {
+			log.Printf("sacserver: recovered %s from %s (checkpoint seq %d, %d WAL records replayed); the -dataset/-load graph was not built",
+				srvName, *dataDir, s.LastCheckpointSeq, s.ReplayedRecords)
+		} else {
+			log.Printf("sacserver: bootstrapped %s into %s (fsync %s)", srvName, *dataDir, s.FsyncPolicy)
+		}
+		api = server.NewWithStore(srvName, st, cfg)
+	} else {
+		g, err := buildGraph(*load, *name, *scale)
+		if err != nil {
+			log.Fatalf("sacserver: %v", err)
+		}
+		api = server.NewWithConfig(srvName, g, cfg)
+	}
 	defer api.Close()
+
+	// Counts come from the published snapshot: the engine owns the mutable
+	// graph as soon as the server exists.
+	snap := api.Engine().Current()
+	vertices, edges := snap.Graph().NumVertices(), snap.Edges()
 
 	// ReadHeaderTimeout bounds slow-loris headers; WriteTimeout leaves room
 	// for the query deadline plus response encoding so the server never cuts
@@ -76,7 +134,7 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("sacserver: serving %s (%d vertices, %d edges) on %s\n",
-		ds.Name, vertices, edges, *addr)
+		srvName, vertices, edges, *addr)
 
 	select {
 	case err := <-errc:
@@ -91,4 +149,35 @@ func main() {
 		}
 		log.Printf("sacserver: drained, stopping snapshot writer")
 	}
+}
+
+// graphName labels the served graph without building it: the -load file's
+// basename, or the preset name.
+func graphName(load, name string) string {
+	if load == "" {
+		return name
+	}
+	return strings.TrimSuffix(filepath.Base(load), filepath.Ext(load))
+}
+
+// buildGraph materializes the serving graph: a saved binary file with
+// -load, a dataset preset otherwise.
+func buildGraph(load, name string, scale float64) (*graph.Graph, error) {
+	if load == "" {
+		ds, err := dataset.Load(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		return ds.Graph, nil
+	}
+	f, err := os.Open(load)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := graph.ReadBinary(f)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", load, err)
+	}
+	return g, nil
 }

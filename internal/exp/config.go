@@ -12,6 +12,9 @@ package exp
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"sacsearch/internal/core"
@@ -36,6 +39,10 @@ type Config struct {
 	// Quick trades a little fidelity for wall time in the experiments that
 	// offer a cheaper substitute (currently fig13's per-check-in search).
 	Quick bool
+	// LoadPath, when non-empty, benches a saved binary graph file (see the
+	// facade's SaveGraph) instead of the dataset presets: every experiment
+	// runs on that one graph, and Datasets/Scale are ignored.
+	LoadPath string
 }
 
 // DefaultConfig is sized so the entire registry finishes in a few minutes.
@@ -65,9 +72,28 @@ func PaperConfig() Config {
 	}
 }
 
+// loadDataset resolves one experiment graph: the LoadPath file when set, the
+// named preset otherwise.
+func loadDataset(cfg Config, name string) (*dataset.Dataset, error) {
+	if cfg.LoadPath == "" {
+		return dataset.Load(name, cfg.Scale)
+	}
+	f, err := os.Open(cfg.LoadPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := graph.ReadBinary(f)
+	if err != nil {
+		return nil, fmt.Errorf("exp: reading %s: %w", cfg.LoadPath, err)
+	}
+	base := strings.TrimSuffix(filepath.Base(cfg.LoadPath), filepath.Ext(cfg.LoadPath))
+	return &dataset.Dataset{Name: base, Graph: g, Scale: 1}, nil
+}
+
 // loadWorkload builds one dataset and its query set.
 func loadWorkload(cfg Config, name string) (*dataset.Dataset, []graph.V, error) {
-	ds, err := dataset.Load(name, cfg.Scale)
+	ds, err := loadDataset(cfg, name)
 	if err != nil {
 		return nil, nil, err
 	}

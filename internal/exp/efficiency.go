@@ -135,7 +135,7 @@ type Fig12ScaleRow struct {
 func Fig12Scale(cfg Config) ([]Fig12ScaleRow, error) {
 	var rows []Fig12ScaleRow
 	for _, name := range cfg.Datasets {
-		full, err := dataset.Load(name, cfg.Scale)
+		full, err := loadDataset(cfg, name)
 		if err != nil {
 			return nil, err
 		}

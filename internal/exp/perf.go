@@ -6,6 +6,7 @@ import (
 	"errors"
 	"io"
 	"math/rand"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -20,19 +21,23 @@ import (
 	"sacsearch/internal/graph"
 	"sacsearch/internal/kcore"
 	"sacsearch/internal/snapshot"
+	"sacsearch/internal/store"
+	"sacsearch/internal/wal"
 )
 
 // Perf tracking. `sacbench -benchjson <path>` emits a machine-readable
 // snapshot of the query hot path — repeated-query throughput with the
 // candidate cache on/off, hot-path allocations, batch scaling across worker
 // counts, edge-churn throughput (incremental core maintenance vs
-// re-decomposing), and concurrent serving throughput (lock-coupled RWMutex
+// re-decomposing), concurrent serving throughput (lock-coupled RWMutex
 // baseline vs snapshot-isolated readers under the same write churn, plus
-// mid-Exact cancellation latency) — so the performance trajectory is
-// recorded PR over PR (BENCH_1.json, BENCH_2.json with the churn metric,
-// BENCH_3.json with the serving metrics). Measurements use
-// testing.Benchmark so ns/op and allocs/op match what `go test -bench`
-// reports.
+// mid-Exact cancellation latency), and durability costs (WAL group-commit
+// append throughput per fsync policy; crash-recovery time against WAL
+// length with and without checkpoint truncation) — so the performance
+// trajectory is recorded PR over PR (BENCH_1.json, BENCH_2.json with the
+// churn metric, BENCH_3.json with the serving metrics, BENCH_4.json with
+// the durability metrics). Measurements use testing.Benchmark so ns/op and
+// allocs/op match what `go test -bench` reports.
 
 // PerfPoint is one measured configuration.
 type PerfPoint struct {
@@ -52,7 +57,7 @@ type BatchScalePoint struct {
 
 // PerfReport is the full snapshot sacbench writes as JSON.
 type PerfReport struct {
-	Schema     string  `json:"schema"` // "sacsearch-bench/3"
+	Schema     string  `json:"schema"` // "sacsearch-bench/4"
 	Dataset    string  `json:"dataset"`
 	Scale      float64 `json:"scale"`
 	Queries    int     `json:"queries"`
@@ -77,7 +82,42 @@ type PerfReport struct {
 	// versus snapshot-isolated, and cancellation latency (BENCH_3).
 	Serving ServingPerf `json:"serving"`
 
+	// Durability: WAL append throughput per fsync policy and recovery time
+	// against WAL length, with and without checkpoint truncation (BENCH_4).
+	Durability DurabilityPerf `json:"durability"`
+
 	ElapsedMillis int64 `json:"elapsedMillis"`
+}
+
+// WalAppendPoint is one fsync policy's group-commit append throughput,
+// measured as batches of walAppendBatch records (the shape the engine's
+// writer produces under load: one fsync per batch under "always").
+type WalAppendPoint struct {
+	Policy string `json:"policy"`
+	// NsPerRecord amortizes one Append call over its batch.
+	NsPerRecord   float64 `json:"nsPerRecord"`
+	RecordsPerSec float64 `json:"recordsPerSec"`
+	BytesPerSec   float64 `json:"bytesPerSec"`
+}
+
+// RecoveryPoint is one measured store.Open after a simulated crash.
+type RecoveryPoint struct {
+	// Events is the total state-changing writes the store had accepted.
+	Events int `json:"events"`
+	// ReplayedRecords is how many WAL records recovery actually replayed
+	// (with checkpoints enabled this stays bounded as Events grows).
+	ReplayedRecords int     `json:"replayedRecords"`
+	RecoveryMillis  float64 `json:"recoveryMillis"`
+}
+
+// DurabilityPerf is the BENCH_4 durability measurement set.
+type DurabilityPerf struct {
+	WalAppend []WalAppendPoint `json:"walAppend"`
+	// RecoveryNoCheckpoint grows with the WAL (every record replays);
+	// RecoveryWithCheckpoint stays near-flat — the sublinear curve the
+	// checkpoint/truncation lifecycle exists to produce.
+	RecoveryNoCheckpoint   []RecoveryPoint `json:"recoveryNoCheckpoint"`
+	RecoveryWithCheckpoint []RecoveryPoint `json:"recoveryWithCheckpoint"`
 }
 
 // EdgeChurnPerf is the dynamic-topology throughput measurement.
@@ -127,7 +167,7 @@ func Perf(cfg Config) (*PerfReport, error) {
 	if len(cfg.Datasets) > 0 {
 		name = cfg.Datasets[0]
 	}
-	ds, err := dataset.Load(name, cfg.Scale)
+	ds, err := loadDataset(cfg, name)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +176,7 @@ func Perf(cfg Config) (*PerfReport, error) {
 		return nil, errNoQueries(name)
 	}
 	rep := &PerfReport{
-		Schema:     "sacsearch-bench/3",
+		Schema:     "sacsearch-bench/4",
 		Dataset:    name,
 		Scale:      cfg.Scale,
 		Queries:    len(queries),
@@ -259,8 +299,163 @@ func Perf(cfg Config) (*PerfReport, error) {
 	}
 	rep.Serving = serving
 
+	durability, err := measureDurability(ds.Graph, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Durability = durability
+
 	rep.ElapsedMillis = time.Since(start).Milliseconds()
 	return rep, nil
+}
+
+// walAppendBatch is the group-commit batch size the WAL append measurement
+// uses — a mid-size writer burst, so "always" pays one fsync per batch the
+// way the engine's writer loop does.
+const walAppendBatch = 64
+
+// measureDurability benchmarks the WAL under all three fsync policies and
+// the recovery path against growing WAL length, with and without checkpoint
+// truncation (BENCH_4).
+func measureDurability(g *graph.Graph, cfg Config) (DurabilityPerf, error) {
+	var out DurabilityPerf
+
+	// WAL append throughput per policy: batches of walAppendBatch check-in
+	// records through one Append (group commit).
+	for _, policy := range []wal.Policy{wal.PolicyAlways, wal.PolicyInterval, wal.PolicyNever} {
+		dir, err := os.MkdirTemp("", "sacbench-wal-")
+		if err != nil {
+			return out, err
+		}
+		l, err := wal.Open(dir, 0, wal.Options{Policy: policy})
+		if err != nil {
+			os.RemoveAll(dir)
+			return out, err
+		}
+		recs := make([]wal.Record, walAppendBatch)
+		rnd := rand.New(rand.NewSource(cfg.Seed))
+		n := g.NumVertices()
+		for i := range recs {
+			recs[i] = wal.Record{
+				Kind: wal.KindCheckin,
+				V:    graph.V(rnd.Intn(n)),
+				Loc:  geom.Point{X: rnd.Float64(), Y: rnd.Float64()},
+			}
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		closeErr := l.Close()
+		os.RemoveAll(dir)
+		if closeErr != nil {
+			return out, closeErr
+		}
+		perRecord := float64(r.NsPerOp()) / walAppendBatch
+		point := WalAppendPoint{Policy: string(policy), NsPerRecord: perRecord}
+		if perRecord > 0 {
+			point.RecordsPerSec = 1e9 / perRecord
+			// A check-in frame is 8 header + 29 payload bytes.
+			point.BytesPerSec = point.RecordsPerSec * 37
+		}
+		out.WalAppend = append(out.WalAppend, point)
+	}
+
+	// Recovery time vs WAL length. Both curves drive the same event counts;
+	// the checkpointed arm bounds its replay to the tail past the newest
+	// checkpoint, which is what makes recovery sublinear in total history.
+	const ckptEvery = 512
+	for _, arm := range []struct {
+		points *[]RecoveryPoint
+		ckpt   uint64
+	}{
+		{&out.RecoveryNoCheckpoint, 0},
+		{&out.RecoveryWithCheckpoint, ckptEvery},
+	} {
+		for _, events := range []int{256, 1024, 4096} {
+			dir, err := os.MkdirTemp("", "sacbench-store-")
+			if err != nil {
+				return out, err
+			}
+			point, err := measureRecovery(g, dir, events, arm.ckpt, cfg.Seed)
+			os.RemoveAll(dir)
+			if err != nil {
+				return out, err
+			}
+			*arm.points = append(*arm.points, point)
+		}
+	}
+	return out, nil
+}
+
+// measureRecovery drives events check-ins through a durable store —
+// checkpointing every ckptEvery events when non-zero, the way the
+// background checkpointer's event trigger would, but synchronously so the
+// measurement is deterministic — crashes it mid-interval, and times
+// store.Open on the wreckage.
+func measureRecovery(g *graph.Graph, dir string, events int, ckptEvery uint64, seed int64) (RecoveryPoint, error) {
+	opt := store.Options{
+		Init:               g.Clone(),
+		CheckpointInterval: -1, // checkpoints are driven explicitly below
+	}
+	st, err := store.Open(dir, opt)
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	ctx := context.Background()
+	rnd := rand.New(rand.NewSource(seed))
+	n := st.Current().Graph().NumVertices()
+	checkin := func() error {
+		v := graph.V(rnd.Intn(n))
+		p := geom.Point{X: rnd.Float64(), Y: rnd.Float64()}
+		return st.CheckIn(ctx, v, p)
+	}
+	for i := 0; i < events; i++ {
+		if err := checkin(); err != nil {
+			st.Crash()
+			return RecoveryPoint{}, err
+		}
+		if ckptEvery > 0 && uint64(i+1)%ckptEvery == 0 {
+			if err := st.Checkpoint(); err != nil {
+				st.Crash()
+				return RecoveryPoint{}, err
+			}
+		}
+	}
+	if ckptEvery > 0 {
+		// Cover everything so far (events need not divide evenly), then
+		// leave a fixed uncheckpointed tail: a real crash lands between
+		// checkpoints, and the tail is exactly what replay costs.
+		if err := st.Checkpoint(); err != nil {
+			st.Crash()
+			return RecoveryPoint{}, err
+		}
+		const tail = 128
+		for i := 0; i < tail; i++ {
+			if err := checkin(); err != nil {
+				st.Crash()
+				return RecoveryPoint{}, err
+			}
+		}
+	}
+	st.Crash()
+
+	startOpen := time.Now()
+	st2, err := store.Open(dir, store.Options{CheckpointInterval: -1})
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	elapsed := time.Since(startOpen)
+	stats := st2.Stats()
+	st2.Crash() // leave no final checkpoint behind; the dir is discarded
+	return RecoveryPoint{
+		Events:          events,
+		ReplayedRecords: stats.ReplayedRecords,
+		RecoveryMillis:  float64(elapsed.Microseconds()) / 1e3,
+	}, nil
 }
 
 // writePeriod paces the churning writer in both serving measurements: a

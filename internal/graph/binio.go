@@ -150,9 +150,23 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if m > uint64(n)*uint64(n) {
 		return nil, fmt.Errorf("graph: header claims %d edges for %d vertices", m, n)
 	}
+	// Offsets are int32, so the adjacency array (2m entries) must index
+	// within int32 — a header past that bound cannot have been written by
+	// WriteBinary and would otherwise overflow the counts below.
+	if m > (1<<31-1)/2 {
+		return nil, fmt.Errorf("graph: header claims %d edges (max %d)", m, (1<<31-1)/2)
+	}
 
+	// Decoder allocations are guarded by actual input, not the header: a
+	// hostile header claiming 2^31 vertices over a 50-byte stream must fail
+	// at the stream's real end having allocated at most the bytes that were
+	// really there, never the terabytes the header promised.
 	readI32s := func(count int, what string) ([]int32, error) {
-		out := make([]int32, count)
+		initial := count
+		if initial > 1<<20 {
+			initial = 1 << 20
+		}
+		out := make([]int32, 0, initial)
 		buf := make([]byte, 4*1024)
 		for done := 0; done < count; {
 			chunk := len(buf) / 4
@@ -163,7 +177,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 				return nil, fmt.Errorf("graph: reading %s: %w", what, err)
 			}
 			for i := 0; i < chunk; i++ {
-				out[done+i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+				out = append(out, int32(binary.LittleEndian.Uint32(buf[4*i:])))
 			}
 			done += chunk
 		}
@@ -202,7 +216,11 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		}
 	}
 
-	locs := make([]geom.Point, n)
+	initialLocs := int(n)
+	if initialLocs > 1<<19 {
+		initialLocs = 1 << 19 // same header-skepticism as readI32s
+	}
+	locs := make([]geom.Point, 0, initialLocs)
 	{
 		buf := make([]byte, 16*1024)
 		for done := 0; done < int(n); {
@@ -219,7 +237,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 				if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
 					return nil, fmt.Errorf("graph: vertex %d has non-finite location", done+i)
 				}
-				locs[done+i] = geom.Point{X: x, Y: y}
+				locs = append(locs, geom.Point{X: x, Y: y})
 			}
 			done += chunk
 		}

@@ -43,6 +43,7 @@ import (
 	"sacsearch/internal/geom"
 	"sacsearch/internal/graph"
 	"sacsearch/internal/snapshot"
+	"sacsearch/internal/store"
 )
 
 // Config tunes a Server. The zero value serves defaults.
@@ -79,6 +80,7 @@ func (c Config) maxBodyBytes() int64 {
 type Server struct {
 	name string
 	eng  *snapshot.Engine
+	st   *store.Store // non-nil when serving a durable store
 	cfg  Config
 	mux  *http.ServeMux
 }
@@ -92,14 +94,28 @@ func New(name string, g *graph.Graph) *Server {
 
 // NewWithConfig creates a server over g with explicit configuration.
 func NewWithConfig(name string, g *graph.Graph, cfg Config) *Server {
+	return newServer(name, snapshot.New(g, snapshot.Options{
+		QueueLen: cfg.WriterQueue,
+		BatchMax: cfg.WriterBatch,
+	}), nil, cfg)
+}
+
+// NewWithStore creates a server over an open durable store: writes ride the
+// store's write-ahead log (write-visible implies logged), /api/health gains
+// the durability stats, and Close shuts the store down (final checkpoint
+// included). The store's engine options win over cfg.WriterQueue/WriterBatch
+// — they were fixed at store.Open.
+func NewWithStore(name string, st *store.Store, cfg Config) *Server {
+	return newServer(name, st.Engine(), st, cfg)
+}
+
+func newServer(name string, eng *snapshot.Engine, st *store.Store, cfg Config) *Server {
 	s := &Server{
 		name: name,
-		eng: snapshot.New(g, snapshot.Options{
-			QueueLen: cfg.WriterQueue,
-			BatchMax: cfg.WriterBatch,
-		}),
-		cfg: cfg,
-		mux: http.NewServeMux(),
+		eng:  eng,
+		st:   st,
+		cfg:  cfg,
+		mux:  http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /api/health", s.handleHealth)
 	s.mux.HandleFunc("GET /api/algorithms", s.handleAlgorithms)
@@ -111,9 +127,16 @@ func NewWithConfig(name string, g *graph.Graph, cfg Config) *Server {
 	return s
 }
 
-// Close stops the writer goroutine. In-flight queries finish against their
-// pinned snapshots; pending writes fail with an error.
-func (s *Server) Close() { s.eng.Close() }
+// Close stops the writer goroutine (and, for a durable server, checkpoints
+// and closes the store). In-flight queries finish against their pinned
+// snapshots; pending writes fail with an error.
+func (s *Server) Close() {
+	if s.st != nil {
+		_ = s.st.Close()
+		return
+	}
+	s.eng.Close()
+}
 
 // Engine exposes the snapshot engine (benchmarks and embedding callers).
 func (s *Server) Engine() *snapshot.Engine { return s.eng }
@@ -229,7 +252,7 @@ type errorJSON struct {
 // is behind.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	snap := s.eng.Current()
-	writeJSON(w, http.StatusOK, map[string]any{
+	health := map[string]any{
 		"status":        "ok",
 		"dataset":       s.name,
 		"vertices":      snap.Graph().NumVertices(),
@@ -240,7 +263,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"writerQueue":   s.eng.QueueDepth(),
 		"eventsApplied": s.eng.Applied(),
 		"poolClones":    s.eng.PoolClones(),
-	})
+		"durable":       s.st != nil,
+	}
+	if s.st != nil {
+		// Durability at a glance: a growing walSegments with a stalled
+		// lastCheckpointSeq (or a non-empty checkpointError) means the
+		// checkpointer fell behind and recovery time is growing.
+		ds := s.st.Stats()
+		health["walSegments"] = ds.WalSegments
+		health["walBytes"] = ds.WalBytes
+		health["walLastSeq"] = ds.WalLastSeq
+		health["lastCheckpointSeq"] = ds.LastCheckpointSeq
+		health["fsyncPolicy"] = ds.FsyncPolicy
+		if ds.CheckpointError != "" {
+			health["checkpointError"] = ds.CheckpointError
+		}
+	}
+	writeJSON(w, http.StatusOK, health)
 }
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
@@ -469,6 +508,10 @@ func (s *Server) writeWriteError(w http.ResponseWriter, err error) {
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, snapshot.ErrClosed):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, snapshot.ErrPersist):
+		// The WAL refused the write; the engine is read-only until the
+		// operator intervenes. 503, not 422 — the request was fine.
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, errorJSON{err.Error()})

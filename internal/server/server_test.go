@@ -15,6 +15,7 @@ import (
 	"sacsearch/internal/core"
 	"sacsearch/internal/geom"
 	"sacsearch/internal/graph"
+	"sacsearch/internal/store"
 )
 
 // testGraph plants a handful of spatial cliques; every vertex has a tight
@@ -712,5 +713,73 @@ func TestConcurrentQueriesCheckinsAndEdges(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestDurableServer serves over a store: health gains the durability stats,
+// and a write acknowledged over HTTP survives a server restart from the same
+// data dir.
+func TestDurableServer(t *testing.T) {
+	dir := t.TempDir()
+	open := func() (*httptest.Server, *Server) {
+		st, err := store.Open(dir, store.Options{Init: testGraph()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewWithStore("durable-test", st, Config{})
+		ts := httptest.NewServer(srv)
+		return ts, srv
+	}
+	ts, srv := open()
+
+	var health map[string]any
+	getJSON(t, ts.URL+"/api/health", &health)
+	if health["durable"] != true {
+		t.Fatalf("health durable = %v", health["durable"])
+	}
+	for _, key := range []string{"walSegments", "walBytes", "walLastSeq", "lastCheckpointSeq", "fsyncPolicy"} {
+		if _, ok := health[key]; !ok {
+			t.Fatalf("health misses %q: %v", key, health)
+		}
+	}
+	if health["fsyncPolicy"] != "always" {
+		t.Fatalf("fsyncPolicy = %v", health["fsyncPolicy"])
+	}
+
+	// Acknowledged writes: a check-in and an edge insert.
+	if resp, body := postJSON(t, ts.URL+"/api/checkin", CheckinRequest{V: 3, X: 0.25, Y: 0.75}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkin: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, ts.URL+"/api/edge", EdgeRequest{U: 0, V: 18, Op: "insert"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("edge: %d %s", resp.StatusCode, body)
+	}
+	getJSON(t, ts.URL+"/api/health", &health)
+	if got := health["walLastSeq"].(float64); got != 2 {
+		t.Fatalf("walLastSeq after two writes = %v", got)
+	}
+
+	// Restart: close everything, reopen from the same dir.
+	ts.Close()
+	srv.Close()
+	ts2, srv2 := open()
+	defer ts2.Close()
+	defer srv2.Close()
+
+	snap := srv2.Engine().Current()
+	if loc := snap.Graph().Loc(3); loc.X != 0.25 || loc.Y != 0.75 {
+		t.Fatalf("check-in lost across restart: %v", loc)
+	}
+	if !snap.Graph().HasEdge(0, 18) {
+		t.Fatal("edge lost across restart")
+	}
+	// In-memory servers advertise durable=false and no WAL fields.
+	tsMem, _ := newTestServer(t)
+	health = nil // decoding into a non-nil map merges; start clean
+	getJSON(t, tsMem.URL+"/api/health", &health)
+	if health["durable"] != false {
+		t.Fatalf("in-memory health durable = %v", health["durable"])
+	}
+	if _, ok := health["walSegments"]; ok {
+		t.Fatal("in-memory health reports WAL stats")
 	}
 }

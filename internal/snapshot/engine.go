@@ -44,6 +44,28 @@ import (
 // ErrClosed is returned by writes submitted to a closed Engine.
 var ErrClosed = errors.New("snapshot: engine closed")
 
+// ErrPersist marks writes lost to a durability failure: the Persist hook
+// returned an error, the batch was not published, and the engine is
+// read-only from then on. errors.Is(err, ErrPersist) identifies both the
+// failed batch's writes and every later rejected write.
+var ErrPersist = errors.New("snapshot: persist failed")
+
+// AppliedEvent describes one state-changing event the writer applied: a
+// check-in, or an edge mutation that actually altered the edge set (no-op
+// re-inserts and rejected events are not reported). The durability layer
+// appends these to its write-ahead log before the snapshot containing them
+// is published.
+type AppliedEvent struct {
+	// Checkin discriminates the two event shapes.
+	Checkin bool
+	// V and Loc describe a check-in.
+	V   graph.V
+	Loc geom.Point
+	// U, W and Insert describe an edge mutation.
+	U, W   graph.V
+	Insert bool
+}
+
 // Options configures an Engine. The zero value serves defaults.
 type Options struct {
 	// QueueLen is the writer queue capacity; writes beyond it block the
@@ -53,6 +75,21 @@ type Options struct {
 	// snapshot. Larger batches amortize publication cost under write bursts
 	// at the price of write latency. Default 128.
 	BatchMax int
+	// Persist, when non-nil, is the durability hook: the writer goroutine
+	// calls it with each batch's state-changing events after applying them
+	// and before publishing the snapshot that contains them — so a write
+	// visible to Current is already in the log (group commit: one call, and
+	// under an fsync-always log one fsync, per publication). It returns the
+	// log sequence number of the batch's last record, which the published
+	// snapshot reports as WalSeq. If it returns an error, the batch is not
+	// published, every write in it fails with the error, and the engine
+	// stops accepting writes (reads keep serving the last durable snapshot):
+	// a non-durable write must never look committed.
+	Persist func([]AppliedEvent) (seq uint64, err error)
+	// InitialSeq is the log sequence number already covered by the graph the
+	// engine starts from (the recovered checkpoint plus replayed tail).
+	// Snapshots report it as WalSeq until the first persisted batch.
+	InitialSeq uint64
 }
 
 func (o Options) queueLen() int {
@@ -90,6 +127,13 @@ type Engine struct {
 	base *core.Searcher
 	prev *Snap
 
+	// Durability state, also writer-owned: the persist hook, the log
+	// sequence the next publication will carry, and the latched persistence
+	// failure that turns the engine read-only.
+	persist    func([]AppliedEvent) (uint64, error)
+	walSeq     uint64
+	persistErr error
+
 	published atomic.Uint64 // snapshots published (== latest Snap.Seq)
 	applied   atomic.Uint64 // events applied
 }
@@ -122,11 +166,13 @@ type event struct {
 // releases the writer.
 func New(g *graph.Graph, opt Options) *Engine {
 	e := &Engine{
-		g:      g,
-		base:   core.NewSearcher(g),
-		events: make(chan event, opt.queueLen()),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		g:       g,
+		base:    core.NewSearcher(g),
+		events:  make(chan event, opt.queueLen()),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		persist: opt.Persist,
+		walSeq:  opt.InitialSeq,
 	}
 	snap := e.freeze()
 	e.pool = core.NewPool(snap.base)
@@ -168,8 +214,13 @@ func (e *Engine) CheckIn(ctx context.Context, v graph.V, p geom.Point) error {
 	if !geom.Finite(p.X) || !geom.Finite(p.Y) {
 		return fmt.Errorf("snapshot: coordinates (%v, %v) must be finite", p.X, p.Y)
 	}
-	_, err := e.submit(ctx, event{op: opCheckin, v: v, loc: p, done: make(chan result, 1)})
-	return err
+	r, err := e.submit(ctx, event{op: opCheckin, v: v, loc: p, done: make(chan result, 1)})
+	if err != nil {
+		return err
+	}
+	// A check-in itself cannot fail, but its group commit can: r.err carries
+	// the persistence failure that made the write non-durable.
+	return r.err
 }
 
 // UpdateEdge inserts (insert=true) or deletes the undirected edge {u, v} in
@@ -233,12 +284,14 @@ func (e *Engine) submit(ctx context.Context, ev event) (result, error) {
 }
 
 // writer is the single goroutine that owns the mutable graph: it drains
-// bursts of events, applies them, publishes one snapshot per burst, and only
-// then releases the events' waiters.
+// bursts of events, applies them, logs the batch through the persist hook
+// (one group commit per burst), publishes one snapshot, and only then
+// releases the events' waiters.
 func (e *Engine) writer(batchMax int) {
 	defer close(e.done)
 	pending := make([]event, 0, batchMax)
 	results := make([]result, 0, batchMax)
+	applied := make([]AppliedEvent, 0, batchMax)
 	for {
 		select {
 		case <-e.stop:
@@ -254,9 +307,42 @@ func (e *Engine) writer(batchMax int) {
 					break drain
 				}
 			}
+			// After a persistence failure the engine is read-only: the
+			// mutable graph already diverged from the last durable state, so
+			// applying anything more could only widen the gap. Fail the
+			// whole batch without touching the graph.
+			if e.persistErr != nil {
+				for _, ev := range pending {
+					ev.done <- result{err: e.persistErr}
+				}
+				continue
+			}
 			results = results[:0]
+			applied = applied[:0]
 			for _, ev := range pending {
-				results = append(results, e.apply(ev))
+				r := e.apply(ev)
+				results = append(results, r)
+				if e.persist != nil && r.err == nil && (ev.op == opCheckin || r.changed) {
+					applied = append(applied, toApplied(ev))
+				}
+			}
+			// Group commit: the whole batch becomes durable with one hook
+			// call before any of it becomes visible. On failure nothing is
+			// published — readers keep the last durable snapshot — and every
+			// waiter in the batch learns its write was lost.
+			if len(applied) > 0 {
+				seq, err := e.persist(applied)
+				if err != nil {
+					e.persistErr = fmt.Errorf("%w, engine is read-only: %w", ErrPersist, err)
+					for i := range results {
+						results[i] = result{err: e.persistErr}
+					}
+					for i, ev := range pending {
+						ev.done <- results[i]
+					}
+					continue
+				}
+				e.walSeq = seq
 			}
 			// Publish only when the batch actually moved an epoch: a batch
 			// of rejected or no-op events (re-inserting a present edge, say)
@@ -273,6 +359,14 @@ func (e *Engine) writer(batchMax int) {
 			}
 		}
 	}
+}
+
+// toApplied converts an applied writer event to its durable description.
+func toApplied(ev event) AppliedEvent {
+	if ev.op == opCheckin {
+		return AppliedEvent{Checkin: true, V: ev.v, Loc: ev.loc}
+	}
+	return AppliedEvent{U: ev.u, W: ev.w, Insert: ev.insert}
 }
 
 // apply mutates the writer's graph with one event. Only events that
@@ -321,6 +415,7 @@ func (e *Engine) freeze() *Snap {
 		edges:     frozen.NumEdges(),
 		locEpoch:  frozen.LocEpoch(),
 		topoEpoch: frozen.TopoEpoch(),
+		walSeq:    e.walSeq,
 	}
 	if e.pool != nil {
 		e.pool.SetBase(base)
@@ -342,6 +437,7 @@ type Snap struct {
 	edges     int
 	locEpoch  uint64
 	topoEpoch uint64
+	walSeq    uint64
 }
 
 // Graph returns the frozen graph view. It never mutates; reading it
@@ -359,6 +455,12 @@ func (sn *Snap) LocEpoch() uint64 { return sn.locEpoch }
 
 // TopoEpoch returns the topology epoch the snapshot was frozen at.
 func (sn *Snap) TopoEpoch() uint64 { return sn.topoEpoch }
+
+// WalSeq returns the durable log sequence this snapshot's state corresponds
+// to: the graph contains the effects of exactly the log records 1..WalSeq
+// (0 with no durability hook configured). The checkpointer keys its
+// checkpoint files and WAL truncation on it.
+func (sn *Snap) WalSeq() uint64 { return sn.walSeq }
 
 // CoreNumber returns the k-core number of v as of this snapshot.
 func (sn *Snap) CoreNumber(v graph.V) int { return sn.base.CoreNumber(v) }

@@ -338,3 +338,111 @@ func TestPublicationBatching(t *testing.T) {
 	}
 	t.Logf("coalescing: %d events over %d publications", applied, published)
 }
+
+// TestPersistHookOrdering pins the durability contract: the hook sees every
+// state-changing event (and only those) before the snapshot containing it is
+// published, and published snapshots carry the hook's sequence.
+func TestPersistHookOrdering(t *testing.T) {
+	var mu sync.Mutex
+	var logged []AppliedEvent
+	var seq uint64
+	e := New(testGraph(), Options{
+		InitialSeq: 100,
+		Persist: func(batch []AppliedEvent) (uint64, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			logged = append(logged, batch...)
+			seq += uint64(len(batch))
+			return 100 + seq, nil
+		},
+	})
+	defer e.Close()
+	ctx := context.Background()
+
+	if got := e.Current().WalSeq(); got != 100 {
+		t.Fatalf("initial WalSeq = %d, want InitialSeq 100", got)
+	}
+	if err := e.CheckIn(ctx, 2, geom.Point{X: 0.3, Y: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	// Read-your-writes now implies durable-on-ack: the snapshot visible
+	// after CheckIn returned must carry a WalSeq covering the event.
+	if got := e.Current().WalSeq(); got != 101 {
+		t.Fatalf("WalSeq after check-in = %d, want 101", got)
+	}
+	// A no-op edge toggle must not be logged.
+	if changed, err := e.UpdateEdge(ctx, 0, 6, true); err != nil || changed {
+		t.Fatalf("no-op insert: changed=%v err=%v", changed, err)
+	}
+	// A rejected edge must not be logged either.
+	if _, err := e.UpdateEdge(ctx, 0, 9999, true); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if changed, err := e.UpdateEdge(ctx, 0, 18, true); err != nil || !changed {
+		t.Fatalf("real insert: changed=%v err=%v", changed, err)
+	}
+	if got := e.Current().WalSeq(); got != 102 {
+		t.Fatalf("WalSeq after edge = %d, want 102", got)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logged) != 2 {
+		t.Fatalf("logged %d events, want 2: %+v", len(logged), logged)
+	}
+	if !logged[0].Checkin || logged[0].V != 2 || logged[0].Loc.X != 0.3 {
+		t.Fatalf("logged[0] = %+v", logged[0])
+	}
+	if logged[1].Checkin || logged[1].U != 0 || logged[1].W != 18 || !logged[1].Insert {
+		t.Fatalf("logged[1] = %+v", logged[1])
+	}
+}
+
+// TestPersistFailureTurnsEngineReadOnly: a failed group commit must fail the
+// writes in that batch, keep the failed state unpublished, and refuse all
+// later writes — a non-durable write must never look committed.
+func TestPersistFailureTurnsEngineReadOnly(t *testing.T) {
+	fail := errors.New("disk on fire")
+	calls := 0
+	e := New(testGraph(), Options{
+		Persist: func(batch []AppliedEvent) (uint64, error) {
+			calls++
+			if calls > 1 {
+				return 0, fail
+			}
+			return uint64(len(batch)), nil
+		},
+	})
+	defer e.Close()
+	ctx := context.Background()
+
+	if err := e.CheckIn(ctx, 1, geom.Point{X: 0.5, Y: 0.5}); err != nil {
+		t.Fatalf("first (durable) write: %v", err)
+	}
+	before := e.Current()
+	err := e.CheckIn(ctx, 3, geom.Point{X: 0.7, Y: 0.7})
+	if err == nil || !errors.Is(err, fail) {
+		t.Fatalf("write after persist failure: %v, want wrapped %v", err, fail)
+	}
+	// The failed write must not have been published.
+	after := e.Current()
+	if after.Seq() != before.Seq() {
+		t.Fatalf("failed batch published: seq %d -> %d", before.Seq(), after.Seq())
+	}
+	if loc := after.Graph().Loc(3); loc.X == 0.7 {
+		t.Fatal("failed write visible to readers")
+	}
+	// Every later write fails fast without reaching the graph.
+	if err := e.CheckIn(ctx, 4, geom.Point{X: 0.2, Y: 0.2}); err == nil || !errors.Is(err, fail) {
+		t.Fatalf("write on read-only engine: %v", err)
+	}
+	if _, err := e.UpdateEdge(ctx, 0, 18, true); err == nil || !errors.Is(err, fail) {
+		t.Fatalf("edge on read-only engine: %v", err)
+	}
+	// Reads keep serving the last durable snapshot.
+	w := after.Get()
+	defer after.Put(w)
+	if _, err := w.AppInc(0, 4); err != nil {
+		t.Fatalf("read on read-only engine: %v", err)
+	}
+}

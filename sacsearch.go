@@ -23,7 +23,11 @@
 // mutable graph in one writer goroutine and publishes immutable
 // ServingSnapshot views through an atomic pointer, so queries run with zero
 // locks; every algorithm has a *Ctx variant that honors cancellation and
-// deadlines mid-query (ErrCanceled).
+// deadlines mid-query (ErrCanceled). Serving state is durable on request:
+// OpenStore wraps the engine with a write-ahead log, checkpoints and crash
+// recovery (write-visible implies logged; with FsyncAlways, on disk), and
+// SaveGraph/LoadGraph persist built graphs in the checksummed binary
+// format.
 //
 // # Quick start
 //
@@ -50,6 +54,7 @@ package sacsearch
 
 import (
 	"context"
+	"io"
 
 	"sacsearch/internal/batch"
 	"sacsearch/internal/community"
@@ -61,6 +66,7 @@ import (
 	"sacsearch/internal/graph"
 	"sacsearch/internal/metrics"
 	"sacsearch/internal/snapshot"
+	"sacsearch/internal/store"
 )
 
 // Geometry.
@@ -90,6 +96,16 @@ type (
 
 // NewBuilder creates a graph builder for n vertices.
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// SaveGraph writes g to w in the checksummed binary CSR format — the fast
+// reload path for multi-million-vertex graphs, and the format SaveGraph's
+// counterpart LoadGraph, `sacserver -load` and `sacbench -load` read.
+func SaveGraph(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// LoadGraph reads a graph written by SaveGraph, verifying its checksum and
+// structural invariants; a truncated or corrupted stream returns an error
+// rather than a graph that fails later.
+func LoadGraph(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
 
 // SAC search (the paper's contribution).
 type (
@@ -161,6 +177,42 @@ type (
 // Release the writer goroutine with Close.
 func NewServingEngine(g *Graph, opt ServingOptions) *ServingEngine {
 	return snapshot.New(g, opt)
+}
+
+// Durable serving (the production persistence model; `sacserver -data-dir`
+// runs on it). A Store wraps a ServingEngine with a write-ahead log and
+// background checkpoints: a write that became visible to readers is already
+// logged (and, under FsyncAlways, on disk), and OpenStore recovers the last
+// served state after a crash or restart.
+type (
+	// Store is a durable ServingEngine rooted in a data directory.
+	Store = store.Store
+	// StoreOptions configures durability: initial graph, fsync policy, WAL
+	// segment size and checkpoint cadence.
+	StoreOptions = store.Options
+	// StoreStats is the durability status a Store reports (and /api/health
+	// exposes): WAL size, sequences, checkpoint progress, fsync policy.
+	StoreStats = store.Stats
+	// FsyncPolicy selects when WAL appends reach stable storage.
+	FsyncPolicy = store.FsyncPolicy
+)
+
+// Fsync policy choices: FsyncAlways makes every acknowledged write durable
+// before it is acknowledged (one fsync per published batch); FsyncInterval
+// bounds loss to the flush interval; FsyncNever leaves flushing to the OS.
+const (
+	FsyncAlways   = store.FsyncAlways
+	FsyncInterval = store.FsyncInterval
+	FsyncNever    = store.FsyncNever
+)
+
+// OpenStore recovers (or, with opt.Init on first boot, creates) the durable
+// store rooted at dataDir: the newest valid checkpoint is loaded, the WAL
+// tail replayed — tolerating a torn final record, failing loudly on real
+// corruption — and the serving engine resumed with monotonic sequences.
+// Release it with Close (which writes a final checkpoint).
+func OpenStore(dataDir string, opt StoreOptions) (*Store, error) {
+	return store.Open(dataDir, opt)
 }
 
 // Batch processing (Section 6 future work: answering many SAC queries at

@@ -1,0 +1,446 @@
+// Package client is the typed Go client for the sacserver /v1 HTTP API —
+// the supported way for downstream programs to consume SAC search over the
+// network instead of hand-rolling HTTP requests.
+//
+//	cl, err := client.New("http://localhost:8080")
+//	res, err := cl.Query(ctx, client.Query{Q: 17, K: 4, Algo: "exact+"})
+//
+// The client reuses connections (one shared http.Transport), honors the
+// caller's context on every call, and retries requests that fail with 503
+// Service Unavailable — the status the server uses for transient conditions
+// (query deadline pressure, a draining writer) — with exponential backoff.
+// Every API operation is idempotent (queries are reads; check-in sets a
+// location, edge insert/delete converge), so retrying is always safe.
+//
+// Errors from non-2xx responses are *APIError values carrying the HTTP
+// status, the machine-readable code from the server's structured error
+// envelope, the offending field when known, and the request id for
+// correlation with server logs. A query that finds no community satisfies
+// errors.Is(err, client.ErrNoCommunity).
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// ErrNoCommunity is the sentinel matched (via errors.Is) by query errors
+// whose server code reports that the query vertex has no feasible
+// community for the requested k.
+var ErrNoCommunity = errors.New("sac client: no community")
+
+// APIError is a non-2xx response decoded from the server's structured
+// error envelope.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the machine-readable error code ("unknown_algorithm",
+	// "invalid_param", "no_community", "deadline_exceeded", ...).
+	Code string
+	// Field names the offending request field, when the server knows it.
+	Field string
+	// Message is the human-readable error message.
+	Message string
+	// RequestID correlates the failure with server logs.
+	RequestID string
+}
+
+func (e *APIError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sac client: server returned %d", e.Status)
+	if e.Code != "" {
+		fmt.Fprintf(&b, " (%s)", e.Code)
+	}
+	if e.Message != "" {
+		b.WriteString(": " + e.Message)
+	}
+	if e.RequestID != "" {
+		fmt.Fprintf(&b, " [request %s]", e.RequestID)
+	}
+	return b.String()
+}
+
+// Is lets errors.Is match the well-known codes without the caller
+// inspecting Code by hand.
+func (e *APIError) Is(target error) bool {
+	return target == ErrNoCommunity && e.Code == "no_community"
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (custom
+// transports, proxies, test doubles).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets how many times a 503 (or transport failure) is retried
+// beyond the first attempt. Default 3; 0 disables retrying.
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithRetryBackoff sets the initial retry backoff (doubled per attempt).
+// Default 100ms.
+func WithRetryBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// Client talks to one sacserver. It is safe for concurrent use.
+type Client struct {
+	base    *url.URL
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// New creates a client for the server at baseURL (scheme and host, e.g.
+// "http://localhost:8080"; any path prefix is kept, so a reverse-proxied
+// "https://geo.example.com/sac" works too).
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("sac client: invalid base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("sac client: base URL %q must be http or https", baseURL)
+	}
+	c := &Client{
+		base:    u,
+		hc:      &http.Client{Timeout: 60 * time.Second},
+		retries: 3,
+		backoff: 100 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// --- wire types -----------------------------------------------------------
+
+// Query is one SAC request: the query vertex, the degree threshold, the
+// algorithm (a /v1/algorithms name or alias; empty = server default,
+// AppFast) and its parameters. Parameter pointers distinguish "absent →
+// server default" from an explicit zero; build them with Float.
+type Query struct {
+	Q         int64    `json:"q"`
+	K         int      `json:"k"`
+	Algo      string   `json:"algo,omitempty"`
+	EpsF      *float64 `json:"epsF,omitempty"`
+	EpsA      *float64 `json:"epsA,omitempty"`
+	Theta     *float64 `json:"theta,omitempty"`
+	Structure string   `json:"structure,omitempty"`
+	// TimeoutMillis, when positive, asks the server to bound this query
+	// with its own deadline (the server's per-request deadline still caps
+	// it). The caller's context cancels client-side regardless.
+	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
+}
+
+// Float returns a pointer to v, for setting optional parameters inline.
+func Float(v float64) *float64 { return &v }
+
+// Circle is a covering circle.
+type Circle struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	R float64 `json:"r"`
+}
+
+// Stats are the per-query work counters the server reports.
+type Stats struct {
+	CandidateSize     int    `json:"candidateSize"`
+	FeasibilityChecks int    `json:"feasibilityChecks"`
+	BinaryIters       int    `json:"binaryIters"`
+	ElapsedMicros     int64  `json:"elapsedMicros"`
+	Algorithm         string `json:"algorithm"`
+}
+
+// Result is one SAC answer.
+type Result struct {
+	Q       int64   `json:"q"`
+	K       int     `json:"k"`
+	Members []int64 `json:"members"`
+	MCC     Circle  `json:"mcc"`
+	Delta   float64 `json:"delta"`
+	Stats   Stats   `json:"stats"`
+}
+
+// BatchQuery is one (q, k) item of a batch.
+type BatchQuery struct {
+	Q int64 `json:"q"`
+	K int   `json:"k"`
+}
+
+// BatchOptions selects the algorithm and parameters shared by a whole
+// batch, plus the server-side worker count (0 = server default).
+type BatchOptions struct {
+	Algo      string
+	EpsF      *float64
+	EpsA      *float64
+	Theta     *float64
+	Structure string
+	Workers   int
+}
+
+// BatchItem is one answered batch query; Error is the per-item failure
+// message ("" on success).
+type BatchItem struct {
+	Q       int64   `json:"q"`
+	K       int     `json:"k"`
+	Members []int64 `json:"members"`
+	MCC     Circle  `json:"mcc"`
+	Error   string  `json:"error"`
+}
+
+// AlgoParam is one entry of an algorithm's parameter schema.
+type AlgoParam struct {
+	Name     string   `json:"name"`
+	Type     string   `json:"type"`
+	Doc      string   `json:"doc"`
+	Required bool     `json:"required"`
+	Default  *float64 `json:"default"`
+	Min      float64  `json:"min"`
+	Max      *float64 `json:"max"` // nil = unbounded
+	MinExcl  bool     `json:"minExclusive"`
+	MaxExcl  bool     `json:"maxExclusive"`
+}
+
+// AlgoInfo is one registered algorithm as served by /v1/algorithms.
+type AlgoInfo struct {
+	Name    string      `json:"name"`
+	Aliases []string    `json:"aliases"`
+	Ratio   string      `json:"ratio"`
+	Doc     string      `json:"doc"`
+	Params  []AlgoParam `json:"params"`
+}
+
+// Health is the server status report. Unversioned extras (durability
+// stats, epochs) land in Extra.
+type Health struct {
+	Status   string `json:"status"`
+	Dataset  string `json:"dataset"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Durable  bool   `json:"durable"`
+
+	Extra map[string]json.RawMessage `json:"-"`
+}
+
+// UnmarshalJSON keeps the typed fields and the raw remainder.
+func (h *Health) UnmarshalJSON(data []byte) error {
+	type plain Health
+	if err := json.Unmarshal(data, (*plain)(h)); err != nil {
+		return err
+	}
+	return json.Unmarshal(data, &h.Extra)
+}
+
+// Vertex is one vertex's public view.
+type Vertex struct {
+	ID     int64   `json:"id"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Degree int     `json:"degree"`
+	Core   int     `json:"core"`
+}
+
+// EdgeResult reports an edge mutation: whether the graph changed (false
+// for idempotent repeats) and the edge count afterwards.
+type EdgeResult struct {
+	OK      bool `json:"ok"`
+	Changed bool `json:"changed"`
+	Edges   int  `json:"edges"`
+}
+
+// --- operations -----------------------------------------------------------
+
+// Health fetches /v1/health.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var out Health
+	if err := c.do(ctx, http.MethodGet, "/v1/health", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Algorithms fetches the algorithm registry from /v1/algorithms.
+func (c *Client) Algorithms(ctx context.Context) ([]AlgoInfo, error) {
+	var out []AlgoInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/algorithms", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Vertex fetches one vertex's location, degree and core number.
+func (c *Client) Vertex(ctx context.Context, id int64) (*Vertex, error) {
+	var out Vertex
+	if err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/vertex/%d", id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Query runs one SAC query.
+func (c *Client) Query(ctx context.Context, q Query) (*Result, error) {
+	var out Result
+	if err := c.do(ctx, http.MethodPost, "/v1/query", q, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Batch answers many queries in one request; items come back in input
+// order, failed items with their Error set. A nil opt runs the server
+// defaults (AppFast on GOMAXPROCS workers).
+func (c *Client) Batch(ctx context.Context, queries []BatchQuery, opt *BatchOptions) ([]BatchItem, error) {
+	req := struct {
+		Queries   []BatchQuery `json:"queries"`
+		Algo      string       `json:"algo,omitempty"`
+		EpsF      *float64     `json:"epsF,omitempty"`
+		EpsA      *float64     `json:"epsA,omitempty"`
+		Theta     *float64     `json:"theta,omitempty"`
+		Structure string       `json:"structure,omitempty"`
+		Workers   int          `json:"workers,omitempty"`
+	}{Queries: queries}
+	if opt != nil {
+		req.Algo, req.EpsF, req.EpsA, req.Theta = opt.Algo, opt.EpsF, opt.EpsA, opt.Theta
+		req.Structure, req.Workers = opt.Structure, opt.Workers
+	}
+	var out struct {
+		Items []BatchItem `json:"items"`
+	}
+	if err := c.do(ctx, http.MethodPost, "/v1/batch", req, &out); err != nil {
+		return nil, err
+	}
+	return out.Items, nil
+}
+
+// CheckIn moves vertex v to (x, y). The call returns once a snapshot
+// containing the move is published (read-your-writes).
+func (c *Client) CheckIn(ctx context.Context, v int64, x, y float64) error {
+	req := struct {
+		V int64   `json:"v"`
+		X float64 `json:"x"`
+		Y float64 `json:"y"`
+	}{v, x, y}
+	return c.do(ctx, http.MethodPost, "/v1/checkin", req, nil)
+}
+
+// Edge inserts (insert = true) or deletes one undirected friendship edge.
+func (c *Client) Edge(ctx context.Context, u, v int64, insert bool) (*EdgeResult, error) {
+	op := "delete"
+	if insert {
+		op = "insert"
+	}
+	req := struct {
+		U  int64  `json:"u"`
+		V  int64  `json:"v"`
+		Op string `json:"op"`
+	}{u, v, op}
+	var out EdgeResult
+	if err := c.do(ctx, http.MethodPost, "/v1/edge", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// --- transport ------------------------------------------------------------
+
+// do sends one API call with retry-on-503: the request body is marshaled
+// once and replayed on each attempt, backoff doubles per retry, and the
+// context bounds the whole loop (sleep included). Transport-level failures
+// retry the same way; non-503 API errors return immediately.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("sac client: encoding request: %w", err)
+		}
+	}
+	u := c.base.JoinPath(path)
+	backoff := c.backoff
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("sac client: %w (last error: %w)", ctx.Err(), lastErr)
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		var rd io.Reader
+		if in != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, u.String(), rd)
+		if err != nil {
+			return fmt.Errorf("sac client: building request: %w", err)
+		}
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("sac client: %w", err)
+			}
+			lastErr = err // transient transport failure: retry
+			continue
+		}
+		apiErr, err := consume(resp, out)
+		if err != nil {
+			return err
+		}
+		if apiErr == nil {
+			return nil
+		}
+		if apiErr.Status != http.StatusServiceUnavailable {
+			return apiErr
+		}
+		lastErr = apiErr // 503: retry
+	}
+	return fmt.Errorf("sac client: giving up after %d attempts: %w", c.retries+1, lastErr)
+}
+
+// consume decodes one response: 2xx into out, non-2xx into an *APIError
+// built from the structured envelope (or a synthesized one when the body
+// is not an envelope — a proxy's bare 502, say).
+func consume(resp *http.Response, out any) (*APIError, error) {
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("sac client: reading response: %w", err)
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out == nil {
+			return nil, nil
+		}
+		if err := json.Unmarshal(raw, out); err != nil {
+			return nil, fmt.Errorf("sac client: decoding response: %w", err)
+		}
+		return nil, nil
+	}
+	var env struct {
+		Error     string `json:"error"`
+		Code      string `json:"code"`
+		Field     string `json:"field"`
+		RequestID string `json:"requestId"`
+	}
+	apiErr := &APIError{Status: resp.StatusCode, RequestID: resp.Header.Get("X-Request-Id")}
+	if json.Unmarshal(raw, &env) == nil && env.Error != "" {
+		apiErr.Message, apiErr.Code, apiErr.Field = env.Error, env.Code, env.Field
+		if env.RequestID != "" {
+			apiErr.RequestID = env.RequestID
+		}
+	} else {
+		apiErr.Message = strings.TrimSpace(string(raw))
+	}
+	return apiErr, nil
+}

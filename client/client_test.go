@@ -1,0 +1,280 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sacsearch/client"
+	"sacsearch/internal/core"
+	"sacsearch/internal/geom"
+	"sacsearch/internal/graph"
+	"sacsearch/internal/server"
+)
+
+// testGraph plants spatial cliques (the server test fixture's shape):
+// every vertex has a tight community for k up to 4.
+func testGraph() *graph.Graph {
+	rnd := rand.New(rand.NewSource(7))
+	const nc, cs = 6, 6
+	b := graph.NewBuilder(nc * cs)
+	for c := 0; c < nc; c++ {
+		cx, cy := rnd.Float64(), rnd.Float64()
+		for i := 0; i < cs; i++ {
+			v := graph.V(c*cs + i)
+			b.SetLoc(v, geom.Point{
+				X: cx + (rnd.Float64()-0.5)*0.05,
+				Y: cy + (rnd.Float64()-0.5)*0.05,
+			})
+			for j := 0; j < i; j++ {
+				b.AddEdge(v, graph.V(c*cs+j))
+			}
+		}
+	}
+	b.AddEdge(0, 6)
+	b.AddEdge(0, 12)
+	return b.Build()
+}
+
+func newClientServer(t *testing.T) (*client.Client, *graph.Graph) {
+	t.Helper()
+	g := testGraph()
+	srv := server.New("test", g)
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	cl, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, g
+}
+
+// TestRoundTripAllRoutes drives every /v1 route through the typed client
+// against a real server over httptest.
+func TestRoundTripAllRoutes(t *testing.T) {
+	cl, g := newClientServer(t)
+	ctx := context.Background()
+
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Dataset != "test" || h.Vertices != g.NumVertices() {
+		t.Fatalf("health = %+v", h)
+	}
+	if _, ok := h.Extra["snapshotSeq"]; !ok {
+		t.Fatalf("health extras missing snapshotSeq: %v", h.Extra)
+	}
+
+	algos, err := cl.Algorithms(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(algos) != len(core.Algorithms()) {
+		t.Fatalf("%d algorithms, want %d", len(algos), len(core.Algorithms()))
+	}
+	for i, spec := range core.Algorithms() {
+		if algos[i].Name != spec.Name || len(algos[i].Params) != len(spec.Params) {
+			t.Fatalf("algorithms[%d] = %+v, want %s", i, algos[i], spec.Name)
+		}
+	}
+
+	vx, err := cl.Vertex(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vx.ID != 3 || vx.Degree != g.Degree(3) {
+		t.Fatalf("vertex = %+v", vx)
+	}
+
+	res, err := cl.Query(ctx, client.Query{Q: 1, K: 4, Algo: "exact+"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Members) == 0 || res.Stats.Algorithm != "exact+" {
+		t.Fatalf("query = %+v", res)
+	}
+
+	items, err := cl.Batch(ctx, []client.BatchQuery{{Q: 1, K: 4}, {Q: 7, K: 4}},
+		&client.BatchOptions{Algo: "appinc", Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 || items[0].Error != "" || len(items[0].Members) == 0 {
+		t.Fatalf("batch = %+v", items)
+	}
+
+	if err := cl.CheckIn(ctx, 3, 0.25, 0.75); err != nil {
+		t.Fatal(err)
+	}
+	moved, err := cl.Vertex(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.X != 0.25 || moved.Y != 0.75 {
+		t.Fatalf("checkin did not move vertex: %+v", moved)
+	}
+
+	er, err := cl.Edge(ctx, 0, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !er.OK || !er.Changed {
+		t.Fatalf("edge insert = %+v", er)
+	}
+	er, err = cl.Edge(ctx, 0, 7, true) // idempotent repeat
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Changed {
+		t.Fatalf("repeated insert reported a change: %+v", er)
+	}
+}
+
+// TestAPIErrors maps server failures onto typed errors: codes, fields,
+// request ids and the ErrNoCommunity sentinel.
+func TestAPIErrors(t *testing.T) {
+	cl, _ := newClientServer(t)
+	ctx := context.Background()
+
+	_, err := cl.Query(ctx, client.Query{Q: 1, K: 40})
+	if !errors.Is(err, client.ErrNoCommunity) {
+		t.Fatalf("k=40 err = %v, want ErrNoCommunity", err)
+	}
+
+	_, err = cl.Query(ctx, client.Query{Q: 1, K: 4, Algo: "bogus"})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.Status != http.StatusBadRequest || apiErr.Code != "unknown_algorithm" ||
+		apiErr.Field != "algo" || apiErr.RequestID == "" {
+		t.Fatalf("APIError = %+v", apiErr)
+	}
+	if errors.Is(err, client.ErrNoCommunity) {
+		t.Fatal("unknown algorithm matched ErrNoCommunity")
+	}
+
+	_, err = cl.Query(ctx, client.Query{Q: 1, K: 4, Algo: "appfast", Theta: client.Float(0.5)})
+	if !errors.As(err, &apiErr) || apiErr.Code != "invalid_param" || apiErr.Field != "theta" {
+		t.Fatalf("extraneous theta err = %v", err)
+	}
+
+	_, err = cl.Vertex(ctx, 99999)
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound || apiErr.Code != "unknown_vertex" {
+		t.Fatalf("unknown vertex err = %v", err)
+	}
+}
+
+// TestRetryOn503 verifies the retry loop: two 503s then success, and
+// permanent 503 exhausting the budget.
+func TestRetryOn503(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"draining","code":"unavailable"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok","dataset":"flaky","vertices":1,"edges":0}`))
+	}))
+	t.Cleanup(ts.Close)
+	cl, err := client.New(ts.URL, client.WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := cl.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Dataset != "flaky" || calls.Load() != 3 {
+		t.Fatalf("health = %+v after %d calls", h, calls.Load())
+	}
+
+	// Permanent 503: the budget is spent and the last APIError surfaces.
+	calls.Store(-1000)
+	cl, err = client.New(ts.URL, client.WithRetries(1), client.WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Health(context.Background())
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("permanent 503 err = %v", err)
+	}
+	if got := calls.Load(); got != -998 {
+		t.Fatalf("attempts = %d, want 2", got+1000)
+	}
+
+	// Non-503 errors do not retry.
+	notFound := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "nope", http.StatusNotFound)
+	}))
+	t.Cleanup(notFound.Close)
+	calls.Store(0)
+	cl, err = client.New(notFound.URL, client.WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = cl.Health(context.Background()); err == nil {
+		t.Fatal("expected error")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("404 retried %d times", calls.Load()-1)
+	}
+}
+
+// TestIntegrationSmoke is the in-process server↔client smoke the CI
+// workflow mirrors with real binaries: serve a generated graph, drive it
+// through the typed client, and pin every answer to a direct Searcher on
+// the same graph.
+func TestIntegrationSmoke(t *testing.T) {
+	g := testGraph()
+	direct := core.NewSearcher(g.Clone())
+	srv := server.New("smoke", g)
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	cl, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	for _, algo := range []string{"exact", "exact+", "appinc", "appfast", "appacc"} {
+		for _, q := range []int64{0, 7, 19, 31} {
+			got, err := cl.Query(ctx, client.Query{Q: q, K: 4, Algo: algo})
+			want, wantErr := direct.Search(ctx, core.Query{Q: graph.V(q), K: 4, Algo: algo})
+			if wantErr != nil {
+				if err == nil {
+					t.Fatalf("%s q=%d: client succeeded, direct failed: %v", algo, q, wantErr)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s q=%d: %v", algo, q, err)
+			}
+			if len(got.Members) != len(want.Members) {
+				t.Fatalf("%s q=%d: client %v, direct %v", algo, q, got.Members, want.Members)
+			}
+			for i, m := range want.Members {
+				if got.Members[i] != int64(m) {
+					t.Fatalf("%s q=%d: member %d = %d, want %d", algo, q, i, got.Members[i], m)
+				}
+			}
+			if got.MCC.R != want.MCC.R || got.Delta != want.Delta {
+				t.Fatalf("%s q=%d: client (r=%v δ=%v), direct (r=%v δ=%v)",
+					algo, q, got.MCC.R, got.Delta, want.MCC.R, want.Delta)
+			}
+		}
+	}
+}

@@ -6,12 +6,17 @@
 //	sacserver -dataset brightkite -scale 0.05 -addr :8080
 //	sacserver -load graph.bin -data-dir /var/lib/sacsearch -fsync always
 //
-// Then:
+// Then (the versioned /v1 API; the unversioned /api/* aliases still answer
+// but are deprecated):
 //
-//	curl localhost:8080/api/health
-//	curl -X POST localhost:8080/api/query -d '{"q":17,"k":4,"algo":"exact+"}'
-//	curl -X POST localhost:8080/api/batch -d '{"queries":[{"q":17,"k":4},{"q":23,"k":4}]}'
-//	curl -X POST localhost:8080/api/checkin -d '{"v":17,"x":0.5,"y":0.5}'
+//	curl localhost:8080/v1/health
+//	curl localhost:8080/v1/algorithms
+//	curl -X POST localhost:8080/v1/query -d '{"q":17,"k":4,"algo":"exact+"}'
+//	curl -X POST localhost:8080/v1/batch -d '{"queries":[{"q":17,"k":4},{"q":23,"k":4}]}'
+//	curl -X POST localhost:8080/v1/checkin -d '{"v":17,"x":0.5,"y":0.5}'
+//
+// Downstream Go programs should prefer the typed client (sacsearch/client)
+// over hand-rolled HTTP.
 //
 // With -data-dir the server is durable: writes go through a write-ahead log
 // before becoming visible (fsync policy from -fsync), a background
@@ -133,7 +138,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Printf("sacserver: serving %s (%d vertices, %d edges) on %s\n",
+	fmt.Printf("sacserver: serving %s (%d vertices, %d edges) on %s (API /v1, deprecated alias /api)\n",
 		srvName, vertices, edges, *addr)
 
 	select {

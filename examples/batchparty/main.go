@@ -39,9 +39,10 @@ func main() {
 
 	start := time.Now()
 	items := sacsearch.BatchSearch(s, sacsearch.BatchWorkload(hosts, k), sacsearch.BatchOptions{
-		Algorithm: sacsearch.BatchAppAcc,
-		EpsA:      0.5,
-		Workers:   4,
+		// The batch rides the same registry template a /v1/batch request
+		// does: one Query selects the algorithm and parameters for all hosts.
+		Template: sacsearch.Query{Algo: "appacc", EpsA: sacsearch.Float(0.5)},
+		Workers:  4,
 	})
 	batchTime := time.Since(start)
 

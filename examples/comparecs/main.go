@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,7 +40,7 @@ func main() {
 		{"GeoModu(µ=1)", func(q sacsearch.V) []sacsearch.V { return geo1.CommunityOf(q) }},
 		{"GeoModu(µ=2)", func(q sacsearch.V) []sacsearch.V { return geo2.CommunityOf(q) }},
 		{"SAC (Exact+)", func(q sacsearch.V) []sacsearch.V {
-			res, err := sac.ExactPlus(q, k, 1e-3)
+			res, err := sac.Search(context.Background(), sacsearch.Query{Algo: "exact+", Q: q, K: k})
 			if err != nil {
 				return nil
 			}

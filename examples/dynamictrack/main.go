@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,7 +35,7 @@ func main() {
 
 	s := sacsearch.NewSearcher(g)
 	search := func(q sacsearch.V, k int) ([]sacsearch.V, sacsearch.Circle, error) {
-		res, err := s.ExactPlusDefault(q, k)
+		res, err := s.Search(context.Background(), sacsearch.Query{Algo: "exact+", Q: q, K: k})
 		if err != nil {
 			return nil, sacsearch.Circle{}, err
 		}

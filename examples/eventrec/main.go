@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -32,10 +33,11 @@ func main() {
 	}
 
 	s := sacsearch.NewSearcher(g)
+	ctx := context.Background()
 	const k = 4
 	fmt.Printf("%-8s %-8s %-10s %-10s %s\n", "user", "group", "radius", "distPr", "suggestion")
 	for _, u := range active {
-		res, err := s.AppAcc(u, k, 0.5)
+		res, err := s.Search(ctx, sacsearch.Query{Algo: "appacc", Q: u, K: k, EpsA: sacsearch.Float(0.5)})
 		if errors.Is(err, sacsearch.ErrNoCommunity) {
 			fmt.Printf("%-8d no tight group right now\n", u)
 			continue
@@ -60,7 +62,7 @@ func main() {
 	u := active[0]
 	fmt.Printf("\nfixed-catchment (θ-SAC) for user %d:\n", u)
 	for _, theta := range []float64{0.001, 0.01, 0.1} {
-		res, err := s.ThetaSAC(u, k, theta)
+		res, err := s.Search(ctx, sacsearch.Query{Algo: "theta", Q: u, K: k, Theta: sacsearch.Float(theta)})
 		if errors.Is(err, sacsearch.ErrNoCommunity) {
 			fmt.Printf("  θ=%-6g no group (θ too small)\n", theta)
 			continue

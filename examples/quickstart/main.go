@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,24 +50,17 @@ func main() {
 
 	s := sacsearch.NewSearcher(g)
 	q, k := sacsearch.V(0), 2 // Tom wants a dinner group: everyone knows 2 others
+	ctx := context.Background()
 
+	// One unified entry point: every algorithm is a Query naming it in the
+	// registry (parameters default per algorithm when omitted).
 	fmt.Printf("SAC search for %s with k=%d\n\n", g.Label(q), k)
-	algos := []struct {
-		name string
-		run  func() (*sacsearch.Result, error)
-	}{
-		{"Exact    ", func() (*sacsearch.Result, error) { return s.Exact(q, k) }},
-		{"Exact+   ", func() (*sacsearch.Result, error) { return s.ExactPlus(q, k, 1e-3) }},
-		{"AppInc   ", func() (*sacsearch.Result, error) { return s.AppInc(q, k) }},
-		{"AppFast  ", func() (*sacsearch.Result, error) { return s.AppFast(q, k, 0.5) }},
-		{"AppAcc   ", func() (*sacsearch.Result, error) { return s.AppAcc(q, k, 0.5) }},
-	}
-	for _, a := range algos {
-		res, err := a.run()
+	for _, algo := range []string{"exact", "exact+", "appinc", "appfast", "appacc"} {
+		res, err := s.Search(ctx, sacsearch.Query{Algo: algo, Q: q, K: k})
 		if err != nil {
-			log.Fatalf("%s: %v", a.name, err)
+			log.Fatalf("%s: %v", algo, err)
 		}
-		fmt.Printf("%s radius %.4f  members:", a.name, res.Radius())
+		fmt.Printf("%-9s radius %.4f  members:", algo, res.Radius())
 		for _, v := range res.Members {
 			fmt.Printf(" %s", g.Label(v))
 		}

@@ -97,19 +97,32 @@ type Item struct {
 
 // Options configures a batch run. The zero value runs AppFast(0.5) on
 // GOMAXPROCS workers.
+//
+// Algorithm selection goes through the core algorithm registry: the
+// preferred form is Template, a core.Query carrying the algorithm name and
+// parameters (its Q and K are overwritten per batch item). The legacy
+// enum-plus-epsilons fields remain as a thin mapping onto a template, so
+// existing callers keep working unchanged.
 type Options struct {
 	// Workers is the number of concurrent searchers; ≤ 0 means GOMAXPROCS.
 	Workers int
-	// Algorithm selects the SAC algorithm (default AlgoAppFast).
+	// Template, when its Algo is non-empty, selects the algorithm and
+	// parameters for every item in the batch — any registered algorithm,
+	// θ-SAC included. Per-item Q and K replace the template's. Template
+	// wins over the legacy Algorithm/EpsF/EpsA fields.
+	Template core.Query
+	// Algorithm selects the SAC algorithm (default AlgoAppFast). Legacy;
+	// prefer Template.
 	Algorithm Algo
 	// EpsF is AppFast's εF (default 0.5 when zero and Algorithm is
-	// AlgoAppFast; 0 is meaningful only if EpsFSet).
+	// AlgoAppFast; 0 is meaningful only if EpsFSet). Legacy; prefer
+	// Template.
 	EpsF float64
 	// EpsFSet marks EpsF as deliberately zero (AppFast(0) is the AppInc
-	// result, which is a valid choice).
+	// result, which is a valid choice). Legacy; prefer Template.
 	EpsFSet bool
 	// EpsA is AppAcc's / ExactPlus's εA (default 0.5 for AppAcc, 1e-3 for
-	// ExactPlus).
+	// ExactPlus). Legacy; prefer Template.
 	EpsA float64
 }
 
@@ -120,37 +133,45 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-func (o Options) epsF() float64 {
-	if o.EpsF == 0 && !o.EpsFSet {
-		return 0.5
+// template resolves the algorithm selection to one core.Query the registry
+// can dispatch: Template verbatim when set, otherwise the legacy enum and
+// epsilon fields translated to the equivalent query (absent parameters stay
+// nil pointers so the registry's defaults apply — which match the legacy
+// defaults: εF 0.5, εA 0.5 for AppAcc and 1e-3 for ExactPlus).
+func (o Options) template() core.Query {
+	if o.Template.Algo != "" {
+		return o.Template
 	}
-	return o.EpsF
-}
-
-func (o Options) epsA() float64 {
-	if o.EpsA != 0 {
-		return o.EpsA
-	}
-	if o.Algorithm == AlgoExactPlus {
-		return 1e-3
-	}
-	return 0.5
-}
-
-// run dispatches one query on one searcher.
-func run(ctx context.Context, s *core.Searcher, q Query, o Options) (*core.Result, error) {
+	t := o.Template // keep Structure/Timeout if a caller set them without Algo
 	switch o.Algorithm {
 	case AlgoAppInc:
-		return s.AppIncCtx(ctx, q.Q, q.K)
+		t.Algo = "appinc"
 	case AlgoAppAcc:
-		return s.AppAccCtx(ctx, q.Q, q.K, o.epsA())
+		t.Algo = "appacc"
+		if o.EpsA != 0 {
+			t.EpsA = core.Float(o.EpsA)
+		}
 	case AlgoExactPlus:
-		return s.ExactPlusCtx(ctx, q.Q, q.K, o.epsA())
+		t.Algo = "exact+"
+		if o.EpsA != 0 {
+			t.EpsA = core.Float(o.EpsA)
+		}
 	case AlgoExact:
-		return s.ExactCtx(ctx, q.Q, q.K)
+		t.Algo = "exact"
 	default:
-		return s.AppFastCtx(ctx, q.Q, q.K, o.epsF())
+		t.Algo = "appfast"
+		if o.EpsF != 0 || o.EpsFSet {
+			t.EpsF = core.Float(o.EpsF)
+		}
 	}
+	return t
+}
+
+// run dispatches one query on one searcher through the unified Search entry
+// point (and so through the algorithm registry).
+func run(ctx context.Context, s *core.Searcher, q Query, t core.Query) (*core.Result, error) {
+	t.Q, t.K = q.Q, q.K
+	return s.Search(ctx, t)
 }
 
 // canceledErr is the error stamped on queries a fired context kept from
@@ -201,6 +222,7 @@ func RunOn(ctx context.Context, p Source, queries []Query, opt Options) []Item {
 		}
 	}
 
+	tmpl := opt.template()
 	workers := opt.workers()
 	if workers > len(order) {
 		workers = len(order)
@@ -218,7 +240,7 @@ func RunOn(ctx context.Context, p Source, queries []Query, opt Options) []Item {
 					cancelFrom(i, err)
 					return
 				}
-				res, err := run(ctx, w, q, opt)
+				res, err := run(ctx, w, q, tmpl)
 				items[slots[q].first] = Item{Query: q, Result: res, Err: err}
 			}
 		}()
@@ -232,7 +254,7 @@ func RunOn(ctx context.Context, p Source, queries []Query, opt Options) []Item {
 				ws := p.Get()
 				defer p.Put(ws)
 				for q := range feed {
-					res, err := run(ctx, ws, q, opt)
+					res, err := run(ctx, ws, q, tmpl)
 					items[slots[q].first] = Item{Query: q, Result: res, Err: err}
 				}
 			}()
@@ -278,6 +300,7 @@ func Stream(ctx context.Context, s *core.Searcher, in <-chan Query, opt Options)
 // leaks nothing as long as in is eventually closed.
 func StreamOn(ctx context.Context, p Source, in <-chan Query, opt Options) <-chan Item {
 	out := make(chan Item)
+	tmpl := opt.template()
 	workers := opt.workers()
 	// send delivers one item, except after cancellation, when it refuses to
 	// block on an abandoned consumer: the worker must get back to draining
@@ -308,7 +331,7 @@ func StreamOn(ctx context.Context, p Source, in <-chan Query, opt Options) <-cha
 					send(Item{Query: q, Err: canceledErr(err)})
 					continue
 				}
-				res, err := run(ctx, ws, q, opt)
+				res, err := run(ctx, ws, q, tmpl)
 				send(Item{Query: q, Result: res, Err: err})
 			}
 		}()

@@ -211,23 +211,61 @@ func TestRunAlgorithms(t *testing.T) {
 	}
 }
 
-func TestRunEpsilonDefaults(t *testing.T) {
-	o := Options{}
-	if o.epsF() != 0.5 {
-		t.Fatalf("default εF = %v, want 0.5", o.epsF())
+// TestLegacyOptionsTemplate pins the mapping from the legacy enum-and-
+// epsilon Options fields onto the registry template: absent epsilons stay
+// nil (the registry's per-algorithm defaults match the old batch defaults),
+// EpsFSet turns an explicit 0 into a present parameter, and an explicit
+// Template wins outright.
+func TestLegacyOptionsTemplate(t *testing.T) {
+	if tm := (Options{}).template(); tm.Algo != "appfast" || tm.EpsF != nil {
+		t.Fatalf("zero Options template = %+v", tm)
 	}
-	o = Options{EpsFSet: true}
-	if o.epsF() != 0 {
-		t.Fatalf("explicit εF=0 = %v, want 0", o.epsF())
+	if tm := (Options{EpsFSet: true}).template(); tm.EpsF == nil || *tm.EpsF != 0 {
+		t.Fatalf("EpsFSet template = %+v", tm)
 	}
-	o = Options{Algorithm: AlgoExactPlus}
-	if o.epsA() != 1e-3 {
-		t.Fatalf("ExactPlus default εA = %v, want 1e-3", o.epsA())
+	if tm := (Options{Algorithm: AlgoExactPlus}).template(); tm.Algo != "exact+" || tm.EpsA != nil {
+		t.Fatalf("ExactPlus template = %+v", tm)
 	}
-	o = Options{Algorithm: AlgoAppAcc}
-	if o.epsA() != 0.5 {
-		t.Fatalf("AppAcc default εA = %v, want 0.5", o.epsA())
+	if tm := (Options{Algorithm: AlgoAppAcc, EpsA: 0.25}).template(); tm.Algo != "appacc" || *tm.EpsA != 0.25 {
+		t.Fatalf("AppAcc template = %+v", tm)
 	}
+	if tm := (Options{Algorithm: AlgoExact, Template: core.Query{Algo: "theta", Theta: core.Float(0.2)}}).template(); tm.Algo != "theta" || *tm.Theta != 0.2 {
+		t.Fatalf("explicit Template lost: %+v", tm)
+	}
+}
+
+// TestTemplateTheta runs a θ-SAC batch through the registry template — an
+// algorithm the legacy enum could not express.
+func TestTemplateTheta(t *testing.T) {
+	g := clusteredGraph(23, 5, 6, 10)
+	s := core.NewSearcher(g)
+	queries := []Query{{Q: 0, K: 3}, {Q: 6, K: 3}}
+	items := Run(context.Background(), s, queries, Options{
+		Template: core.Query{Algo: "theta", Theta: core.Float(0.4)},
+		Workers:  2,
+	})
+	ref := core.NewSearcher(g)
+	for i, it := range items {
+		want, wantErr := ref.ThetaSAC(queries[i].Q, queries[i].K, 0.4)
+		if (it.Err == nil) != (wantErr == nil) {
+			t.Fatalf("item %d: err = %v, want %v", i, it.Err, wantErr)
+		}
+		if it.Err == nil && !slicesEqualV(it.Result.Members, want.Members) {
+			t.Fatalf("item %d: members %v, want %v", i, it.Result.Members, want.Members)
+		}
+	}
+}
+
+func slicesEqualV(a, b []graph.V) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestAlgoString(t *testing.T) {

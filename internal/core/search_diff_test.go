@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"sacsearch/internal/graph"
+)
+
+// TestSearchMatchesLegacyDifferential is the unified-API contract test:
+// for every one of the six algorithms, Searcher.Search(ctx, Query) must
+// return results identical to the legacy per-algorithm method — same
+// members, same MCC, same δ — or fail with the same sentinel. The Search
+// side runs on pooled workers across goroutines, so `go test -race` also
+// proves the unified path is safe under the pool.
+func TestSearchMatchesLegacyDifferential(t *testing.T) {
+	g := clusteredGraph(17, 5, 7, 25)
+	legacy := NewSearcher(g)
+	pool := NewPool(NewSearcher(g))
+
+	type variant struct {
+		name   string
+		query  Query // Q and K filled per case
+		legacy func(q graph.V, k int) (*Result, error)
+	}
+	variants := []variant{
+		{"exact", Query{Algo: "exact"},
+			func(q graph.V, k int) (*Result, error) { return legacy.Exact(q, k) }},
+		{"exact+", Query{Algo: "exact+", EpsA: Float(1e-3)},
+			func(q graph.V, k int) (*Result, error) { return legacy.ExactPlus(q, k, 1e-3) }},
+		{"appinc", Query{Algo: "appinc"},
+			func(q graph.V, k int) (*Result, error) { return legacy.AppInc(q, k) }},
+		{"appfast", Query{Algo: "appfast", EpsF: Float(0.5)},
+			func(q graph.V, k int) (*Result, error) { return legacy.AppFast(q, k, 0.5) }},
+		{"appacc", Query{Algo: "appacc", EpsA: Float(0.5)},
+			func(q graph.V, k int) (*Result, error) { return legacy.AppAcc(q, k, 0.5) }},
+		{"theta", Query{Algo: "theta", Theta: Float(0.3)},
+			func(q graph.V, k int) (*Result, error) { return legacy.ThetaSAC(q, k, 0.3) }},
+	}
+
+	type testCase struct {
+		variant
+		q graph.V
+		k int
+	}
+	var cases []testCase
+	step := g.NumVertices() / 12
+	if step < 1 {
+		step = 1
+	}
+	for _, v := range variants {
+		for q := 0; q < g.NumVertices(); q += step {
+			for _, k := range []int{2, 4} {
+				cases = append(cases, testCase{v, graph.V(q), k})
+			}
+		}
+	}
+
+	// Legacy answers first, serially, on their own searcher.
+	type expectation struct {
+		res *Result
+		err error
+	}
+	want := make([]expectation, len(cases))
+	for i, tc := range cases {
+		res, err := tc.legacy(tc.q, tc.k)
+		want[i] = expectation{res, err}
+	}
+
+	// Unified answers concurrently on pooled workers.
+	got := make([]expectation, len(cases))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := pool.Get()
+			defer pool.Put(ws)
+			for i := w; i < len(cases); i += 4 {
+				cq := cases[i].query
+				cq.Q, cq.K = cases[i].q, cases[i].k
+				res, err := ws.Search(context.Background(), cq)
+				got[i] = expectation{res, err}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for i, tc := range cases {
+		label := fmt.Sprintf("%s q=%d k=%d", tc.name, tc.q, tc.k)
+		w, g := want[i], got[i]
+		if (w.err == nil) != (g.err == nil) {
+			t.Fatalf("%s: legacy err = %v, Search err = %v", label, w.err, g.err)
+		}
+		if w.err != nil {
+			if !errors.Is(g.err, ErrNoCommunity) || !errors.Is(w.err, ErrNoCommunity) {
+				t.Fatalf("%s: error mismatch: legacy %v, Search %v", label, w.err, g.err)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(w.res.Members, g.res.Members) {
+			t.Fatalf("%s: members differ:\nlegacy %v\nsearch %v", label, w.res.Members, g.res.Members)
+		}
+		if w.res.MCC != g.res.MCC || w.res.Delta != g.res.Delta {
+			t.Fatalf("%s: geometry differs: legacy MCC %+v δ %v, search MCC %+v δ %v",
+				label, w.res.MCC, w.res.Delta, g.res.MCC, g.res.Delta)
+		}
+		if w.res.Query != g.res.Query || w.res.K != g.res.K {
+			t.Fatalf("%s: echo differs: legacy (%d,%d), search (%d,%d)",
+				label, w.res.Query, w.res.K, g.res.Query, g.res.K)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -29,19 +30,27 @@ type Fig12Row struct {
 	Queries  int
 }
 
-// approxAlgos are the contenders of Figure 12(a-e), in the paper's order.
+// approxAlgos are the contenders of Figure 12(a-e), in the paper's order,
+// dispatched through the unified Search entry point so the harness times
+// the same registry path production traffic takes.
 func approxAlgos(s *core.Searcher) []struct {
 	name string
 	run  func(q graph.V, k int) (*core.Result, error)
 } {
+	mk := func(template core.Query) func(q graph.V, k int) (*core.Result, error) {
+		return func(q graph.V, k int) (*core.Result, error) {
+			template.Q, template.K = q, k
+			return s.Search(context.Background(), template)
+		}
+	}
 	return []struct {
 		name string
 		run  func(q graph.V, k int) (*core.Result, error)
 	}{
-		{"AppInc", func(q graph.V, k int) (*core.Result, error) { return s.AppInc(q, k) }},
-		{"AppFast(0.0)", func(q graph.V, k int) (*core.Result, error) { return s.AppFast(q, k, 0) }},
-		{"AppFast(0.5)", func(q graph.V, k int) (*core.Result, error) { return s.AppFast(q, k, 0.5) }},
-		{"AppAcc(0.5)", func(q graph.V, k int) (*core.Result, error) { return s.AppAcc(q, k, 0.5) }},
+		{"AppInc", mk(core.Query{Algo: "appinc"})},
+		{"AppFast(0.0)", mk(core.Query{Algo: "appfast", EpsF: core.Float(0)})},
+		{"AppFast(0.5)", mk(core.Query{Algo: "appfast", EpsF: core.Float(0.5)})},
+		{"AppAcc(0.5)", mk(core.Query{Algo: "appacc", EpsA: core.Float(0.5)})},
 	}
 }
 
@@ -106,7 +115,7 @@ func Fig12Exact(cfg Config) ([]Fig12Row, error) {
 			rows = append(rows, Fig12Row{Dataset: name, K: k, Algo: "Exact", MeanTime: meanExact, Queries: exactRuns})
 
 			meanPlus, results := runTimed(qs, func(q graph.V) (*core.Result, error) {
-				return s.ExactPlus(q, k, 1e-3)
+				return s.Search(context.Background(), core.Query{Algo: "exact+", Q: q, K: k, EpsA: core.Float(1e-3)})
 			})
 			rows = append(rows, Fig12Row{Dataset: name, K: k, Algo: "Exact+", MeanTime: meanPlus, Queries: len(results)})
 		}
@@ -211,7 +220,7 @@ func Fig14(cfg Config) ([]Fig14Row, error) {
 		for _, eps := range epsASweepExactPlus {
 			var f1s []float64
 			mean, results := runTimed(qs, func(q graph.V) (*core.Result, error) {
-				return s.ExactPlus(q, cfg.K, eps)
+				return s.Search(context.Background(), core.Query{Algo: "exact+", Q: q, K: cfg.K, EpsA: core.Float(eps)})
 			})
 			for _, r := range results {
 				f1s = append(f1s, float64(r.Stats.F1Size))

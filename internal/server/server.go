@@ -3,15 +3,24 @@
 // the SAC search library, the shape a geo-social backend (event
 // recommendation, social marketing) would embed.
 //
-// Endpoints:
+// The API is versioned. Current routes live under /v1/:
 //
-//	GET  /api/health            service, dataset and snapshot/writer status
-//	GET  /api/algorithms        available algorithms and their parameters
-//	GET  /api/vertex/{id}       one vertex: location, degree, core number
-//	POST /api/query             one SAC query
-//	POST /api/batch             many SAC queries, answered in parallel
-//	POST /api/checkin           update one vertex's location (dynamic graphs)
-//	POST /api/edge              insert or delete one friendship edge
+//	GET  /v1/health            service, dataset and snapshot/writer status
+//	GET  /v1/algorithms        the algorithm registry: names, ratios, parameter schemas
+//	GET  /v1/vertex/{id}       one vertex: location, degree, core number
+//	POST /v1/query             one SAC query (unified request shape)
+//	POST /v1/batch             many SAC queries, answered in parallel
+//	POST /v1/checkin           update one vertex's location (dynamic graphs)
+//	POST /v1/edge              insert or delete one friendship edge
+//
+// The original unversioned /api/* routes remain as deprecated aliases of
+// the same handlers; responses on them carry a Deprecation header and a
+// Link to the /v1 successor. Request decoding and validation are driven by
+// the core algorithm registry (core.Algorithms) — the server holds no
+// per-algorithm parameter code of its own. Every response carries an
+// X-Request-Id header, and every non-2xx response is a structured error
+// envelope (ErrorJSON) with a machine-readable code, the offending field
+// when known, and the request id.
 //
 // Concurrency model: snapshot isolation, no locks on the query path. A
 // single writer goroutine (internal/snapshot.Engine) owns the mutable
@@ -30,12 +39,15 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"sacsearch/internal/batch"
@@ -46,11 +58,26 @@ import (
 	"sacsearch/internal/store"
 )
 
+// Machine-readable error codes of the /v1 error envelope. Codes originating
+// in query validation (core.QueryError) pass through verbatim:
+// unknown_algorithm, invalid_param, missing_param, invalid_query,
+// structure_mismatch.
+const (
+	CodeInvalidJSON      = "invalid_json"
+	CodeBodyTooLarge     = "body_too_large"
+	CodeInvalidArgument  = "invalid_argument"
+	CodeUnknownVertex    = "unknown_vertex"
+	CodeNoCommunity      = "no_community"
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeUnavailable      = "unavailable"
+	CodeQueryFailed      = "query_failed"
+)
+
 // Config tunes a Server. The zero value serves defaults.
 type Config struct {
 	// QueryTimeout is the per-request deadline applied on top of the
-	// client's own cancellation for /api/query and /api/batch, and the wait
-	// bound for /api/checkin and /api/edge publication. Default 15s.
+	// client's own cancellation for query and batch requests, and the wait
+	// bound for checkin and edge publication. Default 15s.
 	QueryTimeout time.Duration
 	// MaxBodyBytes caps every POST body; larger payloads are rejected with
 	// 413 before decoding. Default 1 MiB.
@@ -78,16 +105,17 @@ func (c Config) maxBodyBytes() int64 {
 
 // Server serves SAC queries over one spatial graph.
 type Server struct {
-	name string
-	eng  *snapshot.Engine
-	st   *store.Store // non-nil when serving a durable store
-	cfg  Config
-	mux  *http.ServeMux
+	name   string
+	eng    *snapshot.Engine
+	st     *store.Store // non-nil when serving a durable store
+	cfg    Config
+	mux    *http.ServeMux
+	nextID atomic.Uint64 // request-id fallback counter
 }
 
 // New creates a server over g with default configuration. The server takes
 // ownership of g (its writer goroutine mutates it); release the writer with
-// Close when done. name labels the dataset in /api/health.
+// Close when done. name labels the dataset in the health response.
 func New(name string, g *graph.Graph) *Server {
 	return NewWithConfig(name, g, Config{})
 }
@@ -101,10 +129,10 @@ func NewWithConfig(name string, g *graph.Graph, cfg Config) *Server {
 }
 
 // NewWithStore creates a server over an open durable store: writes ride the
-// store's write-ahead log (write-visible implies logged), /api/health gains
-// the durability stats, and Close shuts the store down (final checkpoint
-// included). The store's engine options win over cfg.WriterQueue/WriterBatch
-// — they were fixed at store.Open.
+// store's write-ahead log (write-visible implies logged), the health
+// response gains the durability stats, and Close shuts the store down
+// (final checkpoint included). The store's engine options win over
+// cfg.WriterQueue/WriterBatch — they were fixed at store.Open.
 func NewWithStore(name string, st *store.Store, cfg Config) *Server {
 	return newServer(name, st.Engine(), st, cfg)
 }
@@ -117,13 +145,18 @@ func newServer(name string, eng *snapshot.Engine, st *store.Store, cfg Config) *
 		cfg:  cfg,
 		mux:  http.NewServeMux(),
 	}
-	s.mux.HandleFunc("GET /api/health", s.handleHealth)
-	s.mux.HandleFunc("GET /api/algorithms", s.handleAlgorithms)
-	s.mux.HandleFunc("GET /api/vertex/{id}", s.handleVertex)
-	s.mux.HandleFunc("POST /api/query", s.handleQuery)
-	s.mux.HandleFunc("POST /api/batch", s.handleBatch)
-	s.mux.HandleFunc("POST /api/checkin", s.handleCheckin)
-	s.mux.HandleFunc("POST /api/edge", s.handleEdge)
+	// /v1 is the current surface; the unversioned /api prefix predates
+	// versioning and stays wired to the same handlers as a deprecated
+	// alias (ServeHTTP stamps those responses with a Deprecation header).
+	for _, p := range []string{"/v1", "/api"} {
+		s.mux.HandleFunc("GET "+p+"/health", s.handleHealth)
+		s.mux.HandleFunc("GET "+p+"/algorithms", s.handleAlgorithms)
+		s.mux.HandleFunc("GET "+p+"/vertex/{id}", s.handleVertex)
+		s.mux.HandleFunc("POST "+p+"/query", s.handleQuery)
+		s.mux.HandleFunc("POST "+p+"/batch", s.handleBatch)
+		s.mux.HandleFunc("POST "+p+"/checkin", s.handleCheckin)
+		s.mux.HandleFunc("POST "+p+"/edge", s.handleEdge)
+	}
 	return s
 }
 
@@ -142,10 +175,59 @@ func (s *Server) Close() {
 func (s *Server) Engine() *snapshot.Engine { return s.eng }
 
 // Handler returns the HTTP handler tree.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s }
 
-// ServeHTTP implements http.Handler directly.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler: it assigns the request id, stamps
+// deprecation metadata on legacy /api/* calls, then routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := sanitizeRequestID(r.Header.Get("X-Request-Id"))
+	if id == "" {
+		id = s.newRequestID()
+	}
+	w.Header().Set("X-Request-Id", id)
+	if rest, ok := strings.CutPrefix(r.URL.Path, "/api/"); ok {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1/`+rest+`>; rel="successor-version"`)
+	}
+	ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+	s.mux.ServeHTTP(w, r.WithContext(ctx))
+}
+
+type requestIDKey struct{}
+
+// requestID returns the id ServeHTTP assigned to this request.
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(requestIDKey{}).(string)
+	return id
+}
+
+// sanitizeRequestID accepts a caller-supplied request id only if it is
+// short and plain (letters, digits, dot, dash, underscore) — anything else
+// is discarded and replaced server-side.
+func sanitizeRequestID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '-', c == '_':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// newRequestID generates a fresh request id.
+func (s *Server) newRequestID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%012d", s.nextID.Add(1))
+	}
+	return "req-" + hex.EncodeToString(b[:])
+}
 
 // --- wire types -----------------------------------------------------------
 
@@ -165,18 +247,39 @@ type StatsJSON struct {
 	Algorithm         string `json:"algorithm"`
 }
 
-// QueryRequest is one SAC query. The epsilon fields are pointers so the wire
-// distinguishes "absent → server default" from an explicit zero: AppFast(0)
-// is a legitimate request (it degenerates to the AppInc answer) that a plain
-// float64 field could never express.
+// QueryRequest is one SAC query — the wire image of core.Query. Parameter
+// fields are pointers so the wire distinguishes "absent → registry default"
+// from an explicit zero: AppFast(0) is a legitimate request (it degenerates
+// to the AppInc answer) that a plain float64 field could never express.
 type QueryRequest struct {
-	Q    graph.V  `json:"q"`
-	K    int      `json:"k"`
-	Algo string   `json:"algo"`           // appfast | appinc | appacc | exact+ | exact | theta
-	EpsF *float64 `json:"epsF,omitempty"` // AppFast (default 0.5)
-	EpsA *float64 `json:"epsA,omitempty"` // AppAcc / Exact+ (defaults 0.5 / 1e-3)
-	// Theta is θ-SAC's radius (required when algo = "theta").
-	Theta float64 `json:"theta,omitempty"`
+	Q     graph.V  `json:"q"`
+	K     int      `json:"k"`
+	Algo  string   `json:"algo,omitempty"`  // registry name or alias; "" = default
+	EpsF  *float64 `json:"epsF,omitempty"`  // AppFast (default 0.5)
+	EpsA  *float64 `json:"epsA,omitempty"`  // AppAcc / Exact+ (defaults 0.5 / 1e-3)
+	Theta *float64 `json:"theta,omitempty"` // θ-SAC's radius (required when algo = "theta")
+	// Structure optionally asserts the structure metric the query expects
+	// ("kcore", "ktruss", "kclique"); a server built with a different
+	// metric rejects the query instead of silently answering.
+	Structure string `json:"structure,omitempty"`
+	// TimeoutMillis, when positive, bounds this query with its own
+	// deadline; the server's per-request deadline still applies on top, so
+	// the effective bound is the smaller of the two.
+	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
+}
+
+// toQuery converts the wire shape to the core request.
+func (r QueryRequest) toQuery() core.Query {
+	return core.Query{
+		Algo:      r.Algo,
+		Q:         r.Q,
+		K:         r.K,
+		EpsF:      r.EpsF,
+		EpsA:      r.EpsA,
+		Theta:     r.Theta,
+		Structure: r.Structure,
+		Timeout:   time.Duration(r.TimeoutMillis) * time.Millisecond,
+	}
 }
 
 // QueryResponse is one SAC answer.
@@ -189,17 +292,22 @@ type QueryResponse struct {
 	Stats   StatsJSON  `json:"stats"`
 }
 
-// BatchRequest is a set of queries answered together. Epsilons are pointers
-// for the same absent-versus-zero reason as QueryRequest.
+// BatchQueryJSON is one (q, k) item of a batch.
+type BatchQueryJSON struct {
+	Q graph.V `json:"q"`
+	K int     `json:"k"`
+}
+
+// BatchRequest is a set of queries answered together with shared algorithm
+// parameters (same presence semantics as QueryRequest).
 type BatchRequest struct {
-	Queries []struct {
-		Q graph.V `json:"q"`
-		K int     `json:"k"`
-	} `json:"queries"`
-	Algo    string   `json:"algo,omitempty"`
-	EpsF    *float64 `json:"epsF,omitempty"`
-	EpsA    *float64 `json:"epsA,omitempty"`
-	Workers int      `json:"workers,omitempty"`
+	Queries   []BatchQueryJSON `json:"queries"`
+	Algo      string           `json:"algo,omitempty"`
+	EpsF      *float64         `json:"epsF,omitempty"`
+	EpsA      *float64         `json:"epsA,omitempty"`
+	Theta     *float64         `json:"theta,omitempty"`
+	Structure string           `json:"structure,omitempty"`
+	Workers   int              `json:"workers,omitempty"`
 }
 
 // BatchResponse carries per-query answers; failed queries have Error set.
@@ -239,12 +347,23 @@ type EdgeResponse struct {
 	Edges   int  `json:"edges"`
 }
 
-// errorJSON is the error envelope.
-type errorJSON struct {
-	Error string `json:"error"`
+// ErrorJSON is the structured error envelope every non-2xx response
+// carries: a human-readable message (the legacy "error" field, kept for
+// pre-/v1 clients), a machine-readable code, the offending field when
+// known, and the request id for correlation.
+type ErrorJSON struct {
+	Error     string `json:"error"`
+	Code      string `json:"code"`
+	Field     string `json:"field,omitempty"`
+	RequestID string `json:"requestId,omitempty"`
 }
 
 // --- handlers ---------------------------------------------------------------
+
+// writeError emits the structured envelope on every non-2xx path.
+func writeError(w http.ResponseWriter, r *http.Request, status int, code, field, msg string) {
+	writeJSON(w, status, ErrorJSON{Error: msg, Code: code, Field: field, RequestID: requestID(r)})
+}
 
 // handleHealth reports the published snapshot's epochs, the writer queue
 // depth and the worker-pool size, so operators can see publication lag at a
@@ -255,6 +374,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	health := map[string]any{
 		"status":        "ok",
 		"dataset":       s.name,
+		"apiVersions":   []string{"v1"},
 		"vertices":      snap.Graph().NumVertices(),
 		"edges":         snap.Edges(),
 		"topoEpoch":     snap.TopoEpoch(),
@@ -282,23 +402,29 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, health)
 }
 
+// handleAlgorithms serves the algorithm registry verbatim: names, aliases,
+// ratios and full parameter schemas (type, required, default, range). The
+// response is generated from core.Algorithms, so it can never drift from
+// what /v1/query actually accepts.
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, []map[string]any{
-		{"name": "appfast", "ratio": "2+epsF", "params": []string{"epsF"}},
-		{"name": "appinc", "ratio": "2", "params": []string{}},
-		{"name": "appacc", "ratio": "1+epsA", "params": []string{"epsA"}},
-		{"name": "exact+", "ratio": "1", "params": []string{"epsA"}},
-		{"name": "exact", "ratio": "1", "params": []string{}},
-		{"name": "theta", "ratio": "-", "params": []string{"theta"}},
-	})
+	writeJSON(w, http.StatusOK, core.Algorithms())
 }
 
 func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 	snap := s.eng.Current()
 	g := snap.Graph()
+	// A malformed id is the caller's syntax error (400); a well-formed id
+	// naming no vertex is a lookup miss (404). Conflating them (as the
+	// pre-/v1 server did) hides client bugs behind retry loops.
 	id, err := strconv.Atoi(r.PathValue("id"))
-	if err != nil || id < 0 || id >= g.NumVertices() {
-		writeJSON(w, http.StatusNotFound, errorJSON{fmt.Sprintf("unknown vertex %q", r.PathValue("id"))})
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, CodeInvalidArgument, "id",
+			fmt.Sprintf("malformed vertex id %q", r.PathValue("id")))
+		return
+	}
+	if id < 0 || id >= g.NumVertices() {
+		writeError(w, r, http.StatusNotFound, CodeUnknownVertex, "id",
+			fmt.Sprintf("unknown vertex %d", id))
 		return
 	}
 	v := graph.V(id)
@@ -320,11 +446,11 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, into any) bo
 	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				errorJSON{fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			writeError(w, r, http.StatusRequestEntityTooLarge, CodeBodyTooLarge, "",
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 			return false
 		}
-		writeJSON(w, http.StatusBadRequest, errorJSON{"invalid JSON: " + err.Error()})
+		writeError(w, r, http.StatusBadRequest, CodeInvalidJSON, "", "invalid JSON: "+err.Error())
 		return false
 	}
 	return true
@@ -336,18 +462,21 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 	return context.WithTimeout(r.Context(), s.cfg.queryTimeout())
 }
 
-// writeQueryError maps a query error onto a status code.
-func writeQueryError(w http.ResponseWriter, err error) {
-	status := http.StatusUnprocessableEntity
+// writeQueryError maps a query error onto a status code and envelope.
+func writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
+	var qe *core.QueryError
 	switch {
+	case errors.As(err, &qe):
+		writeError(w, r, http.StatusBadRequest, qe.Code, qe.Field, err.Error())
 	case errors.Is(err, core.ErrNoCommunity):
-		status = http.StatusNotFound
+		writeError(w, r, http.StatusNotFound, CodeNoCommunity, "", err.Error())
 	case errors.Is(err, core.ErrCanceled):
 		// The deadline fired (a vanished client never reads the response, so
 		// in practice this status reports server-side timeouts).
-		status = http.StatusServiceUnavailable
+		writeError(w, r, http.StatusServiceUnavailable, CodeDeadlineExceeded, "", err.Error())
+	default:
+		writeError(w, r, http.StatusUnprocessableEntity, CodeQueryFailed, "", err.Error())
 	}
-	writeJSON(w, status, errorJSON{err.Error()})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -357,64 +486,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	res, err := s.runQuery(ctx, req)
-	if err != nil {
-		writeQueryError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, toQueryResponse(req.Algo, res))
-}
-
-// epsOrDefault dereferences an optional wire epsilon. An explicit value is
-// passed through verbatim — zero included — so clients can request
-// AppFast(0); only an absent field falls back to the server default.
-func epsOrDefault(p *float64, def float64) (float64, error) {
-	if p == nil {
-		return def, nil
-	}
-	if math.IsNaN(*p) || math.IsInf(*p, 0) {
-		return 0, fmt.Errorf("server: epsilon %v is not finite", *p)
-	}
-	return *p, nil
-}
-
-// runQuery pins the current snapshot and dispatches one request on a pooled
-// worker rebound to it — no locks anywhere on this path.
-func (s *Server) runQuery(ctx context.Context, req QueryRequest) (*core.Result, error) {
+	// Pin the current snapshot and dispatch through the unified Search
+	// entry point on a pooled worker rebound to it — registry-validated,
+	// no locks anywhere on this path.
 	snap := s.eng.Current()
 	searcher := snap.Get()
 	defer snap.Put(searcher)
-	switch req.Algo {
-	case "", "appfast":
-		epsF, err := epsOrDefault(req.EpsF, 0.5)
-		if err != nil {
-			return nil, err
-		}
-		return searcher.AppFastCtx(ctx, req.Q, req.K, epsF)
-	case "appinc":
-		return searcher.AppIncCtx(ctx, req.Q, req.K)
-	case "appacc":
-		epsA, err := epsOrDefault(req.EpsA, 0.5)
-		if err != nil {
-			return nil, err
-		}
-		return searcher.AppAccCtx(ctx, req.Q, req.K, epsA)
-	case "exact+":
-		epsA, err := epsOrDefault(req.EpsA, 1e-3)
-		if err != nil {
-			return nil, err
-		}
-		return searcher.ExactPlusCtx(ctx, req.Q, req.K, epsA)
-	case "exact":
-		return searcher.ExactCtx(ctx, req.Q, req.K)
-	case "theta":
-		if !(req.Theta > 0) || math.IsInf(req.Theta, 0) {
-			return nil, fmt.Errorf("server: algo \"theta\" requires finite theta > 0")
-		}
-		return searcher.ThetaSACCtx(ctx, req.Q, req.K, req.Theta)
-	default:
-		return nil, fmt.Errorf("server: unknown algorithm %q", req.Algo)
+	res, err := searcher.Search(ctx, req.toQuery())
+	if err != nil {
+		writeQueryError(w, r, err)
+		return
 	}
+	spec, _ := core.LookupAlgo(req.Algo) // Search succeeded, so the name resolves
+	writeJSON(w, http.StatusOK, toQueryResponse(spec.Name, res))
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -423,56 +507,51 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Queries) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorJSON{"empty batch"})
+		writeError(w, r, http.StatusBadRequest, core.ErrCodeInvalidQuery, "queries", "empty batch")
 		return
 	}
-	opt := batch.Options{Workers: req.Workers}
-	if req.EpsF != nil {
-		epsF, err := epsOrDefault(req.EpsF, 0)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
-			return
-		}
-		// EpsFSet marks the value as deliberate so batch does not coerce an
-		// explicit 0 (AppFast(0), the AppInc answer) back to its default.
-		opt.EpsF, opt.EpsFSet = epsF, true
+	// The template carries everything but q and k; validating it up front
+	// through the registry fails the whole batch with one 400 (bad
+	// algorithm name, out-of-range epsilon) before any worker runs.
+	// Per-item problems — unknown vertex, k < 1 — surface as item errors.
+	template := core.Query{
+		Algo:      req.Algo,
+		EpsF:      req.EpsF,
+		EpsA:      req.EpsA,
+		Theta:     req.Theta,
+		Structure: req.Structure,
 	}
-	if req.EpsA != nil {
-		epsA, err := epsOrDefault(req.EpsA, 0)
-		if err == nil && (epsA <= 0 || epsA >= 1) {
-			err = fmt.Errorf("server: epsA = %v must be in (0,1)", epsA)
-		}
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
-			return
-		}
-		opt.EpsA = epsA
-	}
-	switch req.Algo {
-	case "", "appfast":
-		opt.Algorithm = batch.AlgoAppFast
-	case "appinc":
-		opt.Algorithm = batch.AlgoAppInc
-	case "appacc":
-		opt.Algorithm = batch.AlgoAppAcc
-	case "exact+":
-		opt.Algorithm = batch.AlgoExactPlus
-	case "exact":
-		opt.Algorithm = batch.AlgoExact
-	default:
-		writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("unknown algorithm %q", req.Algo)})
+	if _, err := core.ValidateParams(template); err != nil {
+		writeQueryError(w, r, err)
 		return
+	}
+	// The whole batch runs pinned to one snapshot: the Snap is the worker
+	// source, so every worker is rebound to the same published state and the
+	// batch deadline cancels stragglers mid-algorithm.
+	snap := s.eng.Current()
+	// The structure assertion is also batch-level, not per-item: an unknown
+	// name or a metric the server does not serve fails the whole request
+	// with the same 400 a single query gets, instead of a 200 whose every
+	// item errored.
+	if template.Structure != "" {
+		worker := snap.Get()
+		err := worker.ValidateQuery(core.Query{Q: 0, K: 1, Structure: template.Structure})
+		snap.Put(worker)
+		if err != nil {
+			writeQueryError(w, r, err)
+			return
+		}
 	}
 	queries := make([]batch.Query, len(req.Queries))
 	for i, q := range req.Queries {
 		queries[i] = batch.Query{Q: q.Q, K: q.K}
 	}
-	// The whole batch runs pinned to one snapshot: the Snap is the worker
-	// source, so every worker is rebound to the same published state and the
-	// batch deadline cancels stragglers mid-algorithm.
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	items := batch.RunOn(ctx, s.eng.Current(), queries, opt)
+	items := batch.RunOn(ctx, snap, queries, batch.Options{
+		Workers:  req.Workers,
+		Template: template,
+	})
 	// A batch whose deadline actually cut queries short is a server-side
 	// timeout, same as a single query's: report 503 rather than
 	// 200-with-error-items, so status-keyed clients and monitors see it.
@@ -482,7 +561,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// client's retry re-runs the batch.)
 	for _, it := range items {
 		if it.Err != nil && errors.Is(it.Err, core.ErrCanceled) {
-			writeJSON(w, http.StatusServiceUnavailable, errorJSON{"batch deadline exceeded: " + it.Err.Error()})
+			writeError(w, r, http.StatusServiceUnavailable, CodeDeadlineExceeded, "",
+				"batch deadline exceeded: "+it.Err.Error())
 			return
 		}
 	}
@@ -502,19 +582,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeWriteError maps a mutation error (checkin/edge) onto a status code.
-func (s *Server) writeWriteError(w http.ResponseWriter, err error) {
-	status := http.StatusUnprocessableEntity
+func (s *Server) writeWriteError(w http.ResponseWriter, r *http.Request, err error) {
+	status, code := http.StatusUnprocessableEntity, CodeQueryFailed
 	switch {
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, snapshot.ErrClosed):
-		status = http.StatusServiceUnavailable
-	case errors.Is(err, context.Canceled):
-		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		status, code = http.StatusServiceUnavailable, CodeDeadlineExceeded
+	case errors.Is(err, snapshot.ErrClosed):
+		status, code = http.StatusServiceUnavailable, CodeUnavailable
 	case errors.Is(err, snapshot.ErrPersist):
 		// The WAL refused the write; the engine is read-only until the
 		// operator intervenes. 503, not 422 — the request was fine.
-		status = http.StatusServiceUnavailable
+		status, code = http.StatusServiceUnavailable, CodeUnavailable
 	}
-	writeJSON(w, status, errorJSON{err.Error()})
+	writeError(w, r, status, code, "", err.Error())
 }
 
 func (s *Server) handleCheckin(w http.ResponseWriter, r *http.Request) {
@@ -523,20 +603,22 @@ func (s *Server) handleCheckin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.V < 0 || int(req.V) >= s.eng.NumVertices() {
-		writeJSON(w, http.StatusNotFound, errorJSON{fmt.Sprintf("unknown vertex %d", req.V)})
+		writeError(w, r, http.StatusNotFound, CodeUnknownVertex, "v",
+			fmt.Sprintf("unknown vertex %d", req.V))
 		return
 	}
 	// Reject non-finite coordinates before they reach the graph: NaN poisons
 	// every distance sort it touches and ±Inf breaks geom.MCC, silently, on
 	// queries that may run long after this request returned 200.
 	if !geom.Finite(req.X) || !geom.Finite(req.Y) {
-		writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("coordinates (%v, %v) must be finite", req.X, req.Y)})
+		writeError(w, r, http.StatusBadRequest, CodeInvalidArgument, "x",
+			fmt.Sprintf("coordinates (%v, %v) must be finite", req.X, req.Y))
 		return
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	if err := s.eng.CheckIn(ctx, req.V, geom.Point{X: req.X, Y: req.Y}); err != nil {
-		s.writeWriteError(w, err)
+		s.writeWriteError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
@@ -553,12 +635,14 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, v := range [2]graph.V{req.U, req.V} {
 		if v < 0 || int(v) >= s.eng.NumVertices() {
-			writeJSON(w, http.StatusNotFound, errorJSON{fmt.Sprintf("unknown vertex %d", v)})
+			writeError(w, r, http.StatusNotFound, CodeUnknownVertex, "",
+				fmt.Sprintf("unknown vertex %d", v))
 			return
 		}
 	}
 	if req.U == req.V {
-		writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("self-loop (%d,%d) rejected", req.U, req.V)})
+		writeError(w, r, http.StatusBadRequest, CodeInvalidArgument, "",
+			fmt.Sprintf("self-loop (%d,%d) rejected", req.U, req.V))
 		return
 	}
 	var insert bool
@@ -568,14 +652,15 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 	case "delete":
 		insert = false
 	default:
-		writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("unknown op %q (want insert or delete)", req.Op)})
+		writeError(w, r, http.StatusBadRequest, CodeInvalidArgument, "op",
+			fmt.Sprintf("unknown op %q (want insert or delete)", req.Op))
 		return
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	changed, err := s.eng.UpdateEdge(ctx, req.U, req.V, insert)
 	if err != nil {
-		s.writeWriteError(w, err)
+		s.writeWriteError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, EdgeResponse{OK: true, Changed: changed, Edges: s.eng.Current().Edges()})
@@ -583,9 +668,6 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 
 // toQueryResponse converts a core result to the wire shape.
 func toQueryResponse(algo string, res *core.Result) QueryResponse {
-	if algo == "" {
-		algo = "appfast"
-	}
 	return QueryResponse{
 		Q:       res.Query,
 		K:       res.K,

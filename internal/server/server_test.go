@@ -130,7 +130,8 @@ func TestVertex(t *testing.T) {
 	if resp := getJSON(t, ts.URL+"/api/vertex/9999", nil); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown vertex status = %d", resp.StatusCode)
 	}
-	if resp := getJSON(t, ts.URL+"/api/vertex/abc", nil); resp.StatusCode != http.StatusNotFound {
+	// A malformed id is a syntax error (400), not a miss (404).
+	if resp := getJSON(t, ts.URL+"/api/vertex/abc", nil); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("garbage vertex status = %d", resp.StatusCode)
 	}
 }
@@ -166,7 +167,7 @@ func TestQueryAlgorithms(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, body := postJSON(t, ts.URL+"/api/query", QueryRequest{Q: 1, K: 4, Algo: "theta", Theta: 0.2})
+	resp, body := postJSON(t, ts.URL+"/api/query", QueryRequest{Q: 1, K: 4, Algo: "theta", Theta: core.Float(0.2)})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("theta: status %d body %s", resp.StatusCode, body)
 	}
@@ -181,14 +182,21 @@ func TestQueryAlgorithms(t *testing.T) {
 
 func TestQueryErrors(t *testing.T) {
 	ts, _ := newTestServer(t)
-	// Unknown algorithm.
-	resp, _ := postJSON(t, ts.URL+"/api/query", QueryRequest{Q: 1, K: 4, Algo: "bogus"})
-	if resp.StatusCode != http.StatusUnprocessableEntity {
+	// Unknown algorithm: a validation error, 400 with the registry's code.
+	resp, body := postJSON(t, ts.URL+"/api/query", QueryRequest{Q: 1, K: 4, Algo: "bogus"})
+	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bogus algo status = %d", resp.StatusCode)
+	}
+	var envelope ErrorJSON
+	if err := json.Unmarshal(body, &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Code != core.ErrCodeUnknownAlgorithm || envelope.Error == "" {
+		t.Fatalf("bogus algo envelope = %+v", envelope)
 	}
 	// θ without a radius.
 	resp, _ = postJSON(t, ts.URL+"/api/query", QueryRequest{Q: 1, K: 4, Algo: "theta"})
-	if resp.StatusCode != http.StatusUnprocessableEntity {
+	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("theta without radius status = %d", resp.StatusCode)
 	}
 	// No community for absurd k.

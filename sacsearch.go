@@ -43,9 +43,21 @@
 //	g := b.Build()
 //
 //	s := sacsearch.NewSearcher(g)
-//	res, err := s.ExactPlus(0, 2, 0.1) // q=0, k=2, εA=0.1
+//	res, err := s.Search(context.Background(), sacsearch.Query{
+//		Algo: "exact+", // any registry name: exact, exact+, appinc, appfast, appacc, theta
+//		Q:    0,
+//		K:    2,
+//		EpsA: sacsearch.Float(0.1),
+//	})
 //	if err != nil { ... }
 //	fmt.Println(res.Members, res.MCC)
+//
+// Search is the unified entry point: one Query value selects the algorithm
+// by registry name and carries its parameters, validated and defaulted
+// against the algorithm registry (Algorithms). The legacy per-algorithm
+// methods (s.Exact, s.ExactPlus, s.AppInc, ...) remain as thin equivalents.
+// Remote callers get the same shape over HTTP — the versioned /v1 API of
+// cmd/sacserver — through the typed client package sacsearch/client.
 //
 // Searchers precompute an O(m) core decomposition once and reuse scratch
 // space across queries; they are not safe for concurrent use (Clone one per
@@ -128,6 +140,46 @@ const (
 	StructureKTruss  = core.StructureKTruss
 	StructureKClique = core.StructureKClique
 )
+
+// Unified query API. A Query names the algorithm and carries its
+// parameters; Searcher.Search validates it through the algorithm registry
+// and dispatches. The registry (Algorithms, LookupAlgo) is the single
+// source of truth for algorithm names, parameter schemas, defaults and
+// ranges — the HTTP server's /v1/algorithms, the sacquery CLI flags and
+// the batch layer all derive from it.
+type (
+	// Query is one unified SAC request: Algo, Q, K, optional parameters
+	// (EpsF/EpsA/Theta as presence-aware pointers; see Float), an optional
+	// Structure assertion and an optional per-query Timeout.
+	Query = core.Query
+	// AlgoSpec describes one registered algorithm: name, aliases, ratio,
+	// doc and parameter schema.
+	AlgoSpec = core.AlgoSpec
+	// ParamSpec describes one algorithm parameter: name, doc, required,
+	// default and range.
+	ParamSpec = core.ParamSpec
+	// QueryError is a Query validation failure with a machine-readable
+	// Code and the offending Field.
+	QueryError = core.QueryError
+)
+
+// DefaultAlgo is the algorithm an empty Query.Algo runs (AppFast).
+const DefaultAlgo = core.DefaultAlgo
+
+// Algorithms returns the algorithm registry in presentation order.
+func Algorithms() []*AlgoSpec { return core.Algorithms() }
+
+// LookupAlgo resolves an algorithm name or alias, case-insensitively; the
+// empty name resolves to DefaultAlgo.
+func LookupAlgo(name string) (*AlgoSpec, bool) { return core.LookupAlgo(name) }
+
+// Float returns a pointer to v — for setting a Query's optional parameter
+// fields inline: Query{Algo: "appfast", EpsF: sacsearch.Float(0)}.
+func Float(v float64) *float64 { return core.Float(v) }
+
+// ParseStructure resolves a structure-metric name ("kcore", "ktruss",
+// "kclique", or the hyphenated display forms).
+func ParseStructure(name string) (Structure, error) { return core.ParseStructure(name) }
 
 // ErrNoCommunity reports that the query vertex belongs to no feasible
 // community for the requested k.

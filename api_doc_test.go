@@ -39,7 +39,7 @@ func TestReadmeMatchesRegistry(t *testing.T) {
 	}
 
 	for _, route := range []string{
-		"/v1/health", "/v1/algorithms", "/v1/vertex/{id}",
+		"/v1/health", "/v1/ready", "/v1/algorithms", "/v1/vertex/{id}",
 		"/v1/query", "/v1/batch", "/v1/checkin", "/v1/edge",
 	} {
 		if !strings.Contains(section, route) {
@@ -54,6 +54,7 @@ func TestReadmeMatchesRegistry(t *testing.T) {
 		"invalid_json", "body_too_large", "invalid_argument",
 		"unknown_vertex", "no_community", "deadline_exceeded",
 		"unavailable", "query_failed", // server codes
+		"read_only", "stale_read", "not_ready", "internal", // replication + recovery codes
 	}
 	for _, code := range codes {
 		if !strings.Contains(section, code) {

@@ -7,10 +7,18 @@
 //
 // The client reuses connections (one shared http.Transport), honors the
 // caller's context on every call, and retries requests that fail with 503
-// Service Unavailable — the status the server uses for transient conditions
-// (query deadline pressure, a draining writer) — with exponential backoff.
-// Every API operation is idempotent (queries are reads; check-in sets a
-// location, edge insert/delete converge), so retrying is always safe.
+// Service Unavailable or 429 — the statuses the server uses for transient
+// conditions (query deadline pressure, a draining writer, a replica shedding
+// stale reads) — with jittered exponential backoff, honoring the server's
+// Retry-After hint when present. Every API operation is idempotent (queries
+// are reads; check-in sets a location, edge insert/delete converge), so
+// retrying is always safe.
+//
+// For a replicated deployment — one leader plus read replicas — use a Set
+// (NewSet): it round-robins reads across every endpoint and routes writes
+// to whichever endpoint accepts them, failing over on 503 and transport
+// errors, so a leader promotion needs no client reconfiguration beyond
+// having listed the candidates.
 //
 // Errors from non-2xx responses are *APIError values carrying the HTTP
 // status, the machine-readable code from the server's structured error
@@ -26,8 +34,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -51,6 +61,10 @@ type APIError struct {
 	Message string
 	// RequestID correlates the failure with server logs.
 	RequestID string
+	// RetryAfter is the server's Retry-After hint on 503/429 responses
+	// (0 = no header). The retry loop sleeps this long instead of its own
+	// backoff when present.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -85,8 +99,10 @@ func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc
 // beyond the first attempt. Default 3; 0 disables retrying.
 func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 
-// WithRetryBackoff sets the initial retry backoff (doubled per attempt).
-// Default 100ms.
+// WithRetryBackoff sets the initial retry backoff (doubled per attempt,
+// with ±50% jitter so a fleet of clients does not retry in lockstep).
+// Default 100ms. A server Retry-After hint overrides the backoff for that
+// sleep.
 func WithRetryBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
 
 // Client talks to one sacserver. It is safe for concurrent use.
@@ -219,13 +235,19 @@ type AlgoInfo struct {
 }
 
 // Health is the server status report. Unversioned extras (durability
-// stats, epochs) land in Extra.
+// stats, replication lag) land in Extra.
 type Health struct {
+	// Status summarizes serving fitness: "ok", "readonly" (the node answers
+	// reads but rejects writes) or "degraded" (something needs an operator).
 	Status   string `json:"status"`
 	Dataset  string `json:"dataset"`
 	Vertices int    `json:"vertices"`
 	Edges    int    `json:"edges"`
 	Durable  bool   `json:"durable"`
+	// Role is "standalone", "leader" or "replica".
+	Role string `json:"role"`
+	// Epoch is the fencing epoch (0 on non-durable standalone servers).
+	Epoch uint64 `json:"epoch"`
 
 	Extra map[string]json.RawMessage `json:"-"`
 }
@@ -351,10 +373,19 @@ func (c *Client) Edge(ctx context.Context, u, v int64, insert bool) (*EdgeResult
 
 // --- transport ------------------------------------------------------------
 
-// do sends one API call with retry-on-503: the request body is marshaled
-// once and replayed on each attempt, backoff doubles per retry, and the
-// context bounds the whole loop (sleep included). Transport-level failures
-// retry the same way; non-503 API errors return immediately.
+// jitter spreads a backoff uniformly over [d/2, 3d/2) so a herd of clients
+// whose requests failed together does not retry together.
+func jitter(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+}
+
+// do sends one API call with retry-on-503/429: the request body is
+// marshaled once and replayed on each attempt, backoff doubles per retry
+// with ±50% jitter (a server Retry-After hint overrides it for that sleep),
+// and the context bounds the whole loop (sleeps included). Transport-level
+// failures retry the same way; other API errors — and a 503 coded
+// read_only, which means this node will not accept the write no matter how
+// long we wait — return immediately.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body []byte
 	if in != nil {
@@ -366,14 +397,20 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	u := c.base.JoinPath(path)
 	backoff := c.backoff
 	var lastErr error
+	var retryAfter time.Duration
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
+			sleep := jitter(backoff)
+			if retryAfter > 0 {
+				sleep = retryAfter
+			}
 			select {
 			case <-ctx.Done():
 				return fmt.Errorf("sac client: %w (last error: %w)", ctx.Err(), lastErr)
-			case <-time.After(backoff):
+			case <-time.After(sleep):
 			}
 			backoff *= 2
+			retryAfter = 0
 		}
 		var rd io.Reader
 		if in != nil {
@@ -401,10 +438,13 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if apiErr == nil {
 			return nil
 		}
-		if apiErr.Status != http.StatusServiceUnavailable {
+		retryable := apiErr.Status == http.StatusServiceUnavailable ||
+			apiErr.Status == http.StatusTooManyRequests
+		if !retryable || apiErr.Code == "read_only" {
 			return apiErr
 		}
-		lastErr = apiErr // 503: retry
+		retryAfter = apiErr.RetryAfter
+		lastErr = apiErr // 503/429: retry
 	}
 	return fmt.Errorf("sac client: giving up after %d attempts: %w", c.retries+1, lastErr)
 }
@@ -434,6 +474,16 @@ func consume(resp *http.Response, out any) (*APIError, error) {
 		RequestID string `json:"requestId"`
 	}
 	apiErr := &APIError{Status: resp.StatusCode, RequestID: resp.Header.Get("X-Request-Id")}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		// Delta-seconds form only (what sacserver sends); capped so a
+		// misconfigured header cannot park the retry loop for minutes.
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			if secs > 30 {
+				secs = 30
+			}
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
 	if json.Unmarshal(raw, &env) == nil && env.Error != "" {
 		apiErr.Message, apiErr.Code, apiErr.Field = env.Error, env.Code, env.Field
 		if env.RequestID != "" {

@@ -278,3 +278,174 @@ func TestIntegrationSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestRetryHonorsRetryAfter pins the Retry-After contract: a 503 carrying
+// the header must be retried after the server's hint, not the client's own
+// (much larger) backoff.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"shedding","code":"stale_read"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok","dataset":"hint","vertices":1,"edges":0}`))
+	}))
+	t.Cleanup(ts.Close)
+	// Backoff of 10s would blow the elapsed bound if Retry-After were ignored.
+	cl, err := client.New(ts.URL, client.WithRetries(2), client.WithRetryBackoff(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	h, err := cl.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if h.Dataset != "hint" || calls.Load() != 2 {
+		t.Fatalf("health = %+v after %d calls", h, calls.Load())
+	}
+	if elapsed < 900*time.Millisecond || elapsed > 5*time.Second {
+		t.Fatalf("retry slept %v; Retry-After of 1s was not honored", elapsed)
+	}
+}
+
+// TestReadOnlyNotRetriedInPlace: a 503 coded read_only means this node will
+// never accept the write — retrying it in place only delays the failover a
+// Set would perform.
+func TestReadOnlyNotRetriedInPlace(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"replica is read-only","code":"read_only"}`))
+	}))
+	t.Cleanup(ts.Close)
+	cl, err := client.New(ts.URL, client.WithRetries(3), client.WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cl.CheckIn(context.Background(), 1, 0.5, 0.5)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "read_only" {
+		t.Fatalf("err = %v, want read_only APIError", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("read_only retried in place: %d attempts", calls.Load())
+	}
+}
+
+// readOnlyStub mimics a replica's write surface: every POST write bounces
+// with 503 read_only; reads are not served (503 unavailable) so read
+// failover can be observed too.
+func readOnlyStub(t *testing.T, writeCalls, readCalls *atomic.Int32) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		switch r.URL.Path {
+		case "/v1/checkin", "/v1/edge":
+			writeCalls.Add(1)
+			w.Write([]byte(`{"error":"replica is read-only","code":"read_only"}`))
+		default:
+			readCalls.Add(1)
+			w.Write([]byte(`{"error":"shedding","code":"stale_read"}`))
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestSetWriteFailover routes writes through a Set whose first endpoint is
+// read-only: the first write walks to the healthy endpoint, and subsequent
+// writes remember it instead of re-probing the dead one.
+func TestSetWriteFailover(t *testing.T) {
+	var stubWrites, stubReads atomic.Int32
+	stub := readOnlyStub(t, &stubWrites, &stubReads)
+
+	g := testGraph()
+	srv := server.New("leader", g)
+	t.Cleanup(srv.Close)
+	leader := httptest.NewServer(srv)
+	t.Cleanup(leader.Close)
+
+	set, err := client.NewSet([]string{stub.URL, leader.URL},
+		client.WithRetries(0), client.WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if err := set.CheckIn(ctx, 3, 0.25, 0.75); err != nil {
+		t.Fatalf("first write through the set: %v", err)
+	}
+	if got := stubWrites.Load(); got != 1 {
+		t.Fatalf("read-only endpoint saw %d write attempts, want 1", got)
+	}
+	if _, err := set.Edge(ctx, 0, 7, true); err != nil {
+		t.Fatalf("second write: %v", err)
+	}
+	if got := stubWrites.Load(); got != 1 {
+		t.Fatalf("writer stickiness failed: read-only endpoint re-probed (%d attempts)", got)
+	}
+
+	// The write landed: read it back through the set (reads that hit the
+	// shedding stub fail over to the leader).
+	for i := 0; i < 4; i++ {
+		vx, err := set.Vertex(ctx, 3)
+		if err != nil {
+			t.Fatalf("set read %d: %v", i, err)
+		}
+		if vx.X != 0.25 || vx.Y != 0.75 {
+			t.Fatalf("set read %d = %+v", i, vx)
+		}
+	}
+	if stubReads.Load() == 0 {
+		t.Fatal("round-robin never touched the first endpoint")
+	}
+}
+
+// TestSetReadFailoverOnTransportError lists a dead endpoint first: reads
+// and writes must both walk past the connection failure.
+func TestSetReadFailoverOnTransportError(t *testing.T) {
+	g := testGraph()
+	srv := server.New("alive", g)
+	t.Cleanup(srv.Close)
+	alive := httptest.NewServer(srv)
+	t.Cleanup(alive.Close)
+
+	dead := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close() // nothing listens here any more
+
+	set, err := client.NewSet([]string{deadURL, alive.URL},
+		client.WithRetries(0), client.WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := set.Query(ctx, client.Query{Q: 1, K: 4}); err != nil {
+			t.Fatalf("query %d through set with dead endpoint: %v", i, err)
+		}
+	}
+	if err := set.CheckIn(ctx, 1, 0.5, 0.5); err != nil {
+		t.Fatalf("write through set with dead endpoint: %v", err)
+	}
+
+	// Non-failover errors surface immediately instead of walking the set.
+	if _, err := set.Query(ctx, client.Query{Q: 1, K: 4, Algo: "bogus"}); err == nil {
+		t.Fatal("bad algorithm succeeded")
+	} else {
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+			t.Fatalf("bad algorithm err = %v", err)
+		}
+	}
+}

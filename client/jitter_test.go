@@ -1,0 +1,18 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJitterStaysInBounds pins the jitter window: [d/2, 3d/2), never zero,
+// never negative — a zero sleep would hot-loop the retry path.
+func TestJitterStaysInBounds(t *testing.T) {
+	const d = 100 * time.Millisecond
+	for i := 0; i < 2000; i++ {
+		got := jitter(d)
+		if got < d/2 || got >= 3*d/2 {
+			t.Fatalf("jitter(%v) = %v, outside [%v, %v)", d, got, d/2, 3*d/2)
+		}
+	}
+}

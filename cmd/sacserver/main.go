@@ -25,6 +25,19 @@
 // very first boot. Without -data-dir the graph lives and dies with the
 // process, as before.
 //
+// Replication (see the README's "Replication & failover" section):
+//
+//	sacserver -data-dir /var/lib/sac -listen-replication :9090   # leader
+//	sacserver -replicate-from leader:9090 -addr :8081            # read replica
+//	sacserver -fence leader:9090                                 # fence a deposed leader, then exit
+//
+// A leader with -listen-replication ships its WAL (snapshot bootstrap +
+// live tail) to followers. A replica serves the read-only /v1 surface from
+// the replicated state, sheds reads with 503 + Retry-After when staler than
+// -staleness-bound, and reports role/epoch/lag on /v1/health. -bump-epoch
+// makes a recovering durable leader outrank whoever fenced it (the
+// promotion step); -fence makes a deposed leader reject writes.
+//
 // The process runs a configured http.Server (read/write/idle timeouts, not
 // the bare ListenAndServe defaults) and shuts down gracefully on SIGINT or
 // SIGTERM: the listener closes, in-flight queries drain up to the grace
@@ -38,6 +51,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -48,6 +62,7 @@ import (
 
 	"sacsearch/internal/dataset"
 	"sacsearch/internal/graph"
+	"sacsearch/internal/replica"
 	"sacsearch/internal/server"
 	"sacsearch/internal/store"
 )
@@ -63,8 +78,20 @@ func main() {
 		qTimeout = flag.Duration("query-timeout", 15*time.Second, "per-request query deadline")
 		maxBody  = flag.Int64("max-body", 1<<20, "maximum POST body size in bytes")
 		grace    = flag.Duration("grace", 20*time.Second, "shutdown drain period for in-flight requests")
+
+		listenRepl = flag.String("listen-replication", "", "ship the WAL to followers on this address (requires -data-dir)")
+		replFrom   = flag.String("replicate-from", "", "run as a read-only replica of the leader at this replication address")
+		staleBound = flag.Duration("staleness-bound", 10*time.Second, "replica: shed reads with 503 when further behind the leader than this")
+		bumpEpoch  = flag.Bool("bump-epoch", false, "bump the fencing epoch at boot, outranking whoever fenced this store (promotion; requires -data-dir)")
+		fence      = flag.String("fence", "", "fence the leader at this replication address so it rejects writes, then exit")
+		fenceEpoch = flag.Uint64("fence-epoch", 0, "epoch to fence with (0 = probe the leader and use its epoch + 1)")
 	)
 	flag.Parse()
+
+	if *fence != "" {
+		runFence(*fence, *fenceEpoch)
+		return
+	}
 
 	// -load and -dataset both name the graph to serve; explicitly setting
 	// the two together is ambiguous, so refuse rather than pick one.
@@ -78,11 +105,28 @@ func main() {
 		log.Fatal("sacserver: -load and -dataset are mutually exclusive")
 	}
 
-	cfg := server.Config{QueryTimeout: *qTimeout, MaxBodyBytes: *maxBody}
+	cfg := server.Config{QueryTimeout: *qTimeout, MaxBodyBytes: *maxBody, StalenessBound: *staleBound}
 	srvName := graphName(*load, *name)
 
 	var api *server.Server
-	if *dataDir != "" {
+	switch {
+	case *replFrom != "":
+		// Replica mode: the graph comes from the leader, nothing else makes
+		// sense alongside it.
+		if *dataDir != "" || *listenRepl != "" || *bumpEpoch {
+			log.Fatal("sacserver: -replicate-from excludes -data-dir, -listen-replication and -bump-epoch")
+		}
+		if *load != "" || datasetSet {
+			log.Fatal("sacserver: -replicate-from excludes -load/-dataset (state comes from the leader)")
+		}
+		f, err := replica.NewFollower(replica.FollowerOptions{Leader: *replFrom})
+		if err != nil {
+			log.Fatalf("sacserver: %v", err)
+		}
+		srvName = "replica(" + *replFrom + ")"
+		api = server.NewReplica(srvName, f, cfg)
+		log.Printf("sacserver: replicating from %s (staleness bound %v)", *replFrom, *staleBound)
+	case *dataDir != "":
 		policy, err := store.ParseFsyncPolicy(*fsync)
 		if err != nil {
 			log.Fatalf("sacserver: %v", err)
@@ -106,8 +150,27 @@ func main() {
 		} else {
 			log.Printf("sacserver: bootstrapped %s into %s (fsync %s)", srvName, *dataDir, s.FsyncPolicy)
 		}
+		if *bumpEpoch {
+			e, err := st.BumpEpoch()
+			if err != nil {
+				log.Fatalf("sacserver: bumping epoch: %v", err)
+			}
+			log.Printf("sacserver: fencing epoch bumped to %d", e)
+		}
+		if *listenRepl != "" {
+			ln, err := net.Listen("tcp", *listenRepl)
+			if err != nil {
+				log.Fatalf("sacserver: replication listener: %v", err)
+			}
+			sh := replica.NewShipper(st, ln, replica.ShipperOptions{})
+			defer sh.Close()
+			log.Printf("sacserver: shipping WAL on %s (epoch %d)", ln.Addr(), st.Epoch())
+		}
 		api = server.NewWithStore(srvName, st, cfg)
-	} else {
+	default:
+		if *listenRepl != "" || *bumpEpoch {
+			log.Fatal("sacserver: -listen-replication and -bump-epoch require -data-dir")
+		}
 		g, err := buildGraph(*load, *name, *scale)
 		if err != nil {
 			log.Fatalf("sacserver: %v", err)
@@ -117,9 +180,13 @@ func main() {
 	defer api.Close()
 
 	// Counts come from the published snapshot: the engine owns the mutable
-	// graph as soon as the server exists.
-	snap := api.Engine().Current()
-	vertices, edges := snap.Graph().NumVertices(), snap.Edges()
+	// graph as soon as the server exists — except on a replica, which has no
+	// state until its first sync completes.
+	vertices, edges := 0, 0
+	if eng := api.Engine(); eng != nil {
+		snap := eng.Current()
+		vertices, edges = snap.Graph().NumVertices(), snap.Edges()
+	}
 
 	// ReadHeaderTimeout bounds slow-loris headers; WriteTimeout leaves room
 	// for the query deadline plus response encoding so the server never cuts
@@ -154,6 +221,35 @@ func main() {
 		}
 		log.Printf("sacserver: drained, stopping snapshot writer")
 	}
+}
+
+// runFence executes the one-shot -fence action: make the leader at addr
+// reject all future writes. With epoch 0 it probes the leader for its
+// current epoch first and fences with the successor — the common promotion
+// case where the operator does not track epochs by hand.
+func runFence(addr string, epoch uint64) {
+	const timeout = 10 * time.Second
+	if epoch == 0 {
+		// Epoch 1 can never outrank a live leader (epochs start at 1), so
+		// this probe either learns the leader's current epoch from the
+		// refusal, or comes back rejected because the leader is already
+		// fenced — done either way.
+		current, err := replica.FenceLeader(addr, 1, timeout)
+		if err == nil {
+			fmt.Printf("sacserver: leader %s is already fenced (epoch %d)\n", addr, current)
+			return
+		}
+		if current == 0 {
+			log.Fatalf("sacserver: probing %s: %v", addr, err)
+		}
+		epoch = current + 1
+	}
+	leaderEpoch, err := replica.FenceLeader(addr, epoch, timeout)
+	if err != nil {
+		log.Fatalf("sacserver: fencing %s at epoch %d: %v (leader reports epoch %d)",
+			addr, epoch, err, leaderEpoch)
+	}
+	fmt.Printf("sacserver: leader %s fenced at epoch %d; it now rejects writes\n", addr, epoch)
 }
 
 // graphName labels the served graph without building it: the -load file's

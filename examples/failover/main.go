@@ -1,0 +1,296 @@
+// Failover drill: boot a real leader + read-replica pair as separate
+// sacserver processes, drive traffic through the read/write-splitting
+// client.Set, then kill the leader with SIGKILL and verify the replica
+// keeps answering reads within the staleness bound. The drill continues
+// through the full operational story: restart the leader from its data
+// directory (kill -9 durability), watch the replica reconnect and catch
+// up, and finally fence the leader with the one-shot `sacserver -fence`
+// and verify it rejects writes with the read_only error code.
+//
+// This is the two-process integration test CI runs against the shipped
+// binary (see .github/workflows/ci.yml):
+//
+//	go build -o /tmp/sacserver ./cmd/sacserver
+//	go run ./examples/failover -sacserver /tmp/sacserver
+//
+// Without -sacserver the drill builds the binary itself, so a plain
+// `go run ./examples/failover` from the module root also works. The
+// drill exits 0 only if every step held; any violated expectation is
+// fatal.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"sacsearch/client"
+)
+
+var (
+	binPath    = flag.String("sacserver", "", "path to a built sacserver binary (empty = build it into a temp dir)")
+	leaderAPI  = flag.String("leader-addr", "127.0.0.1:18090", "leader HTTP address")
+	leaderRepl = flag.String("leader-replication", "127.0.0.1:18091", "leader WAL-shipping address")
+	replicaAPI = flag.String("replica-addr", "127.0.0.1:18092", "replica HTTP address")
+)
+
+func main() {
+	flag.Parse()
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	if err := run(ctx); err != nil {
+		log.Fatalf("drill: FAIL: %v", err)
+	}
+	fmt.Println("drill: PASS — node loss survived, reads never stopped, fencing held")
+}
+
+func run(ctx context.Context) error {
+	bin := *binPath
+	scratch, err := os.MkdirTemp("", "sacfailover-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch)
+	if bin == "" {
+		bin = filepath.Join(scratch, "sacserver")
+		log.Printf("drill: building %s", bin)
+		build := exec.Command("go", "build", "-o", bin, "./cmd/sacserver")
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("building sacserver: %w", err)
+		}
+	}
+	dataDir := filepath.Join(scratch, "leader-data")
+
+	leaderURL := "http://" + *leaderAPI
+	replicaURL := "http://" + *replicaAPI
+	leaderArgs := []string{
+		"-dataset", "syn1", "-scale", "0.02",
+		"-data-dir", dataDir,
+		"-addr", *leaderAPI,
+		"-listen-replication", *leaderRepl,
+	}
+
+	// --- boot -----------------------------------------------------------
+	leader, err := start("leader", bin, leaderArgs...)
+	if err != nil {
+		return err
+	}
+	defer leader.kill()
+	if err := waitReady(ctx, leaderURL); err != nil {
+		return fmt.Errorf("leader never became ready: %w", err)
+	}
+
+	replica, err := start("replica", bin,
+		"-replicate-from", *leaderRepl,
+		"-addr", *replicaAPI,
+		"-staleness-bound", "10s")
+	if err != nil {
+		return err
+	}
+	defer replica.kill()
+	if err := waitReady(ctx, replicaURL); err != nil {
+		return fmt.Errorf("replica never became ready (initial sync): %w", err)
+	}
+	log.Printf("drill: leader %s and replica %s are both ready", *leaderAPI, *replicaAPI)
+
+	// Leader listed first: that is the initial write preference.
+	set, err := client.NewSet([]string{leaderURL, replicaURL}, client.WithRetries(0))
+	if err != nil {
+		return err
+	}
+	leaderCl, replicaCl := set.Clients()[0], set.Clients()[1]
+
+	// --- write through the set, observe on the replica ------------------
+	for i := int64(0); i < 20; i++ {
+		if err := set.CheckIn(ctx, i, 0.05+float64(i)*0.01, 0.5); err != nil {
+			return fmt.Errorf("write %d through the set: %w", i, err)
+		}
+	}
+	if err := set.CheckIn(ctx, 1, 0.123, 0.456); err != nil {
+		return err
+	}
+	if err := waitVertexAt(ctx, replicaCl, 1, 0.123, 0.456); err != nil {
+		return fmt.Errorf("marker write never replicated: %w", err)
+	}
+	log.Printf("drill: 21 writes accepted by the leader and visible on the replica")
+
+	// Round-robin reads touch both endpoints while both are alive.
+	for i := 0; i < 4; i++ {
+		if _, err := set.Query(ctx, client.Query{Q: 3, K: 3, Algo: "appfast"}); err != nil &&
+			!errors.Is(err, client.ErrNoCommunity) {
+			return fmt.Errorf("query with both nodes up: %w", err)
+		}
+	}
+
+	// --- kill the leader ------------------------------------------------
+	log.Printf("drill: killing the leader (SIGKILL)")
+	leader.kill()
+
+	// Reads keep working: the set fails over to the replica, which is
+	// within its staleness bound and must not shed.
+	for i := 0; i < 4; i++ {
+		if _, err := set.Query(ctx, client.Query{Q: 3, K: 3, Algo: "appfast"}); err != nil &&
+			!errors.Is(err, client.ErrNoCommunity) {
+			return fmt.Errorf("query after leader death (read failover): %w", err)
+		}
+	}
+	if v, err := replicaCl.Vertex(ctx, 1); err != nil {
+		return fmt.Errorf("replica read after leader death: %w", err)
+	} else if v.X != 0.123 || v.Y != 0.456 {
+		return fmt.Errorf("replica lost the marker write: got (%v,%v)", v.X, v.Y)
+	}
+	log.Printf("drill: replica still serves reads after leader death")
+
+	// Writes must fail: nobody in the set accepts them.
+	if err := set.CheckIn(ctx, 2, 0.9, 0.9); err == nil {
+		return errors.New("a write was accepted with no leader alive")
+	} else {
+		log.Printf("drill: writes correctly refused without a leader: %v", err)
+	}
+
+	// The replica notices the dead leader and reports itself degraded.
+	if err := waitHealth(ctx, replicaCl, func(h *client.Health) bool {
+		return h.Role == "replica" && h.Status == "degraded"
+	}); err != nil {
+		return fmt.Errorf("replica health never turned degraded: %w", err)
+	}
+
+	// --- restart the leader from its data directory ---------------------
+	log.Printf("drill: restarting the leader from %s", dataDir)
+	leader, err = start("leader", bin, leaderArgs...)
+	if err != nil {
+		return err
+	}
+	defer leader.kill()
+	if err := waitReady(ctx, leaderURL); err != nil {
+		return fmt.Errorf("restarted leader never became ready: %w", err)
+	}
+	if v, err := leaderCl.Vertex(ctx, 1); err != nil {
+		return err
+	} else if v.X != 0.123 || v.Y != 0.456 {
+		return fmt.Errorf("leader lost the marker write across kill -9: got (%v,%v)", v.X, v.Y)
+	}
+
+	// The set's sticky writer still points at the leader slot; the replica
+	// reconnects on its own backoff and replays the new write.
+	if err := set.CheckIn(ctx, 1, 0.321, 0.654); err != nil {
+		return fmt.Errorf("write after leader restart: %w", err)
+	}
+	if err := waitVertexAt(ctx, replicaCl, 1, 0.321, 0.654); err != nil {
+		return fmt.Errorf("replica never caught up after reconnect: %w", err)
+	}
+	log.Printf("drill: leader recovered, replica reconnected and caught up")
+
+	// --- fence the leader -----------------------------------------------
+	log.Printf("drill: fencing the leader via one-shot -fence")
+	fence := exec.Command(bin, "-fence", *leaderRepl)
+	fence.Stdout, fence.Stderr = os.Stdout, os.Stderr
+	if err := fence.Run(); err != nil {
+		return fmt.Errorf("sacserver -fence: %w", err)
+	}
+	var apiErr *client.APIError
+	if err := leaderCl.CheckIn(ctx, 2, 0.7, 0.7); !errors.As(err, &apiErr) || apiErr.Code != "read_only" {
+		return fmt.Errorf("fenced leader should refuse writes with read_only, got: %v", err)
+	}
+	if err := waitHealth(ctx, leaderCl, func(h *client.Health) bool {
+		// The leader's own epoch stays put; the epoch that deposed it shows
+		// up in the unversioned fencedBy field.
+		var fencedBy uint64
+		if raw, ok := h.Extra["fencedBy"]; ok {
+			_ = json.Unmarshal(raw, &fencedBy)
+		}
+		return h.Status == "readonly" && fencedBy > h.Epoch
+	}); err != nil {
+		return fmt.Errorf("fenced leader health never turned readonly: %w", err)
+	}
+	if v, err := leaderCl.Vertex(ctx, 1); err != nil || v.X != 0.321 {
+		return fmt.Errorf("fenced leader should still serve reads: %v", err)
+	}
+	log.Printf("drill: fenced leader rejects writes, still serves reads")
+	return nil
+}
+
+// proc is one managed sacserver process.
+type proc struct {
+	name string
+	cmd  *exec.Cmd
+	dead bool
+}
+
+func start(name, bin string, args ...string) (*proc, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting %s: %w", name, err)
+	}
+	return &proc{name: name, cmd: cmd}, nil
+}
+
+// kill SIGKILLs the process and reaps it; safe to call twice.
+func (p *proc) kill() {
+	if p == nil || p.dead {
+		return
+	}
+	p.dead = true
+	_ = p.cmd.Process.Kill()
+	_ = p.cmd.Wait()
+}
+
+// waitReady polls GET /v1/ready until it answers 200.
+func waitReady(ctx context.Context, baseURL string) error {
+	return poll(ctx, 60*time.Second, func() bool {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/ready", nil)
+		if err != nil {
+			return false
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+}
+
+// waitVertexAt polls until vertex v sits at (x, y) — replication caught up.
+func waitVertexAt(ctx context.Context, cl *client.Client, v int64, x, y float64) error {
+	return poll(ctx, 60*time.Second, func() bool {
+		vx, err := cl.Vertex(ctx, v)
+		return err == nil && vx.X == x && vx.Y == y
+	})
+}
+
+// waitHealth polls /v1/health until cond holds.
+func waitHealth(ctx context.Context, cl *client.Client, cond func(*client.Health) bool) error {
+	return poll(ctx, 60*time.Second, func() bool {
+		h, err := cl.Health(ctx)
+		return err == nil && cond(h)
+	})
+}
+
+func poll(ctx context.Context, timeout time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return errors.New("timed out")
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}

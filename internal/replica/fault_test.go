@@ -1,0 +1,113 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sacsearch/internal/geom"
+	"sacsearch/internal/store"
+)
+
+// TestReplicationFaultInjectionDifferential is the acceptance suite: a
+// proxy injects arbitrary stream faults — abrupt mid-frame truncations,
+// single-bit flips, added latency — between a churning leader and a
+// follower, and after every round of damage the follower's answers for ALL
+// registered algorithms must be byte-identical to a fresh searcher over the
+// leader's reference prefix. Faults may delay replication; they may never
+// corrupt it. The suite ends by fencing the leader and proving its writes
+// are rejected. Run under -race in CI.
+func TestReplicationFaultInjectionDifferential(t *testing.T) {
+	// Small segments + event-triggered checkpoints: WAL truncation races
+	// the shipper's cursors, so snapshot fallback is exercised too.
+	st, sh := startLeader(t, store.Options{
+		SegmentBytes:       1 << 10,
+		CheckpointEvents:   64,
+		CheckpointInterval: -1,
+	})
+
+	// Deterministic fault script, cycling through the failure modes. Every
+	// 4th session is clean so convergence is always reachable; the rest cut
+	// mid-frame at awkward offsets, flip a bit (caught by message or frame
+	// CRCs), or add latency.
+	rnd := rand.New(rand.NewSource(1729))
+	proxy, err := NewProxy(sh.Addr().String(), func(i int) Fault {
+		switch i % 4 {
+		case 0:
+			return Fault{CutAt: 2200 + int64(rnd.Intn(6000))}
+		case 1:
+			return Fault{FlipBitAt: 2100 + int64(rnd.Intn(4000)), DropConnAfter: 300 * time.Millisecond}
+		case 2:
+			return Fault{Delay: time.Millisecond, CutAt: 3000 + int64(rnd.Intn(8000))}
+		default:
+			return Fault{} // every 4th session clean, so convergence is reachable
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	f := startFollower(t, proxy.Addr())
+	waitFor(t, 10*time.Second, "initial sync through the proxy", func() bool { return f.Status().Synced })
+
+	var events []churnEvent
+	for round := 0; round < 6; round++ {
+		events = append(events, driveChurn(t, st, int64(5000+round), 80)...)
+		waitFor(t, 20*time.Second, "catch-up through injected faults", caughtUp(st, f))
+		diffCheckFollower(t, "fault round", f, refGraph(t, events, len(events)))
+	}
+
+	s := f.Status()
+	if proxy.Sessions() < 3 || s.Reconnects < 2 {
+		t.Fatalf("faults were not exercised: %d proxy sessions, %d reconnects",
+			proxy.Sessions(), s.Reconnects)
+	}
+	if s.AppliedSeq != st.WalLastSeq() {
+		t.Fatalf("applied %d, leader at %d", s.AppliedSeq, st.WalLastSeq())
+	}
+
+	// Node-loss epilogue: a new leader exists; the deposed one must reject
+	// writes while the follower keeps serving the replicated state.
+	newEpoch := st.Epoch() + 1
+	if _, err := FenceLeader(sh.Addr().String(), newEpoch, 5*time.Second); err != nil {
+		t.Fatalf("FenceLeader: %v", err)
+	}
+	if err := st.CheckIn(context.Background(), 3, geom.Point{X: 0.123, Y: 0.456}); !errors.Is(err, store.ErrFenced) {
+		t.Fatalf("fenced ex-leader accepted a write: %v", err)
+	}
+	diffCheckFollower(t, "post-fence reads", f, refGraph(t, events, len(events)))
+}
+
+// TestBitFlipNeverReachesState pins the CRC defense specifically: a
+// single flipped bit in the record stream must terminate the session —
+// state diverging silently is the one forbidden outcome.
+func TestBitFlipNeverReachesState(t *testing.T) {
+	st, sh := startLeader(t, store.Options{})
+
+	// Flip a bit early in every session's record stream (past the ~2 KB
+	// snapshot) and never sever otherwise: each session either dies on CRC
+	// mismatch or survives because the flip landed on already-read bytes.
+	proxy, err := NewProxy(sh.Addr().String(), func(i int) Fault {
+		if i%2 == 0 {
+			return Fault{FlipBitAt: 2100 + int64(i)*37}
+		}
+		return Fault{} // let it converge on alternate sessions
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	f := startFollower(t, proxy.Addr())
+	waitFor(t, 10*time.Second, "initial sync", func() bool { return f.Status().Synced })
+
+	var events []churnEvent
+	for round := 0; round < 3; round++ {
+		events = append(events, driveChurn(t, st, int64(9000+round), 100)...)
+		waitFor(t, 20*time.Second, "catch-up past bit flips", caughtUp(st, f))
+		diffCheckFollower(t, "bit-flip round", f, refGraph(t, events, len(events)))
+	}
+}

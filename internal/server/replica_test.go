@@ -1,0 +1,327 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sacsearch/internal/replica"
+	"sacsearch/internal/store"
+)
+
+func discardLogf(string, ...any) {}
+
+// unmarshalErr decodes an error envelope, failing the test on bad JSON.
+func unmarshalErr(t *testing.T, body []byte, into *ErrorJSON) {
+	t.Helper()
+	if err := json.Unmarshal(body, into); err != nil {
+		t.Fatalf("decoding error envelope %q: %v", body, err)
+	}
+}
+
+// replicaHealth is the health shape the replica-mode assertions care about.
+type replicaHealth struct {
+	Status      string                  `json:"status"`
+	Role        string                  `json:"role"`
+	Epoch       uint64                  `json:"epoch"`
+	FencedBy    uint64                  `json:"fencedBy"`
+	Replication *replica.FollowerStatus `json:"replication"`
+}
+
+// waitHTTP polls cond until it holds or the deadline passes.
+func waitHTTP(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// startReplicatedPair boots a durable leader server, a WAL shipper, and a
+// replica server following it over a real TCP connection — the two-process
+// topology, in-process.
+func startReplicatedPair(t *testing.T, cfg Config) (leader, rep *httptest.Server, st *store.Store, sh *replica.Shipper) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{Init: testGraph(), CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvL := NewWithStore("test", st, Config{Logf: discardLogf})
+	t.Cleanup(srvL.Close)
+	leader = httptest.NewServer(srvL)
+	t.Cleanup(leader.Close)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh = replica.NewShipper(st, ln, replica.ShipperOptions{
+		Heartbeat: 20 * time.Millisecond, Poll: time.Millisecond, Logf: discardLogf,
+	})
+	t.Cleanup(sh.Close)
+
+	f, err := replica.NewFollower(replica.FollowerOptions{
+		Leader: sh.Addr().String(), BackoffMin: 5 * time.Millisecond,
+		BackoffMax: 100 * time.Millisecond, Logf: discardLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = discardLogf
+	}
+	srvR := NewReplica("test", f, cfg)
+	t.Cleanup(srvR.Close)
+	rep = httptest.NewServer(srvR)
+	t.Cleanup(rep.Close)
+	return leader, rep, st, sh
+}
+
+// TestReplicaServesReplicatedReads drives the full read path of a replica:
+// ready flips to 200 after the initial sync, a write on the leader becomes
+// visible through the replica's /v1 surface, writes on the replica are
+// refused with 503 read_only, and health reports role/epoch/lag.
+func TestReplicaServesReplicatedReads(t *testing.T) {
+	leader, rep, st, _ := startReplicatedPair(t, Config{StalenessBound: time.Minute})
+
+	waitHTTP(t, 10*time.Second, "replica readiness", func() bool {
+		return getJSON(t, rep.URL+"/v1/ready", nil).StatusCode == http.StatusOK
+	})
+
+	// A write on the leader must become readable on the replica.
+	resp, body := postJSON(t, leader.URL+"/v1/checkin", CheckinRequest{V: 3, X: 0.25, Y: 0.75})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("leader checkin: %d %s", resp.StatusCode, body)
+	}
+	waitHTTP(t, 10*time.Second, "write to replicate", func() bool {
+		var v struct{ X, Y float64 }
+		if getJSON(t, rep.URL+"/v1/vertex/3", &v).StatusCode != http.StatusOK {
+			return false
+		}
+		return v.X == 0.25 && v.Y == 0.75
+	})
+
+	// Queries answer from the replicated state.
+	resp, body = postJSON(t, rep.URL+"/v1/query", QueryRequest{Q: 1, K: 4, Algo: "exact+"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replica query: %d %s", resp.StatusCode, body)
+	}
+
+	// Writes on the replica are refused before decoding.
+	for _, route := range []string{"/v1/checkin", "/v1/edge"} {
+		resp, body = postJSON(t, rep.URL+route, map[string]any{})
+		var e ErrorJSON
+		unmarshalErr(t, body, &e)
+		if resp.StatusCode != http.StatusServiceUnavailable || e.Code != CodeReadOnly {
+			t.Fatalf("replica write on %s: status %d code %q", route, resp.StatusCode, e.Code)
+		}
+	}
+
+	// Health: replica role, leader's epoch, readonly verdict, lag visible.
+	var h replicaHealth
+	getJSON(t, rep.URL+"/v1/health", &h)
+	if h.Role != "replica" || h.Status != "readonly" || h.Replication == nil {
+		t.Fatalf("replica health = %+v", h)
+	}
+	if h.Epoch != st.Epoch() || !h.Replication.Synced {
+		t.Fatalf("replica health epoch %d (leader %d), replication %+v", h.Epoch, st.Epoch(), h.Replication)
+	}
+
+	var lh replicaHealth
+	getJSON(t, leader.URL+"/v1/health", &lh)
+	if lh.Role != "leader" || lh.Status != "ok" || lh.Epoch != st.Epoch() {
+		t.Fatalf("leader health = %+v", lh)
+	}
+	if getJSON(t, leader.URL+"/v1/ready", nil).StatusCode != http.StatusOK {
+		t.Fatal("leader not ready")
+	}
+}
+
+// TestReplicaShedsStaleReads kills the leader and asserts the replica turns
+// degraded and sheds reads with 503 + Retry-After once its staleness bound
+// is exceeded — late state is served briefly, stale state never silently.
+func TestReplicaShedsStaleReads(t *testing.T) {
+	_, rep, _, sh := startReplicatedPair(t, Config{StalenessBound: 150 * time.Millisecond})
+
+	waitHTTP(t, 10*time.Second, "replica readiness", func() bool {
+		return getJSON(t, rep.URL+"/v1/ready", nil).StatusCode == http.StatusOK
+	})
+
+	sh.Close() // the leader is gone
+
+	waitHTTP(t, 10*time.Second, "degraded health after leader loss", func() bool {
+		var h replicaHealth
+		getJSON(t, rep.URL+"/v1/health", &h)
+		return h.Status == "degraded"
+	})
+	waitHTTP(t, 10*time.Second, "read shedding past the staleness bound", func() bool {
+		resp, body := postJSON(t, rep.URL+"/v1/query", QueryRequest{Q: 1, K: 4})
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			return false
+		}
+		var e ErrorJSON
+		unmarshalErr(t, body, &e)
+		if e.Code != CodeStaleRead {
+			t.Fatalf("shed read code = %q, want %q", e.Code, CodeStaleRead)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatal("shed read missing Retry-After")
+		}
+		return true
+	})
+
+	// Ready stays 200: the node synced once and could serve if the bound
+	// were wider — readiness is about initial sync, shedding about lag.
+	if getJSON(t, rep.URL+"/v1/ready", nil).StatusCode != http.StatusOK {
+		t.Fatal("synced replica reported unready")
+	}
+}
+
+// TestReplicaNotReadyBeforeSync points a replica at a dead address: ready
+// and every read must come back 503 not_ready, while health still answers
+// 200 and reports the degradation.
+func TestReplicaNotReadyBeforeSync(t *testing.T) {
+	// Grab a port that refuses connections: listen, note the address, close.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	f, err := replica.NewFollower(replica.FollowerOptions{
+		Leader: addr, BackoffMin: 5 * time.Millisecond,
+		BackoffMax: 50 * time.Millisecond, Logf: discardLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewReplica("test", f, Config{Logf: discardLogf})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	readyResp := getJSON(t, ts.URL+"/v1/ready", nil)
+	if readyResp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unsynced replica ready status = %d", readyResp.StatusCode)
+	}
+	if readyResp.Header.Get("Retry-After") == "" {
+		t.Fatal("unready response missing Retry-After")
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/query", QueryRequest{Q: 1, K: 4})
+	var e ErrorJSON
+	unmarshalErr(t, body, &e)
+	if resp.StatusCode != http.StatusServiceUnavailable || e.Code != CodeNotReady {
+		t.Fatalf("unsynced replica query: status %d code %q", resp.StatusCode, e.Code)
+	}
+	var h replicaHealth
+	if getJSON(t, ts.URL+"/v1/health", &h).StatusCode != http.StatusOK {
+		t.Fatal("health must answer even before the first sync")
+	}
+	if h.Status != "degraded" || h.Role != "replica" {
+		t.Fatalf("pre-sync health = %+v", h)
+	}
+}
+
+// TestFencedLeaderTurnsReadonly fences a durable leader's store and asserts
+// the server-level consequences: writes bounce with 503 read_only, reads
+// keep working, and health flips to readonly with the fencing epoch.
+func TestFencedLeaderTurnsReadonly(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{Init: testGraph(), CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithStore("test", st, Config{Logf: discardLogf})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	resp, _ := postJSON(t, ts.URL+"/v1/checkin", CheckinRequest{V: 1, X: 0.5, Y: 0.5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-fence checkin status = %d", resp.StatusCode)
+	}
+	if err := st.Fence(st.Epoch() + 3); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/checkin", CheckinRequest{V: 1, X: 0.6, Y: 0.6})
+	var e ErrorJSON
+	unmarshalErr(t, body, &e)
+	if resp.StatusCode != http.StatusServiceUnavailable || e.Code != CodeReadOnly {
+		t.Fatalf("fenced checkin: status %d code %q", resp.StatusCode, e.Code)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/edge", EdgeRequest{U: 0, V: 30, Op: "insert"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("fenced edge status = %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/query", QueryRequest{Q: 1, K: 4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fenced leader refused a read: %d", resp.StatusCode)
+	}
+	var h replicaHealth
+	getJSON(t, ts.URL+"/v1/health", &h)
+	if h.Status != "readonly" || h.FencedBy != st.Epoch()+3 {
+		t.Fatalf("fenced health = %+v", h)
+	}
+}
+
+// TestPanicRecoveryMiddleware registers a panicking route and asserts the
+// client sees a 500 envelope carrying the request id while the stack lands
+// in the server log — a handler bug must cost one request, not the process.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	var mu sync.Mutex
+	var logged strings.Builder
+	g := testGraph()
+	srv := NewWithConfig("test", g, Config{Logf: func(format string, args ...any) {
+		mu.Lock()
+		fmt.Fprintf(&logged, format, args...)
+		mu.Unlock()
+	}})
+	t.Cleanup(srv.Close)
+	srv.mux.HandleFunc("GET /v1/boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	req, err := http.NewRequest("GET", ts.URL+"/v1/boom", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "trace-me-123")
+	raw, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Body.Close()
+	if raw.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking route status = %d", raw.StatusCode)
+	}
+	var e ErrorJSON
+	if err := json.NewDecoder(raw.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != CodeInternal || e.RequestID != "trace-me-123" {
+		t.Fatalf("panic envelope = %+v", e)
+	}
+	mu.Lock()
+	out := logged.String()
+	mu.Unlock()
+	if !strings.Contains(out, "kaboom") || !strings.Contains(out, "trace-me-123") ||
+		!strings.Contains(out, "goroutine") {
+		t.Fatalf("panic log missing panic value, request id or stack:\n%s", out)
+	}
+
+	// The server still serves after the panic.
+	if resp := getJSON(t, ts.URL+"/v1/health", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("health after panic = %d", resp.StatusCode)
+	}
+}

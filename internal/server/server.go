@@ -5,7 +5,8 @@
 //
 // The API is versioned. Current routes live under /v1/:
 //
-//	GET  /v1/health            service, dataset and snapshot/writer status
+//	GET  /v1/health            role, status verdict, dataset, snapshot/writer and replication state
+//	GET  /v1/ready             200 once this node can serve reads (replicas: after initial sync)
 //	GET  /v1/algorithms        the algorithm registry: names, ratios, parameter schemas
 //	GET  /v1/vertex/{id}       one vertex: location, degree, core number
 //	POST /v1/query             one SAC query (unified request shape)
@@ -35,6 +36,14 @@
 // the query at its next loop boundary instead of burning CPU to completion.
 // POST bodies are capped by http.MaxBytesReader; oversized payloads come
 // back as 413 before any JSON is decoded.
+//
+// A server runs in one of three roles. Standalone (New) and leader
+// (NewWithStore) accept reads and writes; the leader routes writes through
+// the store so a fenced ex-leader rejects them with 503 read_only. A
+// replica (NewReplica) serves reads from WAL-shipped state, refuses writes,
+// and sheds reads with 503 + Retry-After when staler than the configured
+// bound. /v1/health reports the role, fencing epoch and replication lag;
+// /v1/ready gates traffic until the node can actually serve.
 package server
 
 import (
@@ -44,7 +53,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -54,6 +65,7 @@ import (
 	"sacsearch/internal/core"
 	"sacsearch/internal/geom"
 	"sacsearch/internal/graph"
+	"sacsearch/internal/replica"
 	"sacsearch/internal/snapshot"
 	"sacsearch/internal/store"
 )
@@ -71,6 +83,10 @@ const (
 	CodeDeadlineExceeded = "deadline_exceeded"
 	CodeUnavailable      = "unavailable"
 	CodeQueryFailed      = "query_failed"
+	CodeReadOnly         = "read_only"
+	CodeStaleRead        = "stale_read"
+	CodeNotReady         = "not_ready"
+	CodeInternal         = "internal"
 )
 
 // Config tunes a Server. The zero value serves defaults.
@@ -87,6 +103,16 @@ type Config struct {
 	// from internal/snapshot).
 	WriterQueue int
 	WriterBatch int
+	// StalenessBound is how far behind the leader a replica may be while
+	// still serving reads; beyond it, reads are shed with 503 + Retry-After
+	// (stale answers are worse than brief unavailability once the client has
+	// a leader to fail over to). Measured against the follower's lag clock,
+	// which is local-clock-only and so immune to clock skew. Default 10s;
+	// negative disables shedding. Ignored on a leader.
+	StalenessBound time.Duration
+	// Logf receives server-level events — today, recovered panics with their
+	// stacks. Default log.Printf.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) queryTimeout() time.Duration {
@@ -103,11 +129,27 @@ func (c Config) maxBodyBytes() int64 {
 	return 1 << 20
 }
 
-// Server serves SAC queries over one spatial graph.
+func (c Config) stalenessBound() time.Duration {
+	if c.StalenessBound != 0 {
+		return c.StalenessBound
+	}
+	return 10 * time.Second
+}
+
+func (c Config) logf() func(string, ...any) {
+	if c.Logf != nil {
+		return c.Logf
+	}
+	return log.Printf
+}
+
+// Server serves SAC queries over one spatial graph — as a standalone
+// in-memory server, a durable leader, or a read-only replica.
 type Server struct {
 	name   string
-	eng    *snapshot.Engine
-	st     *store.Store // non-nil when serving a durable store
+	eng    *snapshot.Engine  // nil in replica mode (the follower owns engines)
+	st     *store.Store      // non-nil when serving a durable store
+	rep    *replica.Follower // non-nil in replica mode
 	cfg    Config
 	mux    *http.ServeMux
 	nextID atomic.Uint64 // request-id fallback counter
@@ -125,7 +167,7 @@ func NewWithConfig(name string, g *graph.Graph, cfg Config) *Server {
 	return newServer(name, snapshot.New(g, snapshot.Options{
 		QueueLen: cfg.WriterQueue,
 		BatchMax: cfg.WriterBatch,
-	}), nil, cfg)
+	}), nil, nil, cfg)
 }
 
 // NewWithStore creates a server over an open durable store: writes ride the
@@ -134,14 +176,26 @@ func NewWithConfig(name string, g *graph.Graph, cfg Config) *Server {
 // (final checkpoint included). The store's engine options win over
 // cfg.WriterQueue/WriterBatch — they were fixed at store.Open.
 func NewWithStore(name string, st *store.Store, cfg Config) *Server {
-	return newServer(name, st.Engine(), st, cfg)
+	return newServer(name, st.Engine(), st, nil, cfg)
 }
 
-func newServer(name string, eng *snapshot.Engine, st *store.Store, cfg Config) *Server {
+// NewReplica creates a read-only server over a replication follower: reads
+// serve from the follower's replicated snapshots (re-fetched per request,
+// since the follower swaps engines on re-sync), writes are refused with 503
+// read_only, and reads are shed with 503 + Retry-After while the replica is
+// unsynced or staler than cfg.StalenessBound. The server takes ownership of
+// f; Close stops replication (the last synced state stays readable by other
+// holders of f, not through this server).
+func NewReplica(name string, f *replica.Follower, cfg Config) *Server {
+	return newServer(name, nil, nil, f, cfg)
+}
+
+func newServer(name string, eng *snapshot.Engine, st *store.Store, rep *replica.Follower, cfg Config) *Server {
 	s := &Server{
 		name: name,
 		eng:  eng,
 		st:   st,
+		rep:  rep,
 		cfg:  cfg,
 		mux:  http.NewServeMux(),
 	}
@@ -150,6 +204,7 @@ func newServer(name string, eng *snapshot.Engine, st *store.Store, cfg Config) *
 	// alias (ServeHTTP stamps those responses with a Deprecation header).
 	for _, p := range []string{"/v1", "/api"} {
 		s.mux.HandleFunc("GET "+p+"/health", s.handleHealth)
+		s.mux.HandleFunc("GET "+p+"/ready", s.handleReady)
 		s.mux.HandleFunc("GET "+p+"/algorithms", s.handleAlgorithms)
 		s.mux.HandleFunc("GET "+p+"/vertex/{id}", s.handleVertex)
 		s.mux.HandleFunc("POST "+p+"/query", s.handleQuery)
@@ -161,24 +216,80 @@ func newServer(name string, eng *snapshot.Engine, st *store.Store, cfg Config) *
 }
 
 // Close stops the writer goroutine (and, for a durable server, checkpoints
-// and closes the store). In-flight queries finish against their pinned
-// snapshots; pending writes fail with an error.
+// and closes the store; for a replica, stops replication). In-flight
+// queries finish against their pinned snapshots; pending writes fail with
+// an error.
 func (s *Server) Close() {
-	if s.st != nil {
+	switch {
+	case s.rep != nil:
+		s.rep.Close()
+	case s.st != nil:
 		_ = s.st.Close()
-		return
+	default:
+		s.eng.Close()
 	}
-	s.eng.Close()
 }
 
-// Engine exposes the snapshot engine (benchmarks and embedding callers).
-func (s *Server) Engine() *snapshot.Engine { return s.eng }
+// Engine exposes the snapshot engine (benchmarks and embedding callers). In
+// replica mode the engine changes across re-syncs and is nil before the
+// first sync completes.
+func (s *Server) Engine() *snapshot.Engine { return s.engine() }
+
+// engine returns the engine currently serving this node's state: the fixed
+// one on a standalone/durable server, the follower's latest on a replica.
+func (s *Server) engine() *snapshot.Engine {
+	if s.rep != nil {
+		return s.rep.Engine()
+	}
+	return s.eng
+}
+
+// role names what this node is in the replication topology.
+func (s *Server) role() string {
+	switch {
+	case s.rep != nil:
+		return "replica"
+	case s.st != nil:
+		return "leader"
+	default:
+		return "standalone"
+	}
+}
+
+// readEngine gates the read path. On a leader or standalone server it always
+// admits. On a replica it sheds with 503 + Retry-After when the node has
+// never synced or its replication lag exceeds the staleness bound — the
+// typed client treats that as a signal to fail the read over to another
+// endpoint. Reports whether the request may proceed; on false the response
+// has been written.
+func (s *Server) readEngine(w http.ResponseWriter, r *http.Request) (*snapshot.Engine, bool) {
+	if s.rep == nil {
+		return s.eng, true
+	}
+	rs := s.rep.Status()
+	if !rs.Synced {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, r, http.StatusServiceUnavailable, CodeNotReady, "",
+			"replica has not completed its initial sync")
+		return nil, false
+	}
+	if bound := s.cfg.stalenessBound(); bound > 0 && rs.LagSeconds > bound.Seconds() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, r, http.StatusServiceUnavailable, CodeStaleRead, "",
+			fmt.Sprintf("replica is %.1fs behind the leader (bound %s)", rs.LagSeconds, bound))
+		return nil, false
+	}
+	return s.rep.Engine(), true
+}
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s }
 
 // ServeHTTP implements http.Handler: it assigns the request id, stamps
-// deprecation metadata on legacy /api/* calls, then routes.
+// deprecation metadata on legacy /api/* calls, then routes. A handler panic
+// is recovered here: the stack is logged with the request id, and — if the
+// handler had not started its response — the client gets a 500 envelope
+// instead of a severed connection.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	id := sanitizeRequestID(r.Header.Get("X-Request-Id"))
 	if id == "" {
@@ -190,7 +301,38 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Link", `</v1/`+rest+`>; rel="successor-version"`)
 	}
 	ctx := context.WithValue(r.Context(), requestIDKey{}, id)
-	s.mux.ServeHTTP(w, r.WithContext(ctx))
+	r = r.WithContext(ctx)
+	rw := &trackingWriter{ResponseWriter: w}
+	defer func() {
+		p := recover()
+		if p == nil || p == http.ErrAbortHandler {
+			return
+		}
+		s.cfg.logf()("server: panic serving %s %s (request %s): %v\n%s",
+			r.Method, r.URL.Path, id, p, debug.Stack())
+		if !rw.wrote {
+			writeError(rw, r, http.StatusInternalServerError, CodeInternal, "",
+				"internal server error (request "+id+")")
+		}
+	}()
+	s.mux.ServeHTTP(rw, r)
+}
+
+// trackingWriter records whether the response has started, so the panic
+// recovery knows if a 500 envelope can still be sent.
+type trackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *trackingWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *trackingWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 type requestIDKey struct{}
@@ -365,25 +507,35 @@ func writeError(w http.ResponseWriter, r *http.Request, status int, code, field,
 	writeJSON(w, status, ErrorJSON{Error: msg, Code: code, Field: field, RequestID: requestID(r)})
 }
 
-// handleHealth reports the published snapshot's epochs, the writer queue
-// depth and the worker-pool size, so operators can see publication lag at a
-// glance: a growing writerQueue with a stalled snapshotSeq means the writer
-// is behind.
+// handleHealth reports the node's role in the replication topology, a
+// top-level status verdict, and the published snapshot's epochs, writer
+// queue depth and worker-pool size, so operators can see publication lag at
+// a glance: a growing writerQueue with a stalled snapshotSeq means the
+// writer is behind.
+//
+// status is "ok", "readonly" or "degraded" (degraded wins over readonly):
+// readonly means reads work but writes are refused — a healthy replica, a
+// fenced ex-leader, or a leader whose WAL latched ErrPersist; degraded means
+// something needs attention — a checkpoint error, a replica that is
+// unsynced, disconnected, or beyond the staleness bound.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	snap := s.eng.Current()
+	readonly, degraded := false, false
 	health := map[string]any{
-		"status":        "ok",
-		"dataset":       s.name,
-		"apiVersions":   []string{"v1"},
-		"vertices":      snap.Graph().NumVertices(),
-		"edges":         snap.Edges(),
-		"topoEpoch":     snap.TopoEpoch(),
-		"locEpoch":      snap.LocEpoch(),
-		"snapshotSeq":   snap.Seq(),
-		"writerQueue":   s.eng.QueueDepth(),
-		"eventsApplied": s.eng.Applied(),
-		"poolClones":    s.eng.PoolClones(),
-		"durable":       s.st != nil,
+		"dataset":     s.name,
+		"apiVersions": []string{"v1"},
+		"role":        s.role(),
+		"durable":     s.st != nil,
+	}
+	if eng := s.engine(); eng != nil {
+		snap := eng.Current()
+		health["vertices"] = snap.Graph().NumVertices()
+		health["edges"] = snap.Edges()
+		health["topoEpoch"] = snap.TopoEpoch()
+		health["locEpoch"] = snap.LocEpoch()
+		health["snapshotSeq"] = snap.Seq()
+		health["writerQueue"] = eng.QueueDepth()
+		health["eventsApplied"] = eng.Applied()
+		health["poolClones"] = eng.PoolClones()
 	}
 	if s.st != nil {
 		// Durability at a glance: a growing walSegments with a stalled
@@ -395,11 +547,53 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		health["walLastSeq"] = ds.WalLastSeq
 		health["lastCheckpointSeq"] = ds.LastCheckpointSeq
 		health["fsyncPolicy"] = ds.FsyncPolicy
+		health["epoch"] = ds.Epoch
+		if ds.FencedBy != 0 {
+			health["fencedBy"] = ds.FencedBy
+		}
 		if ds.CheckpointError != "" {
 			health["checkpointError"] = ds.CheckpointError
+			degraded = true
 		}
+		// A fenced or persist-latched leader still answers reads from its
+		// published snapshots; only its write path is gone.
+		readonly = s.st.Fenced() || s.eng.PersistFailed()
+	}
+	if s.rep != nil {
+		rs := s.rep.Status()
+		health["replication"] = rs
+		health["epoch"] = rs.LeaderEpoch
+		readonly = true // a replica never accepts writes
+		bound := s.cfg.stalenessBound()
+		degraded = !rs.Synced || !rs.Connected ||
+			(bound > 0 && rs.LagSeconds > bound.Seconds())
+	}
+	switch {
+	case degraded:
+		health["status"] = "degraded"
+	case readonly:
+		health["status"] = "readonly"
+	default:
+		health["status"] = "ok"
 	}
 	writeJSON(w, http.StatusOK, health)
+}
+
+// handleReady is the orchestration probe: 200 once this node can serve
+// reads, 503 before that. A leader is ready as soon as it is constructed
+// (store recovery completed in Open, before any listener existed); a
+// replica is ready once its initial state transfer lands. Health stays 200
+// throughout — readiness gates traffic, health describes it.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.rep != nil {
+		if rs := s.rep.Status(); !rs.Synced {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, r, http.StatusServiceUnavailable, CodeNotReady, "",
+				"replica has not completed its initial sync")
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true, "role": s.role()})
 }
 
 // handleAlgorithms serves the algorithm registry verbatim: names, aliases,
@@ -411,7 +605,11 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
-	snap := s.eng.Current()
+	eng, ok := s.readEngine(w, r)
+	if !ok {
+		return
+	}
+	snap := eng.Current()
 	g := snap.Graph()
 	// A malformed id is the caller's syntax error (400); a well-formed id
 	// naming no vertex is a lookup miss (404). Conflating them (as the
@@ -484,12 +682,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
+	eng, ok := s.readEngine(w, r)
+	if !ok {
+		return
+	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	// Pin the current snapshot and dispatch through the unified Search
 	// entry point on a pooled worker rebound to it — registry-validated,
 	// no locks anywhere on this path.
-	snap := s.eng.Current()
+	snap := eng.Current()
 	searcher := snap.Get()
 	defer snap.Put(searcher)
 	res, err := searcher.Search(ctx, req.toQuery())
@@ -528,7 +730,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// The whole batch runs pinned to one snapshot: the Snap is the worker
 	// source, so every worker is rebound to the same published state and the
 	// batch deadline cancels stragglers mid-algorithm.
-	snap := s.eng.Current()
+	eng, ok := s.readEngine(w, r)
+	if !ok {
+		return
+	}
+	snap := eng.Current()
 	// The structure assertion is also batch-level, not per-item: an unknown
 	// name or a metric the server does not serve fails the whole request
 	// with the same 400 a single query gets, instead of a 200 whose every
@@ -593,11 +799,47 @@ func (s *Server) writeWriteError(w http.ResponseWriter, r *http.Request, err err
 		// The WAL refused the write; the engine is read-only until the
 		// operator intervenes. 503, not 422 — the request was fine.
 		status, code = http.StatusServiceUnavailable, CodeUnavailable
+	case errors.Is(err, store.ErrFenced):
+		// A newer leader epoch exists; this node must never accept another
+		// write. 503 read_only so a failover-aware client retries the write
+		// against the rest of its endpoint set and finds the new leader.
+		status, code = http.StatusServiceUnavailable, CodeReadOnly
 	}
 	writeError(w, r, status, code, "", err.Error())
 }
 
+// admitWrite rejects mutations on a replica before any decoding happens.
+// Reports whether the write may proceed; on false the 503 is written.
+func (s *Server) admitWrite(w http.ResponseWriter, r *http.Request) bool {
+	if s.rep == nil {
+		return true
+	}
+	writeError(w, r, http.StatusServiceUnavailable, CodeReadOnly, "",
+		"replica is read-only; send writes to the leader")
+	return false
+}
+
+// checkIn routes a check-in through the store when one exists — the fencing
+// gate lives there — and straight to the engine otherwise.
+func (s *Server) checkIn(ctx context.Context, v graph.V, p geom.Point) error {
+	if s.st != nil {
+		return s.st.CheckIn(ctx, v, p)
+	}
+	return s.eng.CheckIn(ctx, v, p)
+}
+
+// updateEdge is checkIn's counterpart for topology mutations.
+func (s *Server) updateEdge(ctx context.Context, u, v graph.V, insert bool) (bool, error) {
+	if s.st != nil {
+		return s.st.UpdateEdge(ctx, u, v, insert)
+	}
+	return s.eng.UpdateEdge(ctx, u, v, insert)
+}
+
 func (s *Server) handleCheckin(w http.ResponseWriter, r *http.Request) {
+	if !s.admitWrite(w, r) {
+		return
+	}
 	var req CheckinRequest
 	if !s.decodeJSON(w, r, &req) {
 		return
@@ -617,7 +859,7 @@ func (s *Server) handleCheckin(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	if err := s.eng.CheckIn(ctx, req.V, geom.Point{X: req.X, Y: req.Y}); err != nil {
+	if err := s.checkIn(ctx, req.V, geom.Point{X: req.X, Y: req.Y}); err != nil {
 		s.writeWriteError(w, r, err)
 		return
 	}
@@ -629,6 +871,9 @@ func (s *Server) handleCheckin(w http.ResponseWriter, r *http.Request) {
 // snapshot containing the change before this handler responds; queries
 // pinned to older snapshots keep serving the pre-change state.
 func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
+	if !s.admitWrite(w, r) {
+		return
+	}
 	var req EdgeRequest
 	if !s.decodeJSON(w, r, &req) {
 		return
@@ -658,7 +903,7 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	changed, err := s.eng.UpdateEdge(ctx, req.U, req.V, insert)
+	changed, err := s.updateEdge(ctx, req.U, req.V, insert)
 	if err != nil {
 		s.writeWriteError(w, r, err)
 		return

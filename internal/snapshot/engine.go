@@ -133,6 +133,9 @@ type Engine struct {
 	persist    func([]AppliedEvent) (uint64, error)
 	walSeq     uint64
 	persistErr error
+	// persistFail mirrors persistErr != nil for readers outside the writer
+	// goroutine (health reporting), which may not touch persistErr itself.
+	persistFail atomic.Bool
 
 	published atomic.Uint64 // snapshots published (== latest Snap.Seq)
 	applied   atomic.Uint64 // events applied
@@ -199,6 +202,11 @@ func (e *Engine) Applied() uint64 { return e.applied.Load() }
 // PoolClones returns the number of searcher workers ever created to serve
 // queries — the peak-concurrency signal /api/health reports.
 func (e *Engine) PoolClones() int64 { return e.pool.Created() }
+
+// PersistFailed reports whether the ErrPersist latch has tripped: the engine
+// is read-only and every further write fails. Health reporting downgrades
+// the node's status on this signal.
+func (e *Engine) PersistFailed() bool { return e.persistFail.Load() }
 
 // NumVertices returns the (immutable) vertex count.
 func (e *Engine) NumVertices() int { return e.g.NumVertices() }
@@ -334,6 +342,7 @@ func (e *Engine) writer(batchMax int) {
 				seq, err := e.persist(applied)
 				if err != nil {
 					e.persistErr = fmt.Errorf("%w, engine is read-only: %w", ErrPersist, err)
+					e.persistFail.Store(true)
 					for i := range results {
 						results[i] = result{err: e.persistErr}
 					}

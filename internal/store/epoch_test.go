@@ -1,0 +1,110 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"sacsearch/internal/geom"
+	"sacsearch/internal/graph"
+)
+
+func openTestStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	st, err := Open(dir, Options{Init: testGraph(), CheckpointInterval: -1})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return st
+}
+
+func TestEpochStartsAtOneAndWritesFlow(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	defer st.Close()
+	if st.Epoch() != 1 || st.Fenced() || st.FencedBy() != 0 {
+		t.Fatalf("fresh store: epoch=%d fenced=%v by=%d", st.Epoch(), st.Fenced(), st.FencedBy())
+	}
+	if err := st.CheckIn(context.Background(), 0, geom.Point{X: 0.5, Y: 0.5}); err != nil {
+		t.Fatalf("unfenced check-in: %v", err)
+	}
+	s := st.Stats()
+	if s.Epoch != 1 || s.FencedBy != 0 {
+		t.Fatalf("stats epoch=%d fencedBy=%d", s.Epoch, s.FencedBy)
+	}
+}
+
+func TestFenceRejectsWritesAndSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	ctx := context.Background()
+
+	// Stale news (at or below the current epoch) is a no-op.
+	if err := st.Fence(1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Fenced() {
+		t.Fatal("fenced by its own epoch")
+	}
+
+	if err := st.Fence(5); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Fenced() || st.FencedBy() != 5 {
+		t.Fatalf("fenced=%v by=%d, want true/5", st.Fenced(), st.FencedBy())
+	}
+	if err := st.CheckIn(ctx, 0, geom.Point{X: 0.1, Y: 0.1}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("fenced check-in: err = %v, want ErrFenced", err)
+	}
+	if _, err := st.UpdateEdge(ctx, 0, graph.V(7), true); !errors.Is(err, ErrFenced) {
+		t.Fatalf("fenced edge update: err = %v, want ErrFenced", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fence is durable: a restarted deposed leader stays deposed.
+	st2 := openTestStore(t, dir)
+	defer st2.Close()
+	if !st2.Fenced() || st2.FencedBy() != 5 || st2.Epoch() != 1 {
+		t.Fatalf("reopened: fenced=%v by=%d epoch=%d", st2.Fenced(), st2.FencedBy(), st2.Epoch())
+	}
+	if err := st2.CheckIn(ctx, 0, geom.Point{X: 0.2, Y: 0.2}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("reopened fenced check-in: err = %v, want ErrFenced", err)
+	}
+}
+
+func TestBumpEpochClearsFenceAndOutranksFencer(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	ctx := context.Background()
+	if err := st.Fence(5); err != nil {
+		t.Fatal(err)
+	}
+	next, err := st.BumpEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Promotion must outrank the epoch that fenced us, not just our own.
+	if next != 6 || st.Fenced() || st.FencedBy() != 0 {
+		t.Fatalf("after bump: epoch=%d fenced=%v by=%d, want 6/false/0", next, st.Fenced(), st.FencedBy())
+	}
+	if err := st.CheckIn(ctx, 0, geom.Point{X: 0.3, Y: 0.3}); err != nil {
+		t.Fatalf("post-promotion check-in: %v", err)
+	}
+	// An echo of the old fencer is now stale and ignored.
+	if err := st.Fence(5); err != nil {
+		t.Fatal(err)
+	}
+	if st.Fenced() {
+		t.Fatal("re-fenced by a stale epoch")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openTestStore(t, dir)
+	defer st2.Close()
+	if st2.Epoch() != 6 || st2.Fenced() {
+		t.Fatalf("reopened: epoch=%d fenced=%v, want 6/false", st2.Epoch(), st2.Fenced())
+	}
+}

@@ -111,6 +111,10 @@ type Stats struct {
 	// CheckpointError surfaces the last background checkpoint failure (""
 	// when healthy): the store keeps serving, but the WAL stops shrinking.
 	CheckpointError string `json:"checkpointError,omitempty"`
+	// Epoch is the store's leadership epoch; FencedBy is the foreign epoch
+	// that fenced it (0 = accepting writes).
+	Epoch    uint64 `json:"epoch"`
+	FencedBy uint64 `json:"fencedBy,omitempty"`
 }
 
 // Store is a durable snapshot engine. All methods are safe for concurrent
@@ -130,6 +134,13 @@ type Store struct {
 	lastCkptErr error
 	lastCkpt    atomic.Uint64
 	sinceCkpt   atomic.Uint64
+
+	// epochMu guards the persisted fencing state; fenced mirrors
+	// "fencedBy > 0" for the lock-free write-path check.
+	epochMu  sync.Mutex
+	epoch    uint64
+	fencedBy uint64
+	fenced   atomic.Bool
 
 	kick        chan struct{}
 	stop        chan struct{}
@@ -163,6 +174,19 @@ func Open(dataDir string, opt Options) (*Store, error) {
 		return nil, fmt.Errorf("store: creating data dir: %w", err)
 	}
 	removeStaleTemp(dataDir)
+
+	epoch, fencedBy, epochFound, err := loadEpochFile(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	if !epochFound {
+		// First boot (or a data dir from before fencing existed): epoch 1,
+		// unfenced, persisted before any write is accepted.
+		epoch = 1
+		if err := writeEpochFile(dataDir, epoch, 0); err != nil {
+			return nil, err
+		}
+	}
 
 	g, ckptSeq, found, err := recoverCheckpoint(dataDir)
 	if err != nil {
@@ -210,6 +234,9 @@ func Open(dataDir string, opt Options) (*Store, error) {
 	}
 	st.lastCkpt.Store(ckptSeq)
 	st.sinceCkpt.Store(log.LastSeq() - ckptSeq)
+	st.epoch = epoch
+	st.fencedBy = fencedBy
+	st.fenced.Store(fencedBy > 0)
 
 	if !found {
 		// First boot: persist the base state before serving, so every later
@@ -299,16 +326,31 @@ func (s *Store) Engine() *snapshot.Engine { return s.eng }
 func (s *Store) Current() *snapshot.Snap { return s.eng.Current() }
 
 // CheckIn forwards to the engine; when it returns, the write is published
-// and logged (and, under FsyncAlways, on disk).
+// and logged (and, under FsyncAlways, on disk). A fenced store rejects the
+// write before it reaches the engine.
 func (s *Store) CheckIn(ctx context.Context, v graph.V, p geom.Point) error {
+	if s.fenced.Load() {
+		return ErrFenced
+	}
 	return s.eng.CheckIn(ctx, v, p)
 }
 
-// UpdateEdge forwards to the engine with the same durability guarantee as
-// CheckIn.
+// UpdateEdge forwards to the engine with the same durability and fencing
+// guarantees as CheckIn.
 func (s *Store) UpdateEdge(ctx context.Context, u, v graph.V, insert bool) (bool, error) {
+	if s.fenced.Load() {
+		return false, ErrFenced
+	}
 	return s.eng.UpdateEdge(ctx, u, v, insert)
 }
+
+// Dir returns the data directory the store owns; the replication shipper
+// opens its WAL cursors there.
+func (s *Store) Dir() string { return s.dir }
+
+// WalLastSeq returns the newest logged record's sequence — the leader's
+// replication high-water mark.
+func (s *Store) WalLastSeq() uint64 { return s.log.LastSeq() }
 
 // Stats reports the durability status.
 func (s *Store) Stats() Stats {
@@ -327,6 +369,10 @@ func (s *Store) Stats() Stats {
 		st.CheckpointError = s.lastCkptErr.Error()
 	}
 	s.ckptMu.Unlock()
+	s.epochMu.Lock()
+	st.Epoch = s.epoch
+	st.FencedBy = s.fencedBy
+	s.epochMu.Unlock()
 	return st
 }
 

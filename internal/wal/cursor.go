@@ -1,0 +1,225 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrGap reports that a cursor's next record is no longer in the log: the
+// segment holding it was truncated away (checkpoint-covered) or removed
+// under an in-progress read. The reader cannot continue from its position —
+// it must restart from a snapshot, never skip silently.
+var ErrGap = errors.New("wal: history gap")
+
+// Cursor tails a live log directory: it streams records in sequence order,
+// tolerating concurrent appends to the active segment (a partial frame at
+// the tail is an in-progress write, retried on the next call) and following
+// segment rotations. Unlike Replay it may run while the owning Log appends;
+// it reads only CRC-valid complete frames, so it can never observe a torn
+// batch as data. A Cursor is not safe for concurrent use.
+//
+// The replication shipper is the intended caller: one cursor per follower,
+// polled for new records since the follower's acknowledged sequence.
+type Cursor struct {
+	dir    string
+	f      *os.File
+	first  uint64 // current segment's first sequence
+	off    int64  // byte offset past the last complete frame
+	expect uint64 // next sequence the current segment's chain must produce
+	emit   uint64 // next sequence to deliver to the caller
+	buf    []byte
+}
+
+// maxCursorRead bounds one Next call's read so a huge backlog streams in
+// chunks instead of one giant allocation.
+const maxCursorRead = 1 << 20
+
+// OpenCursor positions a cursor to stream records with Seq > afterSeq from
+// dir. It fails with ErrGap when the log no longer holds afterSeq+1 (the
+// segments covering it were truncated) — the caller must fall back to a full
+// snapshot rather than resume past a hole.
+func OpenCursor(dir string, afterSeq uint64) (*Cursor, error) {
+	c := &Cursor{dir: dir, emit: afterSeq + 1}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		// Nothing written yet; the first Next call finds the segment once it
+		// exists. Valid only when no history is being skipped.
+		if afterSeq > 0 {
+			return nil, fmt.Errorf("%w: log is empty, cursor wants seq %d", ErrGap, afterSeq+1)
+		}
+		return c, nil
+	}
+	// The segment holding emit is the last one starting at or before it; a
+	// fresh rotation may also name the active segment exactly emit.
+	idx := -1
+	for i, s := range segs {
+		if s.first <= c.emit {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("%w: log starts at seq %d, cursor wants %d", ErrGap, segs[0].first, c.emit)
+	}
+	if err := c.open(segs[idx]); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// open switches the cursor to segment s, validating its magic.
+func (c *Cursor) open(s segment) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: segment %s vanished", ErrGap, s.path)
+		}
+		return fmt.Errorf("wal: cursor opening %s: %w", s.path, err)
+	}
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || magic != segMagic {
+		f.Close()
+		return fmt.Errorf("wal: cursor: %s: bad segment magic", s.path)
+	}
+	if c.f != nil {
+		c.f.Close()
+	}
+	c.f = f
+	c.first = s.first
+	c.off = int64(len(segMagic))
+	c.expect = s.first
+	return nil
+}
+
+// Next returns up to max records past the cursor's position, without
+// blocking: an empty result means the cursor is caught up with the log (or a
+// tail append is still in flight). Errors are permanent: ErrGap when needed
+// history was truncated away, anything else is corruption.
+func (c *Cursor) Next(max int) ([]Record, error) {
+	var out []Record
+	for {
+		if c.f == nil {
+			segs, err := listSegments(c.dir)
+			if err != nil || len(segs) == 0 {
+				return out, err
+			}
+			if segs[0].first > c.emit {
+				return out, fmt.Errorf("%w: log starts at seq %d, cursor wants %d", ErrGap, segs[0].first, c.emit)
+			}
+			if err := c.open(segs[0]); err != nil {
+				return out, err
+			}
+		}
+		fi, err := c.f.Stat()
+		if err != nil {
+			return out, fmt.Errorf("wal: cursor stat: %w", err)
+		}
+		leftover := 0
+		if fi.Size() > c.off {
+			need := fi.Size() - c.off
+			capped := need > maxCursorRead
+			if capped {
+				need = maxCursorRead
+			}
+			if int64(cap(c.buf)) < need {
+				c.buf = make([]byte, need)
+			}
+			rn, err := c.f.ReadAt(c.buf[:need], c.off)
+			if err != nil && err != io.EOF {
+				return out, fmt.Errorf("wal: cursor read: %w", err)
+			}
+			data := c.buf[:rn]
+			pos := 0
+			for pos < len(data) {
+				fn, rec, ok := DecodeFrame(data[pos:])
+				if !ok {
+					break
+				}
+				if rec.Seq != c.expect {
+					return out, fmt.Errorf("wal: cursor: %s: record seq %d, want %d", c.f.Name(), rec.Seq, c.expect)
+				}
+				c.expect++
+				pos += fn
+				c.off += int64(fn)
+				if rec.Seq >= c.emit {
+					out = append(out, rec)
+					c.emit = rec.Seq + 1
+					if len(out) >= max {
+						return out, nil
+					}
+				}
+			}
+			leftover = len(data) - pos
+			if capped {
+				// More bytes exist past this chunk. A frame is at most a few
+				// dozen bytes, so an unparseable full-size chunk is corruption,
+				// not a torn tail; otherwise re-read from the new offset.
+				if pos == 0 {
+					return out, fmt.Errorf("wal: cursor: corrupt record in segment %s at byte %d", segName(c.first), c.off)
+				}
+				continue
+			}
+		}
+		// Nothing more parses here: either caught up on the active segment,
+		// or the segment is sealed and the chain continues in its successor.
+		advanced, err := c.advance(leftover)
+		if err != nil {
+			return out, err
+		}
+		if !advanced {
+			return out, nil
+		}
+	}
+}
+
+// advance moves to the successor segment when the current one is sealed and
+// fully consumed. leftover is the count of unparseable bytes at the current
+// read position: on the active (last) segment that is an in-progress append;
+// on a sealed segment it is corruption.
+func (c *Cursor) advance(leftover int) (bool, error) {
+	segs, err := listSegments(c.dir)
+	if err != nil {
+		return false, err
+	}
+	present := false
+	var succ *segment
+	for i := range segs {
+		if segs[i].first == c.first {
+			present = true
+		}
+		if segs[i].first > c.first && (succ == nil || segs[i].first < succ.first) {
+			succ = &segs[i]
+		}
+	}
+	if !present {
+		return false, fmt.Errorf("%w: segment %s removed under cursor at seq %d", ErrGap, segName(c.first), c.expect)
+	}
+	if succ == nil {
+		return false, nil // active segment: wait for more appends
+	}
+	if leftover > 0 {
+		return false, fmt.Errorf("wal: cursor: corrupt record in sealed segment %s at byte %d", segName(c.first), c.off)
+	}
+	if succ.first != c.expect {
+		return false, fmt.Errorf("wal: cursor: segment after %s starts at seq %d, want %d", segName(c.first), succ.first, c.expect)
+	}
+	return true, c.open(*succ)
+}
+
+// Pos returns the sequence of the last record delivered (the next Next call
+// continues after it).
+func (c *Cursor) Pos() uint64 { return c.emit - 1 }
+
+// Close releases the cursor's file handle.
+func (c *Cursor) Close() error {
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Close()
+	c.f = nil
+	return err
+}

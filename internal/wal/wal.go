@@ -623,6 +623,24 @@ func allZero(b []byte) bool {
 	return true
 }
 
+// EncodeFrame appends one record's wire frame — length, CRC-32, payload,
+// exactly the bytes a segment file stores — to buf. The replication shipper
+// reuses it so followers ingest the same CRC-framed, gap-checked format
+// recovery validates.
+func EncodeFrame(buf []byte, r *Record) []byte { return appendFrame(buf, r) }
+
+// DecodeFrame parses one frame at the start of data, returning the bytes
+// consumed. ok=false on short data, a bad length field, a CRC mismatch or an
+// undecodable payload — the caller decides whether that is a torn tail to
+// wait out or corruption to reject.
+func DecodeFrame(data []byte) (n int, r Record, ok bool) {
+	next, rec, ok := nextFrame(data, 0)
+	if !ok {
+		return 0, rec, false
+	}
+	return int(next), rec, true
+}
+
 // appendFrame encodes one record (Seq already assigned) onto buf.
 func appendFrame(buf []byte, r *Record) []byte {
 	var payload [maxPayloadLen]byte

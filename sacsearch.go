@@ -27,7 +27,10 @@
 // OpenStore wraps the engine with a write-ahead log, checkpoints and crash
 // recovery (write-visible implies logged; with FsyncAlways, on disk), and
 // SaveGraph/LoadGraph persist built graphs in the checksummed binary
-// format.
+// format. Serving survives node loss too: NewReplicaShipper streams a
+// store's WAL to ReplicaFollower nodes that serve read-only replicas of the
+// state, with fencing epochs (FenceLeader, ErrFenced) guaranteeing a
+// deposed leader cannot fork history.
 //
 // # Quick start
 //
@@ -67,6 +70,8 @@ package sacsearch
 import (
 	"context"
 	"io"
+	"net"
+	"time"
 
 	"sacsearch/internal/batch"
 	"sacsearch/internal/community"
@@ -77,6 +82,7 @@ import (
 	"sacsearch/internal/geom"
 	"sacsearch/internal/graph"
 	"sacsearch/internal/metrics"
+	"sacsearch/internal/replica"
 	"sacsearch/internal/snapshot"
 	"sacsearch/internal/store"
 )
@@ -266,6 +272,56 @@ const (
 func OpenStore(dataDir string, opt StoreOptions) (*Store, error) {
 	return store.Open(dataDir, opt)
 }
+
+// Replication & failover (`sacserver -listen-replication` /
+// `-replicate-from` run on these). A ReplicaShipper streams a durable
+// Store's WAL — snapshot bootstrap plus CRC-verified live tail — to
+// followers; a ReplicaFollower applies that stream onto its own serving
+// engine and reconnects with jittered backoff, resuming from its last
+// applied sequence or re-syncing via snapshot when the leader's history
+// moved on. Fencing epochs (Store.Epoch, Store.Fence, Store.BumpEpoch,
+// FenceLeader) guarantee a deposed leader's writes are rejected (ErrFenced)
+// instead of forking history.
+type (
+	// ReplicaShipper is the leader side: it serves the replication protocol
+	// on a listener, one WAL cursor per follower.
+	ReplicaShipper = replica.Shipper
+	// ReplicaShipperOptions tunes heartbeat cadence, tail polling and batch
+	// size; the zero value serves defaults.
+	ReplicaShipperOptions = replica.ShipperOptions
+	// ReplicaFollower is the follower side: replicated read-only state plus
+	// the replication session management.
+	ReplicaFollower = replica.Follower
+	// ReplicaFollowerOptions configures a follower; Leader is required.
+	ReplicaFollowerOptions = replica.FollowerOptions
+	// ReplicaStatus is a follower's point-in-time replication state: sync
+	// and connection flags, applied/leader sequences, epochs, lag.
+	ReplicaStatus = replica.FollowerStatus
+)
+
+// NewReplicaShipper starts shipping st's WAL to followers connecting on ln
+// (owned by the shipper from then on). Release with Close.
+func NewReplicaShipper(st *Store, ln net.Listener, opt ReplicaShipperOptions) *ReplicaShipper {
+	return replica.NewShipper(st, ln, opt)
+}
+
+// NewReplicaFollower starts replicating from opt.Leader. The follower
+// serves no state until its first sync completes (Engine returns nil before
+// then); Close stops replication but leaves the last synced state readable.
+func NewReplicaFollower(opt ReplicaFollowerOptions) (*ReplicaFollower, error) {
+	return replica.NewFollower(opt)
+}
+
+// FenceLeader tells the leader at addr (its replication address) that epoch
+// exists, fencing it if that outranks its own epoch — the operator-facing
+// half of follower promotion. Returns the leader's reported epoch.
+func FenceLeader(addr string, epoch uint64, timeout time.Duration) (uint64, error) {
+	return replica.FenceLeader(addr, epoch, timeout)
+}
+
+// ErrFenced reports a write rejected because a newer leader epoch fenced
+// this store.
+var ErrFenced = store.ErrFenced
 
 // Batch processing (Section 6 future work: answering many SAC queries at
 // once with a shared decomposition and parallel workers).

@@ -41,6 +41,7 @@ func TestReadmeMatchesRegistry(t *testing.T) {
 	for _, route := range []string{
 		"/v1/health", "/v1/ready", "/v1/algorithms", "/v1/vertex/{id}",
 		"/v1/query", "/v1/batch", "/v1/checkin", "/v1/edge",
+		"/v1/shard/info", "/v1/shard/search", "/v1/shard/expand", "/v1/shard/range",
 	} {
 		if !strings.Contains(section, route) {
 			t.Errorf("API v1 section does not document route %s", route)
@@ -55,6 +56,7 @@ func TestReadmeMatchesRegistry(t *testing.T) {
 		"unknown_vertex", "no_community", "deadline_exceeded",
 		"unavailable", "query_failed", // server codes
 		"read_only", "stale_read", "not_ready", "internal", // replication + recovery codes
+		"wrong_shard", "shard_unavailable", // sharded-topology codes
 	}
 	for _, code := range codes {
 		if !strings.Contains(section, code) {

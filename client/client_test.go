@@ -449,3 +449,78 @@ func TestSetReadFailoverOnTransportError(t *testing.T) {
 		}
 	}
 }
+
+// TestSetSkipsKnownReadOnlyEndpoints pins the read_only memory: once an
+// endpoint has answered a write with read_only, later writes must not burn
+// a first-pass request on it — but it must still be probed as a last
+// resort, which is how a promotion is discovered.
+func TestSetSkipsKnownReadOnlyEndpoints(t *testing.T) {
+	g := testGraph()
+	var aWrites, bWrites atomic.Int32
+	var bPromoted atomic.Bool
+
+	readOnlyJSON := []byte(`{"error":"replica is read-only","code":"read_only"}`)
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		aWrites.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write(readOnlyJSON)
+	}))
+	t.Cleanup(a.Close)
+
+	leader := server.New("leader", g)
+	t.Cleanup(leader.Close)
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !bPromoted.Load() {
+			bWrites.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write(readOnlyJSON)
+			return
+		}
+		bWrites.Add(1)
+		leader.ServeHTTP(w, r)
+	}))
+	t.Cleanup(b.Close)
+
+	set, err := client.NewSet([]string{a.URL, b.URL},
+		client.WithRetries(0), client.WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// No writable endpoint anywhere: the write fails after probing each
+	// endpoint exactly once, and both get flagged.
+	if err := set.CheckIn(ctx, 1, 0.5, 0.5); err == nil {
+		t.Fatal("write with no leader succeeded")
+	} else {
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.Code != "read_only" {
+			t.Fatalf("want the read_only verdict, got %v", err)
+		}
+	}
+	if aWrites.Load() != 1 || bWrites.Load() != 1 {
+		t.Fatalf("first write probed a=%d b=%d times, want 1 each", aWrites.Load(), bWrites.Load())
+	}
+
+	// B is promoted. The next write discovers it on the fallback pass —
+	// each flagged endpoint is still probed at most once.
+	bPromoted.Store(true)
+	if err := set.CheckIn(ctx, 1, 0.25, 0.75); err != nil {
+		t.Fatalf("write after promotion: %v", err)
+	}
+	if aWrites.Load() > 2 {
+		t.Fatalf("flagged endpoint a probed %d times across two writes, want <= 2", aWrites.Load())
+	}
+
+	// B's success cleared its flag and made it the sticky writer: this
+	// write must go straight there, with no request to a at all.
+	aBefore := aWrites.Load()
+	if err := set.CheckIn(ctx, 1, 0.1, 0.9); err != nil {
+		t.Fatalf("write to promoted leader: %v", err)
+	}
+	if aWrites.Load() != aBefore {
+		t.Fatalf("known-read-only endpoint was re-probed after a healthy write (a=%d, was %d)", aWrites.Load(), aBefore)
+	}
+}

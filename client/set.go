@@ -14,11 +14,19 @@ import (
 // extra hop, not an error); writes start at the endpoint that last accepted
 // one and fail over the same way, so after a leader promotion the first
 // write walks the set once, finds the new leader, and subsequent writes go
-// straight there. A Set is safe for concurrent use.
+// straight there.
+//
+// An endpoint that answers a write with the read_only code is remembered as
+// a replica: later writes skip it on the first pass instead of burning a
+// request (and the endpoint's own retry budget) on a node that is known to
+// refuse. Flagged endpoints are still probed on a second pass when no other
+// endpoint accepts — that is how a promotion is discovered — and still serve
+// reads as usual. A Set is safe for concurrent use.
 type Set struct {
-	clients []*Client
-	next    atomic.Uint64 // read round-robin cursor
-	writer  atomic.Int64  // index of the endpoint that last accepted a write
+	clients  []*Client
+	next     atomic.Uint64 // read round-robin cursor
+	writer   atomic.Int64  // index of the endpoint that last accepted a write
+	readOnly []atomic.Bool // endpoints whose last write answer was read_only
 }
 
 // NewSet creates a Set over the given base URLs. Order matters only as the
@@ -28,7 +36,10 @@ func NewSet(baseURLs []string, opts ...Option) (*Set, error) {
 	if len(baseURLs) == 0 {
 		return nil, errors.New("sac client: a Set needs at least one endpoint")
 	}
-	s := &Set{clients: make([]*Client, len(baseURLs))}
+	s := &Set{
+		clients:  make([]*Client, len(baseURLs)),
+		readOnly: make([]atomic.Bool, len(baseURLs)),
+	}
 	for i, u := range baseURLs {
 		cl, err := New(u, opts...)
 		if err != nil {
@@ -74,19 +85,57 @@ func (s *Set) read(call func(*Client) error) error {
 	return fmt.Errorf("sac client: all %d endpoints failed: %w", len(s.clients), lastErr)
 }
 
+// isReadOnly reports whether err is a server refusal to write because the
+// node is a replica (or a demoted leader) — a durable property of the
+// endpoint, unlike the transient conditions failoverWorthy covers.
+func isReadOnly(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.Code == "read_only"
+}
+
 // write runs call against endpoints starting at the last known writer,
-// remembering whichever endpoint accepts.
+// remembering whichever endpoint accepts. Pass one skips endpoints flagged
+// read-only by an earlier write; pass two probes exactly those, so a
+// just-promoted leader is found even when every endpoint was flagged.
 func (s *Set) write(call func(*Client) error) error {
 	start := int(s.writer.Load()) % len(s.clients)
 	var lastErr error
-	for i := 0; i < len(s.clients); i++ {
-		idx := (start + i) % len(s.clients)
-		err := call(s.clients[idx])
+	tried := make([]bool, len(s.clients))
+	attempt := func(idx int) (done bool, err error) {
+		tried[idx] = true
+		err = call(s.clients[idx])
 		if err == nil {
+			s.readOnly[idx].Store(false)
 			s.writer.Store(int64(idx))
-			return nil
+			return true, nil
+		}
+		if isReadOnly(err) {
+			s.readOnly[idx].Store(true)
+			return false, err
 		}
 		if !failoverWorthy(err) {
+			return true, err
+		}
+		return false, err
+	}
+	for i := 0; i < len(s.clients); i++ {
+		idx := (start + i) % len(s.clients)
+		if s.readOnly[idx].Load() {
+			continue
+		}
+		done, err := attempt(idx)
+		if done {
+			return err
+		}
+		lastErr = err
+	}
+	for i := 0; i < len(s.clients); i++ {
+		idx := (start + i) % len(s.clients)
+		if tried[idx] {
+			continue
+		}
+		done, err := attempt(idx)
+		if done {
 			return err
 		}
 		lastErr = err

@@ -38,6 +38,16 @@
 // makes a recovering durable leader outrank whoever fenced it (the
 // promotion step); -fence makes a deposed leader reject writes.
 //
+// Sharding (see the README's "Sharded topology" section): -shard-id and
+// -shard-map make this node one shard of a spatially partitioned topology.
+// Serve the matching shard subgraph cut by sacshard (-load shard-N.bin),
+// put sacrouter in front, and combine freely with -data-dir,
+// -listen-replication or -replicate-from — a shard runs the full durable
+// replication stack unchanged:
+//
+//	sacshard -dataset brightkite -shards 2 -out /var/lib/sac/cut
+//	sacserver -load /var/lib/sac/cut/shard-0.bin -shard-id 0 -shard-map /var/lib/sac/cut/shardmap.bin
+//
 // The process runs a configured http.Server (read/write/idle timeouts, not
 // the bare ListenAndServe defaults) and shuts down gracefully on SIGINT or
 // SIGTERM: the listener closes, in-flight queries drain up to the grace
@@ -64,6 +74,7 @@ import (
 	"sacsearch/internal/graph"
 	"sacsearch/internal/replica"
 	"sacsearch/internal/server"
+	"sacsearch/internal/shard"
 	"sacsearch/internal/store"
 )
 
@@ -85,6 +96,9 @@ func main() {
 		bumpEpoch  = flag.Bool("bump-epoch", false, "bump the fencing epoch at boot, outranking whoever fenced this store (promotion; requires -data-dir)")
 		fence      = flag.String("fence", "", "fence the leader at this replication address so it rejects writes, then exit")
 		fenceEpoch = flag.Uint64("fence-epoch", 0, "epoch to fence with (0 = probe the leader and use its epoch + 1)")
+
+		shardID  = flag.Int("shard-id", -1, "serve as this shard of a partitioned topology (requires -shard-map)")
+		shardMap = flag.String("shard-map", "", "shard-map artifact written by sacshard (requires -shard-id)")
 	)
 	flag.Parse()
 
@@ -107,6 +121,22 @@ func main() {
 
 	cfg := server.Config{QueryTimeout: *qTimeout, MaxBodyBytes: *maxBody, StalenessBound: *staleBound}
 	srvName := graphName(*load, *name)
+
+	// Shard identity applies in every mode — a leader, a durable node, or a
+	// replica of a shard leader all guard writes and serve /v1/shard/*.
+	if (*shardID >= 0) != (*shardMap != "") {
+		log.Fatal("sacserver: -shard-id and -shard-map must be set together")
+	}
+	if *shardMap != "" {
+		sv, err := loadServing(*shardMap, *shardID)
+		if err != nil {
+			log.Fatalf("sacserver: %v", err)
+		}
+		cfg.Shard = sv
+		srvName = fmt.Sprintf("%s[shard %d/%d]", srvName, sv.ID, sv.Map.Shards)
+		log.Printf("sacserver: serving shard %d of %d (%d owned vertices, map checksum %08x)",
+			sv.ID, sv.Map.Shards, sv.Map.OwnedCount(sv.ID), sv.Map.Checksum())
+	}
 
 	var api *server.Server
 	switch {
@@ -164,6 +194,7 @@ func main() {
 			}
 			sh := replica.NewShipper(st, ln, replica.ShipperOptions{})
 			defer sh.Close()
+			cfg.ShipperStatus = sh.Status
 			log.Printf("sacserver: shipping WAL on %s (epoch %d)", ln.Addr(), st.Epoch())
 		}
 		api = server.NewWithStore(srvName, st, cfg)
@@ -250,6 +281,21 @@ func runFence(addr string, epoch uint64) {
 			addr, epoch, err, leaderEpoch)
 	}
 	fmt.Printf("sacserver: leader %s fenced at epoch %d; it now rejects writes\n", addr, epoch)
+}
+
+// loadServing reads the shard-map artifact and binds this node to one of
+// its shards.
+func loadServing(path string, id int) (*shard.Serving, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := shard.ReadMap(f)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	return shard.NewServing(m, id)
 }
 
 // graphName labels the served graph without building it: the -load file's

@@ -31,13 +31,16 @@ import (
 // counts, edge-churn throughput (incremental core maintenance vs
 // re-decomposing), concurrent serving throughput (lock-coupled RWMutex
 // baseline vs snapshot-isolated readers under the same write churn, plus
-// mid-Exact cancellation latency), and durability costs (WAL group-commit
+// mid-Exact cancellation latency), durability costs (WAL group-commit
 // append throughput per fsync policy; crash-recovery time against WAL
-// length with and without checkpoint truncation) — so the performance
+// length with and without checkpoint truncation), and sharding costs
+// (direct vs routed single-shard vs routed cross-shard query latency
+// through a 2-shard scatter-gather topology) — so the performance
 // trajectory is recorded PR over PR (BENCH_1.json, BENCH_2.json with the
 // churn metric, BENCH_3.json with the serving metrics, BENCH_4.json with
-// the durability metrics). Measurements use testing.Benchmark so ns/op and
-// allocs/op match what `go test -bench` reports.
+// the durability metrics, BENCH_7.json with the sharding metrics).
+// Measurements use testing.Benchmark so ns/op and allocs/op match what
+// `go test -bench` reports.
 
 // PerfPoint is one measured configuration.
 type PerfPoint struct {
@@ -57,7 +60,7 @@ type BatchScalePoint struct {
 
 // PerfReport is the full snapshot sacbench writes as JSON.
 type PerfReport struct {
-	Schema     string  `json:"schema"` // "sacsearch-bench/4"
+	Schema     string  `json:"schema"` // "sacsearch-bench/7"
 	Dataset    string  `json:"dataset"`
 	Scale      float64 `json:"scale"`
 	Queries    int     `json:"queries"`
@@ -85,6 +88,10 @@ type PerfReport struct {
 	// Durability: WAL append throughput per fsync policy and recovery time
 	// against WAL length, with and without checkpoint truncation (BENCH_4).
 	Durability DurabilityPerf `json:"durability"`
+
+	// Sharding: direct vs routed single-shard vs routed cross-shard query
+	// latency through a real 2-shard HTTP topology (BENCH_7).
+	Sharding ShardingPerf `json:"sharding"`
 
 	ElapsedMillis int64 `json:"elapsedMillis"`
 }
@@ -176,7 +183,7 @@ func Perf(cfg Config) (*PerfReport, error) {
 		return nil, errNoQueries(name)
 	}
 	rep := &PerfReport{
-		Schema:     "sacsearch-bench/4",
+		Schema:     "sacsearch-bench/7",
 		Dataset:    name,
 		Scale:      cfg.Scale,
 		Queries:    len(queries),
@@ -304,6 +311,12 @@ func Perf(cfg Config) (*PerfReport, error) {
 		return nil, err
 	}
 	rep.Durability = durability
+
+	sharding, err := measureSharding(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Sharding = sharding
 
 	rep.ElapsedMillis = time.Since(start).Milliseconds()
 	return rep, nil

@@ -1,0 +1,205 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"sacsearch/client"
+	"sacsearch/internal/dataset"
+	"sacsearch/internal/gen"
+	"sacsearch/internal/geom"
+	"sacsearch/internal/graph"
+	"sacsearch/internal/router"
+	"sacsearch/internal/server"
+	"sacsearch/internal/shard"
+)
+
+// ShardingPerf is the BENCH_7 scatter-gather measurement: the same query
+// workload served directly by one sacserver over the whole graph, and
+// through a router fronting a 2-shard topology — split by the route the
+// router actually takes. A query the owner shard certifies is served by one
+// shard leg (the fast path); a query it cannot certify is answered by
+// gathering the candidate closure across shards and solving at the router
+// (the slow path). Every number includes the full HTTP round trip, so the
+// overheads compare like for like.
+type ShardingPerf struct {
+	Shards int `json:"shards"`
+	// SingleShardQueries is how many workload queries the owner shard
+	// certified (one-leg fast path); CrossShardQueries is how many needed
+	// cross-shard closure assembly.
+	SingleShardQueries int `json:"singleShardQueries"`
+	CrossShardQueries  int `json:"crossShardQueries"`
+	// DirectSingleShardNsPerOp is the certified bucket against a single
+	// server over the whole graph — the no-topology baseline; Routed is the
+	// same bucket through the router (router hop + one owner leg).
+	DirectSingleShardNsPerOp float64 `json:"directSingleShardNsPerOp"`
+	RoutedSingleShardNsPerOp float64 `json:"routedSingleShardNsPerOp"`
+	// DirectCrossShardNsPerOp / RoutedCrossShardNsPerOp is the uncertified
+	// bucket: direct baseline vs scatter-gather assembly plus a router-local
+	// solve.
+	DirectCrossShardNsPerOp float64 `json:"directCrossShardNsPerOp"`
+	RoutedCrossShardNsPerOp float64 `json:"routedCrossShardNsPerOp"`
+	// SingleShardOverhead = routed ÷ direct on the certified bucket — the
+	// routing tax on queries that never needed more than one shard (the
+	// acceptance bar keeps this under 2).
+	SingleShardOverhead float64 `json:"singleShardOverhead"`
+	// CrossShardOverhead = routed ÷ direct on the assembled bucket — what
+	// scattering costs relative to having the whole graph in one place.
+	CrossShardOverhead float64 `json:"crossShardOverhead"`
+}
+
+// Constellation shape. Five equal communities stacked along y with disjoint
+// bands force the count-balanced partitioner to split exactly the middle
+// one: the outer four land whole on one shard (their queries certify), the
+// middle one straddles the cut (its queries assemble). Both routing paths
+// are therefore guaranteed non-empty, whatever the seed.
+const (
+	shardClusters   = 5
+	shardClusterN   = 600
+	shardClusterDeg = 12 // average degree inside one community
+)
+
+// constellationGraph builds the sharding measurement graph: disjoint
+// social-graph communities, each placed in its own spatial disk. The
+// datasets' stand-in graphs are useless here — their k-core is one giant
+// component, so no spatial cut can certify anything and the fast path would
+// never be exercised. A geo-sharded deployment serves spatially localized
+// communities; this graph is that workload in miniature, deterministic per
+// seed.
+func constellationGraph(seed int64) *graph.Graph {
+	b := graph.NewBuilder(shardClusters * shardClusterN)
+	rnd := rand.New(rand.NewSource(seed))
+	for c := 0; c < shardClusters; c++ {
+		sub := gen.SocialGraph(shardClusterN, shardClusterN*shardClusterDeg/2, seed+int64(c)+1).Build()
+		base := c * shardClusterN
+		cy := 0.1 + 0.2*float64(c)
+		for v := 0; v < shardClusterN; v++ {
+			ang := 2 * math.Pi * rnd.Float64()
+			rr := 0.06 * math.Sqrt(rnd.Float64())
+			b.SetLoc(graph.V(base+v), geom.Point{X: 0.5 + rr*math.Cos(ang), Y: cy + rr*math.Sin(ang)})
+			for _, w := range sub.Neighbors(graph.V(v)) {
+				if graph.V(v) < w {
+					b.AddEdge(graph.V(base+v), graph.V(base)+w)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// measureSharding boots the full 2-shard HTTP topology in-process —
+// partitioner, per-shard servers, router — plus a single reference server,
+// classifies the workload by the route the router takes (owner-certified vs
+// assembled), and measures each bucket over both paths.
+func measureSharding(cfg Config) (ShardingPerf, error) {
+	const shards = 2
+	out := ShardingPerf{Shards: shards}
+
+	g := constellationGraph(cfg.Seed + 7)
+	workload := dataset.QueryWorkload(g, cfg.MinCore, 48, cfg.Seed)
+	if len(workload) == 0 {
+		return out, fmt.Errorf("sharding bench: constellation has no vertices with core >= %d", cfg.MinCore)
+	}
+
+	m, err := shard.Partition(g, shards)
+	if err != nil {
+		return out, err
+	}
+
+	single := server.New("bench-single", g.Clone())
+	defer single.Close()
+	singleTS := httptest.NewServer(single)
+	defer singleTS.Close()
+
+	urls := make([][]string, shards)
+	shardCls := make([]*client.Client, shards)
+	for id := 0; id < shards; id++ {
+		sub, err := shard.Subgraph(g, m, id)
+		if err != nil {
+			return out, err
+		}
+		sv, err := shard.NewServing(m, id)
+		if err != nil {
+			return out, err
+		}
+		srv := server.NewWithConfig(fmt.Sprintf("bench-shard-%d", id), sub, server.Config{Shard: sv})
+		defer srv.Close()
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		urls[id] = []string{ts.URL}
+		if shardCls[id], err = client.New(ts.URL); err != nil {
+			return out, err
+		}
+	}
+	rt, err := router.New(router.Config{Map: m, Shards: urls})
+	if err != nil {
+		return out, err
+	}
+	routerTS := httptest.NewServer(rt)
+	defer routerTS.Close()
+
+	directCl, err := client.New(singleTS.URL)
+	if err != nil {
+		return out, err
+	}
+	routedCl, err := client.New(routerTS.URL)
+	if err != nil {
+		return out, err
+	}
+
+	// Classify the workload by the owner shard's verdict — the exact check
+	// the router makes. Certified no-community queries are dropped (they
+	// measure validation, not search), as are uncertified queries with no
+	// community.
+	ctx := context.Background()
+	var singleQ, crossQ []client.Query
+	for _, qv := range workload {
+		cq := client.Query{Q: int64(qv), K: cfg.K, Algo: "appfast", EpsF: client.Float(0.5)}
+		verdict, err := shardCls[m.OwnerOf(qv)].ShardSearch(ctx, cq)
+		if err != nil {
+			return out, err
+		}
+		switch {
+		case verdict.Contained && verdict.NoCommunity:
+		case verdict.Contained:
+			singleQ = append(singleQ, cq)
+		default:
+			if _, err := directCl.Query(ctx, cq); err == nil {
+				crossQ = append(crossQ, cq)
+			}
+		}
+	}
+	if len(singleQ) == 0 || len(crossQ) == 0 {
+		return out, fmt.Errorf("sharding bench: workload split %d certified / %d assembled; need both non-empty",
+			len(singleQ), len(crossQ))
+	}
+	out.SingleShardQueries = len(singleQ)
+	out.CrossShardQueries = len(crossQ)
+
+	run := func(cl *client.Client, work []client.Query) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.Query(ctx, work[i%len(work)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+
+	out.DirectSingleShardNsPerOp = run(directCl, singleQ)
+	out.RoutedSingleShardNsPerOp = run(routedCl, singleQ)
+	out.DirectCrossShardNsPerOp = run(directCl, crossQ)
+	out.RoutedCrossShardNsPerOp = run(routedCl, crossQ)
+	if out.DirectSingleShardNsPerOp > 0 {
+		out.SingleShardOverhead = out.RoutedSingleShardNsPerOp / out.DirectSingleShardNsPerOp
+	}
+	if out.DirectCrossShardNsPerOp > 0 {
+		out.CrossShardOverhead = out.RoutedCrossShardNsPerOp / out.DirectCrossShardNsPerOp
+	}
+	return out, nil
+}

@@ -278,6 +278,21 @@ func (f *Follower) session() (streamed bool, err error) {
 	f.reconnects.Add(1)
 	f.connected.Store(true)
 
+	// Acks ride the same connection back to the leader: one as soon as the
+	// session is established (so a tail-resumed but idle session still
+	// reports its position) and one after every applied batch.
+	var ackBuf []byte
+	sendAck := func() error {
+		ackBuf = encodeAck(ackBuf, f.applied.Load())
+		conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		err := writeMessage(conn, msgAck, ackBuf)
+		conn.SetWriteDeadline(time.Time{})
+		return err
+	}
+	if err := sendAck(); err != nil {
+		return true, fmt.Errorf("initial ack: %w", err)
+	}
+
 	// Stream loop: every message refreshes the liveness deadline; missing
 	// ~4 heartbeats means the leader (or the path to it) is gone.
 	readDeadline := 4 * hbInterval
@@ -296,6 +311,9 @@ func (f *Follower) session() (streamed bool, err error) {
 		case msgRecords:
 			if err := f.applyRecords(payload); err != nil {
 				return true, err
+			}
+			if err := sendAck(); err != nil {
+				return true, fmt.Errorf("ack at seq %d: %w", f.applied.Load(), err)
 			}
 		case msgHeartbeat:
 			hb, err := decodeHeartbeat(payload)

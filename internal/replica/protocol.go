@@ -26,6 +26,10 @@
 //	  type u8 | len u32 | crc u32 (IEEE, of payload) | payload
 //	  type 1 = records:   concatenated wal frames, consecutive seqs
 //	  type 2 = heartbeat: leaderLastSeq uint64, unixNano int64, epoch uint64
+//	acks       follower → leader, same framing on the same connection:
+//	  type 3 = ack:       appliedSeq uint64 — sent once the session is
+//	  established and after every applied record batch, so the leader's
+//	  /v1/health can report per-follower acknowledged progress.
 //
 // Sequence numbers alias across epochs (a promoted leader's log restarts
 // its own numbering), so tail resume is only offered when the follower's
@@ -60,6 +64,7 @@ const (
 const (
 	msgRecords   = 1
 	msgHeartbeat = 2
+	msgAck       = 3 // follower → leader
 )
 
 // maxMessageLen bounds one stream message so a corrupted length field
@@ -183,6 +188,19 @@ func readMessage(r io.Reader, buf []byte) (typ uint8, payload []byte, err error)
 		return 0, payload, errors.New("replica: message CRC mismatch")
 	}
 	return typ, payload, nil
+}
+
+func encodeAck(buf []byte, appliedSeq uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], appliedSeq)
+	return append(buf[:0], b[:]...)
+}
+
+func decodeAck(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("replica: ack payload is %d bytes, want 8", len(p))
+	}
+	return binary.LittleEndian.Uint64(p), nil
 }
 
 func encodeHeartbeat(buf []byte, hb heartbeat) []byte {

@@ -394,3 +394,45 @@ func TestFollowerRefusesStaleLeader(t *testing.T) {
 		t.Fatalf("stale leader accepted a write: %v", err)
 	}
 }
+
+// TestShipperAcks pins the ack channel: the leader's Status must see each
+// live follower and track the slowest follower's applied position — the
+// replication-lag signal /v1/health surfaces.
+func TestShipperAcks(t *testing.T) {
+	st, sh := startLeader(t, store.Options{})
+	if s := sh.Status(); s.Followers != 0 || s.MinAckedSeq != 0 {
+		t.Fatalf("idle shipper status = %+v, want zero", s)
+	}
+
+	f1 := startFollower(t, sh.Addr().String())
+	waitFor(t, 5*time.Second, "one follower streaming", func() bool {
+		return sh.Status().Followers == 1
+	})
+
+	driveChurn(t, st, 99, 80)
+	waitFor(t, 5*time.Second, "follower acks the full log", func() bool {
+		return sh.Status().MinAckedSeq == st.WalLastSeq()
+	})
+	waitFor(t, 5*time.Second, "follower caught up", caughtUp(st, f1))
+
+	// A second follower joins behind: MinAckedSeq must never overreport —
+	// it can only be <= the slowest follower's applied seq.
+	f2 := startFollower(t, sh.Addr().String())
+	waitFor(t, 5*time.Second, "two followers streaming", func() bool {
+		return sh.Status().Followers == 2
+	})
+	driveChurn(t, st, 100, 40)
+	waitFor(t, 5*time.Second, "both followers ack the full log", func() bool {
+		s := sh.Status()
+		return s.Followers == 2 && s.MinAckedSeq == st.WalLastSeq()
+	})
+	a1, a2 := f1.Status().AppliedSeq, f2.Status().AppliedSeq
+	if min := sh.Status().MinAckedSeq; min > a1 || min > a2 {
+		t.Fatalf("MinAckedSeq %d overreports follower positions (%d, %d)", min, a1, a2)
+	}
+
+	f2.Close()
+	waitFor(t, 5*time.Second, "closed follower leaves the status", func() bool {
+		return sh.Status().Followers == 1
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sacsearch/internal/graph"
@@ -68,16 +69,52 @@ type Shipper struct {
 	opt ShipperOptions
 
 	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]*shipSession
 	closed bool
 	done   chan struct{}
+}
+
+// shipSession is the leader's per-follower state: whether the session
+// reached the streaming phase (handshake accepted, state transferred) and
+// the highest sequence the follower has acknowledged applying.
+type shipSession struct {
+	streaming atomic.Bool
+	acked     atomic.Uint64
+}
+
+// ShipperStatus is the leader-side replication summary /v1/health surfaces.
+type ShipperStatus struct {
+	// Followers is how many follower sessions are live and streaming.
+	Followers int `json:"followers"`
+	// MinAckedSeq is the slowest live follower's acknowledged applied seq
+	// (0 when no follower is connected, or a follower has yet to ack).
+	MinAckedSeq uint64 `json:"minAckedSeq"`
+}
+
+// Status reports the current follower sessions. Comparing MinAckedSeq with
+// the store's WalLastSeq gives replication lag as seen from the leader.
+func (s *Shipper) Status() ShipperStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st ShipperStatus
+	for _, sess := range s.conns {
+		if !sess.streaming.Load() {
+			continue
+		}
+		a := sess.acked.Load()
+		if st.Followers == 0 || a < st.MinAckedSeq {
+			st.MinAckedSeq = a
+		}
+		st.Followers++
+	}
+	return st
 }
 
 // NewShipper starts serving replication on ln (owned by the shipper from
 // now on). Close stops the accept loop and every active stream.
 func NewShipper(st *store.Store, ln net.Listener, opt ShipperOptions) *Shipper {
 	s := &Shipper{st: st, ln: ln, opt: opt,
-		conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+		conns: make(map[net.Conn]*shipSession), done: make(chan struct{})}
 	go s.acceptLoop()
 	return s
 }
@@ -116,12 +153,13 @@ func (s *Shipper) acceptLoop() {
 			conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
+		sess := &shipSession{}
+		s.conns[conn] = sess
 		s.mu.Unlock()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s.serve(conn)
+			s.serve(conn, sess)
 			s.mu.Lock()
 			delete(s.conns, conn)
 			s.mu.Unlock()
@@ -130,7 +168,7 @@ func (s *Shipper) acceptLoop() {
 }
 
 // serve runs one follower session to completion.
-func (s *Shipper) serve(conn net.Conn) {
+func (s *Shipper) serve(conn net.Conn, sess *shipSession) {
 	defer conn.Close()
 	logf := s.opt.logf()
 	peer := conn.RemoteAddr()
@@ -188,6 +226,35 @@ func (s *Shipper) serve(conn net.Conn) {
 		}
 	}
 	defer cur.Close()
+
+	// The connection's read side carries follower acks from here on: a
+	// dedicated reader keeps sess.acked current and kills the connection on
+	// any framing error (the writer side then fails fast).
+	ackDone := make(chan struct{})
+	go func() {
+		defer close(ackDone)
+		var buf []byte
+		for {
+			typ, payload, err := readMessage(conn, buf)
+			if err != nil {
+				conn.Close()
+				return
+			}
+			buf = payload[:0]
+			if typ != msgAck {
+				conn.Close()
+				return
+			}
+			seq, err := decodeAck(payload)
+			if err != nil {
+				conn.Close()
+				return
+			}
+			sess.acked.Store(seq)
+		}
+	}()
+	defer func() { conn.Close(); <-ackDone }()
+	sess.streaming.Store(true)
 
 	if err := s.ship(conn, cur, epoch); err != nil {
 		logf("replica: %v: stream ended at seq %d: %v", peer, cur.Pos(), err)

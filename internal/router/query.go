@@ -1,0 +1,280 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"sacsearch/client"
+	"sacsearch/internal/core"
+	"sacsearch/internal/graph"
+	"sacsearch/internal/server"
+)
+
+// legFailure marks an error as coming from one shard's leg of a fan-out,
+// so the handler layer can name the shard in its envelope.
+type legFailure struct {
+	shard int
+	err   error
+}
+
+func (e *legFailure) Error() string { return fmt.Sprintf("shard %d: %v", e.shard, e.err) }
+func (e *legFailure) Unwrap() error { return e.err }
+
+// writeRouteError maps a routing error onto the wire: leg failures through
+// writeLegError (forward or shard_unavailable), everything else — errors
+// from a router-local assembly run — through the server's own core-error
+// mapping.
+func (rt *Router) writeRouteError(w http.ResponseWriter, r *http.Request, err error) {
+	var lf *legFailure
+	if errors.As(err, &lf) {
+		rt.writeLegError(w, r, lf.shard, lf.err)
+		return
+	}
+	writeQueryError(w, r, err)
+}
+
+// validateQuery is the router's copy of the searcher's graph-independent
+// validation, in the same check order and with the same messages, so a
+// request rejected here gets the envelope a single server would send.
+// Sharded topologies serve the k-core metric (the certificate and assembly
+// are k-core constructions), so any other structure is a mismatch.
+func (rt *Router) validateQuery(cq core.Query) error {
+	if _, ok := core.LookupAlgo(cq.Algo); !ok {
+		return &core.QueryError{Code: core.ErrCodeUnknownAlgorithm, Field: "algo",
+			Reason: fmt.Sprintf("unknown algorithm %q", cq.Algo)}
+	}
+	if cq.Structure != "" {
+		st, err := core.ParseStructure(cq.Structure)
+		if err != nil {
+			return &core.QueryError{Code: core.ErrCodeStructureMismatch, Field: "structure",
+				Reason: fmt.Sprintf("unknown structure metric %q", cq.Structure)}
+		}
+		if st != core.StructureKCore {
+			return &core.QueryError{Code: core.ErrCodeStructureMismatch, Field: "structure",
+				Reason: fmt.Sprintf("searcher serves the %v metric, query wants %v", core.StructureKCore, st)}
+		}
+	}
+	if cq.Q < 0 || int(cq.Q) >= rt.m.N {
+		return &core.QueryError{Code: core.ErrCodeInvalidQuery, Field: "q",
+			Reason: fmt.Sprintf("query vertex %d out of range [0,%d)", cq.Q, rt.m.N)}
+	}
+	if cq.K < 1 {
+		return &core.QueryError{Code: core.ErrCodeInvalidQuery, Field: "k",
+			Reason: fmt.Sprintf("k = %d must be ≥ 1", cq.K)}
+	}
+	if cq.Timeout < 0 {
+		return &core.QueryError{Code: core.ErrCodeInvalidQuery, Field: "timeout",
+			Reason: fmt.Sprintf("timeout %v must be non-negative", cq.Timeout)}
+	}
+	_, err := core.ValidateParams(cq)
+	return err
+}
+
+// toClientQuery converts the core request to the typed client's shape for a
+// shard leg.
+func toClientQuery(cq core.Query) client.Query {
+	return client.Query{
+		Q:             int64(cq.Q),
+		K:             cq.K,
+		Algo:          cq.Algo,
+		EpsF:          cq.EpsF,
+		EpsA:          cq.EpsA,
+		Theta:         cq.Theta,
+		Structure:     cq.Structure,
+		TimeoutMillis: cq.Timeout.Milliseconds(),
+	}
+}
+
+// fromClientResult converts a shard's typed answer back to the wire shape
+// the router serves.
+func fromClientResult(res *client.Result) server.QueryResponse {
+	members := make([]graph.V, len(res.Members))
+	for i, m := range res.Members {
+		members[i] = graph.V(m)
+	}
+	return server.QueryResponse{
+		Q:       graph.V(res.Q),
+		K:       res.K,
+		Members: members,
+		MCC:     server.CircleJSON{X: res.MCC.X, Y: res.MCC.Y, R: res.MCC.R},
+		Delta:   res.Delta,
+		Stats: server.StatsJSON{
+			CandidateSize:     res.Stats.CandidateSize,
+			FeasibilityChecks: res.Stats.FeasibilityChecks,
+			BinaryIters:       res.Stats.BinaryIters,
+			ElapsedMicros:     res.Stats.ElapsedMicros,
+			Algorithm:         res.Stats.Algorithm,
+		},
+	}
+}
+
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req server.QueryRequest
+	if !rt.decodeJSON(w, r, &req) {
+		return
+	}
+	cq := core.Query{
+		Algo:      req.Algo,
+		Q:         req.Q,
+		K:         req.K,
+		EpsF:      req.EpsF,
+		EpsA:      req.EpsA,
+		Theta:     req.Theta,
+		Structure: req.Structure,
+		Timeout:   time.Duration(req.TimeoutMillis) * time.Millisecond,
+	}
+	if err := rt.validateQuery(cq); err != nil {
+		writeQueryError(w, r, err)
+		return
+	}
+	ctx, cancel := rt.requestCtx(r)
+	defer cancel()
+	resp, err := rt.route(ctx, cq)
+	if err != nil {
+		rt.writeRouteError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, *resp)
+}
+
+// route answers one validated query: owner-first with the certificate fast
+// path, falling back to cross-shard assembly. θ-SAC always assembles — its
+// catchment disk is defined over current locations, which drift across
+// ownership boundaries, so no shard can certify containment topologically.
+func (rt *Router) route(ctx context.Context, cq core.Query) (*server.QueryResponse, error) {
+	spec, _ := core.LookupAlgo(cq.Algo)
+	if spec.Name == "theta" {
+		return rt.routeTheta(ctx, cq)
+	}
+	owner := rt.m.OwnerOf(cq.Q)
+	verdict, err := rt.sets[owner].ShardSearch(ctx, toClientQuery(cq))
+	if err != nil {
+		return nil, &legFailure{owner, err}
+	}
+	if verdict.Contained {
+		if verdict.NoCommunity {
+			return nil, core.ErrNoCommunity
+		}
+		if verdict.Result == nil {
+			return nil, &legFailure{owner, errors.New("contained verdict carried no result")}
+		}
+		resp := fromClientResult(verdict.Result)
+		return &resp, nil
+	}
+	return rt.routeAssembled(ctx, cq, owner)
+}
+
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req server.BatchRequest
+	if !rt.decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, r, http.StatusBadRequest, core.ErrCodeInvalidQuery, "queries", "empty batch")
+		return
+	}
+	// Template validation fails the whole batch with one 400, exactly like
+	// the single server: algorithm and parameters through the registry,
+	// structure against the (k-core) topology.
+	template := core.Query{
+		Algo:      req.Algo,
+		EpsF:      req.EpsF,
+		EpsA:      req.EpsA,
+		Theta:     req.Theta,
+		Structure: req.Structure,
+	}
+	if _, err := core.ValidateParams(template); err != nil {
+		writeQueryError(w, r, err)
+		return
+	}
+	if template.Structure != "" {
+		probe := template
+		probe.Q, probe.K = 0, 1
+		if err := rt.validateQuery(probe); err != nil {
+			writeQueryError(w, r, err)
+			return
+		}
+	}
+	ctx, cancel := rt.requestCtx(r)
+	defer cancel()
+	workers := req.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(req.Queries) {
+		workers = len(req.Queries)
+	}
+	items := make([]server.BatchItemJSON, len(req.Queries))
+	deadlined := make([]bool, len(req.Queries))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				cq := template
+				cq.Q, cq.K = req.Queries[i].Q, req.Queries[i].K
+				items[i] = server.BatchItemJSON{Q: cq.Q, K: cq.K}
+				if err := rt.validateQuery(cq); err != nil {
+					items[i].Error = err.Error()
+					continue
+				}
+				resp, err := rt.route(ctx, cq)
+				if err != nil {
+					items[i].Error = routeErrorMessage(err)
+					deadlined[i] = isDeadline(err)
+					continue
+				}
+				items[i].Members = resp.Members
+				items[i].MCC = resp.MCC
+			}
+		}()
+	}
+	for i := range req.Queries {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	// A deadline that actually cut queries short fails the whole batch with
+	// 503, mirroring the single server's status-keyed behavior.
+	for i, d := range deadlined {
+		if d {
+			writeError(w, r, http.StatusServiceUnavailable, server.CodeDeadlineExceeded, "",
+				"batch deadline exceeded: "+items[i].Error)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, server.BatchResponse{Items: items})
+}
+
+// routeErrorMessage renders a routing error as a batch item's error string.
+// Forwarded shard verdicts use the shard's own message, so item errors read
+// the same as a single server's.
+func routeErrorMessage(err error) string {
+	var lf *legFailure
+	if errors.As(err, &lf) {
+		var apiErr *client.APIError
+		if errors.As(lf.err, &apiErr) && apiErr.Status != http.StatusServiceUnavailable &&
+			apiErr.Status != http.StatusTooManyRequests && apiErr.Message != "" {
+			return apiErr.Message
+		}
+		return fmt.Sprintf("shard %d unavailable: %v", lf.shard, lf.err)
+	}
+	return err.Error()
+}
+
+// isDeadline reports whether a routing error is a deadline/cancellation —
+// the condition that fails a whole batch.
+func isDeadline(err error) bool {
+	if errors.Is(err, core.ErrCanceled) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var apiErr *client.APIError
+	return errors.As(err, &apiErr) && apiErr.Code == server.CodeDeadlineExceeded
+}

@@ -1,0 +1,548 @@
+// Package router is the scatter-gather front of a sharded sacsearch
+// topology. It speaks the same /v1 contract as a single sacserver — same
+// routes, same wire shapes, same error envelope — so clients (including the
+// typed client package) cannot tell a router from one big server, except
+// through /v1/health's topology section.
+//
+// The graph is split by the deterministic spatial partitioner
+// (internal/shard); every shard runs the stock engine stack over its
+// subgraph (full global id space, edges with at least one owned endpoint,
+// frozen ghost copies of foreign endpoints). The router owns the only copy
+// of the shard map and dispatches:
+//
+//   - Queries go to the shard owning q first (/v1/shard/search). The shard
+//     answers alone iff its optimistic-peel certificate proves its answer
+//     equals the whole-graph one; otherwise the router gathers the global
+//     candidate set across shards (/v1/shard/expand closure, or a
+//     /v1/shard/range disk gather for θ-SAC), assembles the induced
+//     subgraph, and runs the algorithm itself. Either way the answer's
+//     members, circle and radius are exactly the single-engine ones.
+//   - Check-ins go to the owner of the vertex; an edge write fans to both
+//     endpoints' owners (each materializes every edge touching a vertex it
+//     owns). Edge ops are idempotent, so a partial cross-shard failure is
+//     healed by the client's retry.
+//   - /v1/health and /v1/ready aggregate the shards': ready means every
+//     shard answered /v1/shard/info with the router's own map checksum.
+//
+// A shard leg that fails outright (transport error, or every endpoint of
+// the shard shedding 503) surfaces as a 503 shard_unavailable envelope
+// naming the shard; deterministic shard verdicts (validation errors,
+// no_community) are forwarded verbatim.
+//
+// Cross-shard reads are NOT snapshot-isolated across shards: each leg pins
+// one snapshot on its shard, but concurrent writes may land between legs.
+// Quiesced states — and anything a single shard certifies — are exact.
+package router
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sacsearch/client"
+	"sacsearch/internal/core"
+	"sacsearch/internal/graph"
+	"sacsearch/internal/server"
+	"sacsearch/internal/shard"
+)
+
+// Config assembles a Router.
+type Config struct {
+	// Map is the shard-map artifact the topology was cut with.
+	Map *shard.Map
+	// Shards lists each shard's endpoint URLs, indexed by shard id, leader
+	// first (replicas after it serve reads when the leader sheds).
+	Shards [][]string
+	// QueryTimeout bounds one routed request end to end (all legs plus any
+	// local assembly run). Default 15s, matching the server's.
+	QueryTimeout time.Duration
+	// MaxBodyBytes caps every POST body. Default 1 MiB.
+	MaxBodyBytes int64
+	// ClientOptions apply to every per-endpoint client (test doubles,
+	// retry tuning).
+	ClientOptions []client.Option
+	// Logf receives router-level events. Default log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) queryTimeout() time.Duration {
+	if c.QueryTimeout > 0 {
+		return c.QueryTimeout
+	}
+	return 15 * time.Second
+}
+
+func (c Config) maxBodyBytes() int64 {
+	if c.MaxBodyBytes > 0 {
+		return c.MaxBodyBytes
+	}
+	return 1 << 20
+}
+
+func (c Config) logf() func(string, ...any) {
+	if c.Logf != nil {
+		return c.Logf
+	}
+	return log.Printf
+}
+
+// Router is the /v1 front of a sharded topology. It is safe for concurrent
+// use and holds no graph state beyond the shard map — all data lives on the
+// shards.
+type Router struct {
+	cfg      Config
+	m        *shard.Map
+	checksum uint32
+	sets     []*client.Set // one endpoint group per shard
+	mux      *http.ServeMux
+	nextID   atomic.Uint64
+	// edges tracks the global undirected edge count as seen through this
+	// router: the partition-time count plus every Changed mutation routed
+	// here. Writes that bypass the router are not reflected.
+	edges atomic.Int64
+}
+
+// New builds a Router over the shard endpoint groups. It validates shapes
+// only — shard reachability and map agreement are checked by /v1/ready (and
+// CheckTopology), not at construction, so a router can boot before its
+// shards do.
+func New(cfg Config) (*Router, error) {
+	if cfg.Map == nil {
+		return nil, errors.New("router: Config.Map is required")
+	}
+	if len(cfg.Shards) != cfg.Map.Shards {
+		return nil, fmt.Errorf("router: map has %d shards, config lists %d endpoint groups",
+			cfg.Map.Shards, len(cfg.Shards))
+	}
+	rt := &Router{
+		cfg:      cfg,
+		m:        cfg.Map,
+		checksum: cfg.Map.Checksum(),
+		sets:     make([]*client.Set, len(cfg.Shards)),
+		mux:      http.NewServeMux(),
+	}
+	rt.edges.Store(int64(cfg.Map.Edges))
+	for i, urls := range cfg.Shards {
+		set, err := client.NewSet(urls, cfg.ClientOptions...)
+		if err != nil {
+			return nil, fmt.Errorf("router: shard %d: %w", i, err)
+		}
+		rt.sets[i] = set
+	}
+	rt.mux.HandleFunc("GET /v1/health", rt.handleHealth)
+	rt.mux.HandleFunc("GET /v1/ready", rt.handleReady)
+	rt.mux.HandleFunc("GET /v1/algorithms", rt.handleAlgorithms)
+	rt.mux.HandleFunc("GET /v1/vertex/{id}", rt.handleVertex)
+	rt.mux.HandleFunc("POST /v1/query", rt.handleQuery)
+	rt.mux.HandleFunc("POST /v1/batch", rt.handleBatch)
+	rt.mux.HandleFunc("POST /v1/checkin", rt.handleCheckin)
+	rt.mux.HandleFunc("POST /v1/edge", rt.handleEdge)
+	return rt, nil
+}
+
+// Handler returns the router as an http.Handler.
+func (rt *Router) Handler() http.Handler { return rt }
+
+// ServeHTTP stamps the request id and recovers panics into 500 envelopes —
+// the same discipline as the server's, so envelopes stay uniform.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := sanitizeRequestID(r.Header.Get("X-Request-Id"))
+	if id == "" {
+		id = rt.newRequestID()
+	}
+	w.Header().Set("X-Request-Id", id)
+	ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+	r = r.WithContext(ctx)
+	rw := &trackingWriter{ResponseWriter: w}
+	defer func() {
+		p := recover()
+		if p == nil || p == http.ErrAbortHandler {
+			return
+		}
+		rt.cfg.logf()("router: panic serving %s %s (request %s): %v\n%s",
+			r.Method, r.URL.Path, id, p, debug.Stack())
+		if !rw.wrote {
+			writeError(rw, r, http.StatusInternalServerError, server.CodeInternal, "",
+				"internal server error (request "+id+")")
+		}
+	}()
+	rt.mux.ServeHTTP(rw, r)
+}
+
+type trackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *trackingWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *trackingWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+type requestIDKey struct{}
+
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(requestIDKey{}).(string)
+	return id
+}
+
+func sanitizeRequestID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '-', c == '_':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+func (rt *Router) newRequestID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("rtr-%012d", rt.nextID.Add(1))
+	}
+	return "rtr-" + hex.EncodeToString(b[:])
+}
+
+// --- envelope helpers ------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, r *http.Request, status int, code, field, msg string) {
+	writeJSON(w, status, server.ErrorJSON{Error: msg, Code: code, Field: field, RequestID: requestID(r)})
+}
+
+// writeQueryError mirrors the server's mapping of core errors onto
+// envelopes, so a router-local assembly run and a single server produce the
+// same response for the same failure.
+func writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
+	var qe *core.QueryError
+	switch {
+	case errors.As(err, &qe):
+		writeError(w, r, http.StatusBadRequest, qe.Code, qe.Field, err.Error())
+	case errors.Is(err, core.ErrNoCommunity):
+		writeError(w, r, http.StatusNotFound, server.CodeNoCommunity, "", err.Error())
+	case errors.Is(err, core.ErrCanceled):
+		writeError(w, r, http.StatusServiceUnavailable, server.CodeDeadlineExceeded, "", err.Error())
+	default:
+		writeError(w, r, http.StatusUnprocessableEntity, server.CodeQueryFailed, "", err.Error())
+	}
+}
+
+// writeLegError reports a failed shard leg. A deterministic shard verdict —
+// any structured non-503/429 response, or a forwarded deadline — passes
+// through verbatim (new request id aside); everything else means the shard
+// as a whole was unreachable or shedding, which the router owns up to with
+// a 503 shard_unavailable naming the shard so operators know where to look.
+func (rt *Router) writeLegError(w http.ResponseWriter, r *http.Request, shardID int, err error) {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		forward := apiErr.Status != http.StatusServiceUnavailable &&
+			apiErr.Status != http.StatusTooManyRequests
+		if apiErr.Code == server.CodeDeadlineExceeded {
+			forward = true
+		}
+		if forward {
+			writeError(w, r, apiErr.Status, apiErr.Code, apiErr.Field, apiErr.Message)
+			return
+		}
+	}
+	w.Header().Set("Retry-After", "1")
+	writeError(w, r, http.StatusServiceUnavailable, server.CodeShardUnavailable, "",
+		fmt.Sprintf("shard %d unavailable: %v", shardID, err))
+}
+
+func (rt *Router) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), rt.cfg.queryTimeout())
+}
+
+func (rt *Router) decodeJSON(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, rt.cfg.maxBodyBytes())
+	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, r, http.StatusRequestEntityTooLarge, server.CodeBodyTooLarge, "",
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeError(w, r, http.StatusBadRequest, server.CodeInvalidJSON, "", "invalid JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// --- topology endpoints ----------------------------------------------------
+
+// shardProbe is one shard's /v1/shard/info outcome during a fan-out.
+type shardProbe struct {
+	info *client.ShardInfo
+	err  error
+}
+
+// probeShards fans /v1/shard/info to every shard concurrently.
+func (rt *Router) probeShards(ctx context.Context) []shardProbe {
+	probes := make([]shardProbe, len(rt.sets))
+	var wg sync.WaitGroup
+	for i := range rt.sets {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			probes[i].info, probes[i].err = rt.sets[i].ShardInfo(ctx)
+		}(i)
+	}
+	wg.Wait()
+	return probes
+}
+
+// probeProblem classifies one probe against the router's own map: "" means
+// the shard is serving the right map.
+func (rt *Router) probeProblem(id int, p shardProbe) string {
+	switch {
+	case p.err != nil:
+		return fmt.Sprintf("unreachable: %v", p.err)
+	case p.info.ShardID != id:
+		return fmt.Sprintf("endpoint serves shard %d, expected %d", p.info.ShardID, id)
+	case p.info.Shards != rt.m.Shards:
+		return fmt.Sprintf("shard map has %d shards, router's has %d", p.info.Shards, rt.m.Shards)
+	case p.info.MapChecksum != rt.checksum:
+		return fmt.Sprintf("shard map checksum %08x differs from router's %08x",
+			p.info.MapChecksum, rt.checksum)
+	}
+	return ""
+}
+
+// CheckTopology verifies every shard is reachable and serving the router's
+// shard map — the startup sanity check cmd/sacrouter runs before listening.
+func (rt *Router) CheckTopology(ctx context.Context) error {
+	for id, p := range rt.probeShards(ctx) {
+		if problem := rt.probeProblem(id, p); problem != "" {
+			return fmt.Errorf("router: shard %d: %s", id, problem)
+		}
+	}
+	return nil
+}
+
+// handleHealth aggregates the shards' health: overall status is "ok" only
+// when every shard answered and none is degraded or serving a different
+// map. Always 200 — readiness gates traffic, health describes it.
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := rt.requestCtx(r)
+	defer cancel()
+	type shardHealth struct {
+		Shard  int            `json:"shard"`
+		Status string         `json:"status"`
+		Error  string         `json:"error,omitempty"`
+		Health *client.Health `json:"health,omitempty"`
+	}
+	out := make([]shardHealth, len(rt.sets))
+	var wg sync.WaitGroup
+	for i := range rt.sets {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, err := rt.sets[i].Health(ctx)
+			sh := shardHealth{Shard: i}
+			if err != nil {
+				sh.Status = "unreachable"
+				sh.Error = err.Error()
+			} else {
+				sh.Status = h.Status
+				sh.Health = h
+			}
+			out[i] = sh
+		}(i)
+	}
+	wg.Wait()
+	status := "ok"
+	for _, sh := range out {
+		if sh.Status != "ok" && sh.Status != "readonly" {
+			status = "degraded"
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":           status,
+		"role":             "router",
+		"apiVersions":      []string{"v1"},
+		"shards":           rt.m.Shards,
+		"vertices":         rt.m.N,
+		"edges":            rt.edges.Load(),
+		"shardMapChecksum": rt.checksum,
+		"shardHealth":      out,
+	})
+}
+
+// handleReady is 200 only when every shard answers /v1/shard/info with the
+// router's own map checksum — the gate CI and orchestration wait on before
+// sending traffic at a fresh topology.
+func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := rt.requestCtx(r)
+	defer cancel()
+	for id, p := range rt.probeShards(ctx) {
+		if problem := rt.probeProblem(id, p); problem != "" {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, r, http.StatusServiceUnavailable, server.CodeNotReady, "",
+				fmt.Sprintf("shard %d not ready: %s", id, problem))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true, "role": "router"})
+}
+
+// handleAlgorithms serves the registry locally: the router runs the same
+// core package as the shards, so the schema cannot drift from what routed
+// queries accept.
+func (rt *Router) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, core.Algorithms())
+}
+
+// handleVertex proxies to the owner. The degree is global (an owner
+// materializes every edge of its vertices); the core number is the shard-
+// local one, a lower bound on the global core number — documented in the
+// README's sharding section.
+func (rt *Router) handleVertex(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, "id",
+			fmt.Sprintf("malformed vertex id %q", r.PathValue("id")))
+		return
+	}
+	if id < 0 || id >= rt.m.N {
+		writeError(w, r, http.StatusNotFound, server.CodeUnknownVertex, "id",
+			fmt.Sprintf("unknown vertex %d", id))
+		return
+	}
+	ctx, cancel := rt.requestCtx(r)
+	defer cancel()
+	owner := rt.m.OwnerOf(graph.V(id))
+	v, err := rt.sets[owner].Vertex(ctx, int64(id))
+	if err != nil {
+		rt.writeLegError(w, r, owner, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": v.ID, "x": v.X, "y": v.Y, "degree": v.Degree, "core": v.Core,
+	})
+}
+
+// --- writes ----------------------------------------------------------------
+
+// handleCheckin routes the move to the one shard owning v. Ghost copies on
+// other shards keep their partition-time location, which no certified or
+// assembled answer ever reads.
+func (rt *Router) handleCheckin(w http.ResponseWriter, r *http.Request) {
+	var req server.CheckinRequest
+	if !rt.decodeJSON(w, r, &req) {
+		return
+	}
+	if req.V < 0 || int(req.V) >= rt.m.N {
+		writeError(w, r, http.StatusNotFound, server.CodeUnknownVertex, "v",
+			fmt.Sprintf("unknown vertex %d", req.V))
+		return
+	}
+	ctx, cancel := rt.requestCtx(r)
+	defer cancel()
+	owner := rt.m.OwnerOf(req.V)
+	if err := rt.sets[owner].CheckIn(ctx, int64(req.V), req.X, req.Y); err != nil {
+		rt.writeLegError(w, r, owner, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// handleEdge fans the mutation to both endpoints' owners (one leg when they
+// coincide), preserving the invariant that every edge is materialized on
+// every shard owning an endpoint. The legs run concurrently; a partial
+// cross-shard failure returns 503 shard_unavailable and leaves the edge
+// half-applied until the client's retry converges it — edge ops are
+// idempotent, so the retry is always safe.
+func (rt *Router) handleEdge(w http.ResponseWriter, r *http.Request) {
+	var req server.EdgeRequest
+	if !rt.decodeJSON(w, r, &req) {
+		return
+	}
+	for _, v := range [2]graph.V{req.U, req.V} {
+		if v < 0 || int(v) >= rt.m.N {
+			writeError(w, r, http.StatusNotFound, server.CodeUnknownVertex, "",
+				fmt.Sprintf("unknown vertex %d", v))
+			return
+		}
+	}
+	if req.U == req.V {
+		writeError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, "",
+			fmt.Sprintf("self-loop (%d,%d) rejected", req.U, req.V))
+		return
+	}
+	var insert bool
+	switch req.Op {
+	case "insert":
+		insert = true
+	case "delete":
+		insert = false
+	default:
+		writeError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, "op",
+			fmt.Sprintf("unknown op %q (want insert or delete)", req.Op))
+		return
+	}
+	ctx, cancel := rt.requestCtx(r)
+	defer cancel()
+	owners := []int{rt.m.OwnerOf(req.U)}
+	if o2 := rt.m.OwnerOf(req.V); o2 != owners[0] {
+		owners = append(owners, o2)
+	}
+	results := make([]*client.EdgeResult, len(owners))
+	errs := make([]error, len(owners))
+	var wg sync.WaitGroup
+	for i, o := range owners {
+		wg.Add(1)
+		go func(i, o int) {
+			defer wg.Done()
+			results[i], errs[i] = rt.sets[o].Edge(ctx, int64(req.U), int64(req.V), insert)
+		}(i, o)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			rt.writeLegError(w, r, owners[i], err)
+			return
+		}
+	}
+	// u's owner is the authority on whether the graph changed; both owners
+	// apply the same idempotent op, so on a quiesced topology they agree.
+	changed := results[0].Changed
+	if changed {
+		if insert {
+			rt.edges.Add(1)
+		} else {
+			rt.edges.Add(-1)
+		}
+	}
+	writeJSON(w, http.StatusOK, server.EdgeResponse{
+		OK: true, Changed: changed, Edges: int(rt.edges.Load()),
+	})
+}

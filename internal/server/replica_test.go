@@ -32,6 +32,8 @@ type replicaHealth struct {
 	Epoch       uint64                  `json:"epoch"`
 	FencedBy    uint64                  `json:"fencedBy"`
 	Replication *replica.FollowerStatus `json:"replication"`
+	Followers   *int                    `json:"followers"`
+	MinAckedSeq *uint64                 `json:"minAckedSeq"`
 }
 
 // waitHTTP polls cond until it holds or the deadline passes.
@@ -55,11 +57,6 @@ func startReplicatedPair(t *testing.T, cfg Config) (leader, rep *httptest.Server
 	if err != nil {
 		t.Fatal(err)
 	}
-	srvL := NewWithStore("test", st, Config{Logf: discardLogf})
-	t.Cleanup(srvL.Close)
-	leader = httptest.NewServer(srvL)
-	t.Cleanup(leader.Close)
-
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -68,6 +65,11 @@ func startReplicatedPair(t *testing.T, cfg Config) (leader, rep *httptest.Server
 		Heartbeat: 20 * time.Millisecond, Poll: time.Millisecond, Logf: discardLogf,
 	})
 	t.Cleanup(sh.Close)
+
+	srvL := NewWithStore("test", st, Config{Logf: discardLogf, ShipperStatus: sh.Status})
+	t.Cleanup(srvL.Close)
+	leader = httptest.NewServer(srvL)
+	t.Cleanup(leader.Close)
 
 	f, err := replica.NewFollower(replica.FollowerOptions{
 		Leader: sh.Addr().String(), BackoffMin: 5 * time.Millisecond,
@@ -141,6 +143,16 @@ func TestReplicaServesReplicatedReads(t *testing.T) {
 	if lh.Role != "leader" || lh.Status != "ok" || lh.Epoch != st.Epoch() {
 		t.Fatalf("leader health = %+v", lh)
 	}
+	// The leader surfaces outbound replication: the follower session and,
+	// once it acks, how far behind the slowest follower is.
+	if lh.Followers == nil || *lh.Followers != 1 {
+		t.Fatalf("leader health followers = %v, want 1", lh.Followers)
+	}
+	waitHTTP(t, 10*time.Second, "leader sees the follower fully acked", func() bool {
+		var h replicaHealth
+		getJSON(t, leader.URL+"/v1/health", &h)
+		return h.MinAckedSeq != nil && *h.MinAckedSeq == st.WalLastSeq()
+	})
 	if getJSON(t, leader.URL+"/v1/ready", nil).StatusCode != http.StatusOK {
 		t.Fatal("leader not ready")
 	}

@@ -66,6 +66,7 @@ import (
 	"sacsearch/internal/geom"
 	"sacsearch/internal/graph"
 	"sacsearch/internal/replica"
+	"sacsearch/internal/shard"
 	"sacsearch/internal/snapshot"
 	"sacsearch/internal/store"
 )
@@ -87,6 +88,8 @@ const (
 	CodeStaleRead        = "stale_read"
 	CodeNotReady         = "not_ready"
 	CodeInternal         = "internal"
+	CodeWrongShard       = "wrong_shard"
+	CodeShardUnavailable = "shard_unavailable"
 )
 
 // Config tunes a Server. The zero value serves defaults.
@@ -113,6 +116,15 @@ type Config struct {
 	// Logf receives server-level events — today, recovered panics with their
 	// stacks. Default log.Printf.
 	Logf func(format string, args ...any)
+	// Shard, when set, makes this node one shard of a partitioned topology:
+	// the /v1/shard/* protocol is served, writes for vertices owned elsewhere
+	// are rejected with 400 wrong_shard, and /v1/health reports the shard
+	// identity. The node's graph must be the matching shard subgraph
+	// (shard.Subgraph with the same map and id).
+	Shard *shard.Serving
+	// ShipperStatus, when set on a leader, surfaces outbound replication
+	// state (connected follower count, min acked sequence) in /v1/health.
+	ShipperStatus func() replica.ShipperStatus
 }
 
 func (c Config) queryTimeout() time.Duration {
@@ -153,6 +165,10 @@ type Server struct {
 	cfg    Config
 	mux    *http.ServeMux
 	nextID atomic.Uint64 // request-id fallback counter
+
+	// cert caches the shard exactness certificate for the current topology
+	// (sharded nodes only; see certFor).
+	cert atomic.Pointer[certCache]
 }
 
 // New creates a server over g with default configuration. The server takes
@@ -211,6 +227,14 @@ func newServer(name string, eng *snapshot.Engine, st *store.Store, rep *replica.
 		s.mux.HandleFunc("POST "+p+"/batch", s.handleBatch)
 		s.mux.HandleFunc("POST "+p+"/checkin", s.handleCheckin)
 		s.mux.HandleFunc("POST "+p+"/edge", s.handleEdge)
+	}
+	// The shard protocol is router-facing and post-dates /api, so it exists
+	// only under /v1.
+	if cfg.Shard != nil {
+		s.mux.HandleFunc("GET /v1/shard/info", s.handleShardInfo)
+		s.mux.HandleFunc("POST /v1/shard/search", s.handleShardSearch)
+		s.mux.HandleFunc("POST /v1/shard/expand", s.handleShardExpand)
+		s.mux.HandleFunc("POST /v1/shard/range", s.handleShardRange)
 	}
 	return s
 }
@@ -559,6 +583,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		// published snapshots; only its write path is gone.
 		readonly = s.st.Fenced() || s.eng.PersistFailed()
 	}
+	if s.cfg.ShipperStatus != nil {
+		// Outbound replication as seen from the leader: how many followers
+		// hold a live session and the slowest one's acknowledged sequence —
+		// lag measured here, not on the follower, so a disconnected or
+		// stalled follower is visible from the node operators actually watch.
+		ss := s.cfg.ShipperStatus()
+		health["followers"] = ss.Followers
+		health["minAckedSeq"] = ss.MinAckedSeq
+	}
+	if s.cfg.Shard != nil {
+		health["shardId"] = s.cfg.Shard.ID
+		health["shards"] = s.cfg.Shard.Map.Shards
+		health["shardMapChecksum"] = s.cfg.Shard.Map.Checksum()
+	}
 	if s.rep != nil {
 		rs := s.rep.Status()
 		health["replication"] = rs
@@ -849,6 +887,16 @@ func (s *Server) handleCheckin(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("unknown vertex %d", req.V))
 		return
 	}
+	// A sharded node only accepts check-ins for vertices it owns: a ghost's
+	// location here is a frozen partition-time copy that no certified or
+	// assembled answer ever reads, and letting writes land on it would fork
+	// it from the owner's authoritative state.
+	if s.cfg.Shard != nil && !s.cfg.Shard.Owns(req.V) {
+		writeError(w, r, http.StatusBadRequest, CodeWrongShard, "v",
+			fmt.Sprintf("vertex %d is owned by shard %d, not shard %d",
+				req.V, s.cfg.Shard.Map.OwnerOf(req.V), s.cfg.Shard.ID))
+		return
+	}
 	// Reject non-finite coordinates before they reach the graph: NaN poisons
 	// every distance sort it touches and ±Inf breaks geom.MCC, silently, on
 	// queries that may run long after this request returned 200.
@@ -888,6 +936,14 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 	if req.U == req.V {
 		writeError(w, r, http.StatusBadRequest, CodeInvalidArgument, "",
 			fmt.Sprintf("self-loop (%d,%d) rejected", req.U, req.V))
+		return
+	}
+	// A sharded node materializes exactly the edges with at least one owned
+	// endpoint; an edge owned entirely elsewhere belongs to other shards
+	// (the router fans a cross-shard edge to both owners).
+	if s.cfg.Shard != nil && !s.cfg.Shard.Owns(req.U) && !s.cfg.Shard.Owns(req.V) {
+		writeError(w, r, http.StatusBadRequest, CodeWrongShard, "",
+			fmt.Sprintf("edge (%d,%d) has no endpoint owned by shard %d", req.U, req.V, s.cfg.Shard.ID))
 		return
 	}
 	var insert bool

@@ -1,0 +1,259 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"sacsearch/internal/core"
+	"sacsearch/internal/geom"
+	"sacsearch/internal/graph"
+	"sacsearch/internal/shard"
+	"sacsearch/internal/snapshot"
+)
+
+// The /v1/shard/* protocol is the router-facing half of the sharded
+// topology. A shard never answers a /v1/shard/search unless it can prove
+// the answer equals the single-engine one (the optimistic-peel certificate,
+// internal/shard); otherwise it reports contained=false and the router
+// assembles the global candidate set via /v1/shard/expand across shards.
+// /v1/shard/range serves the θ-SAC path: every vertex this shard owns
+// inside a disk, with authoritative location and full adjacency.
+//
+// All three POST endpoints serve from one pinned snapshot per request, so a
+// reply is internally consistent; replicas of a shard serve them too (the
+// usual staleness gate applies).
+
+// ShardInfoResponse describes this node's place in the topology.
+type ShardInfoResponse struct {
+	ShardID int `json:"shardId"`
+	Shards  int `json:"shards"`
+	// MapChecksum identifies the shard-map artifact; the router refuses to
+	// mix shards loaded from different maps.
+	MapChecksum uint32 `json:"mapChecksum"`
+	Vertices    int    `json:"vertices"` // global id space
+	Owned       int    `json:"owned"`
+	Ghosts      int    `json:"ghosts"`
+	Edges       int    `json:"edges"` // edges materialized on this shard
+	Role        string `json:"role"`
+}
+
+// ShardSearchResponse is a shard's verdict on one query. Contained=true
+// means the attached outcome is certified equal to a whole-graph answer;
+// contained=false means the candidate community may cross shard boundaries
+// and the router must scatter-gather.
+type ShardSearchResponse struct {
+	Contained   bool           `json:"contained"`
+	NoCommunity bool           `json:"noCommunity,omitempty"`
+	Result      *QueryResponse `json:"result,omitempty"`
+}
+
+// ShardExpandRequest asks for the optimistic k-core closure around seeds
+// this shard owns.
+type ShardExpandRequest struct {
+	K     int       `json:"k"`
+	Seeds []graph.V `json:"seeds"`
+}
+
+// ShardVertexJSON is one owned vertex with its authoritative location and
+// full adjacency — the unit of the router's subgraph assembly.
+type ShardVertexJSON struct {
+	V   graph.V   `json:"v"`
+	X   float64   `json:"x"`
+	Y   float64   `json:"y"`
+	Adj []graph.V `json:"adj"`
+}
+
+// ShardExpandResponse carries the owned members of the seed components and
+// the frontier ghosts (owned by other shards) bordering them.
+type ShardExpandResponse struct {
+	Members  []ShardVertexJSON `json:"members"`
+	Frontier []graph.V         `json:"frontier"`
+}
+
+// ShardRangeRequest asks for every owned vertex inside the closed disk.
+type ShardRangeRequest struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	R float64 `json:"r"`
+}
+
+// ShardRangeResponse lists the owned vertices inside the disk.
+type ShardRangeResponse struct {
+	Members []ShardVertexJSON `json:"members"`
+}
+
+// certCache pins one certificate to the engine lineage and topology epoch
+// it was built for. The engine pointer matters on replicas, which swap
+// engines on re-sync (epochs could alias across lineages).
+type certCache struct {
+	eng       *snapshot.Engine
+	topoEpoch uint64
+	cert      *shard.Cert
+}
+
+// certFor returns the exactness certificate for snap, rebuilding it when
+// the topology epoch moved. Location churn never invalidates it — the peel
+// is purely topological. A concurrent rebuild race wastes one build, never
+// correctness: certificates for the same topology are interchangeable.
+func (s *Server) certFor(eng *snapshot.Engine, snap *snapshot.Snap) *shard.Cert {
+	te := snap.TopoEpoch()
+	if c := s.cert.Load(); c != nil && c.eng == eng && c.topoEpoch == te {
+		return c.cert
+	}
+	c := &certCache{eng: eng, topoEpoch: te, cert: shard.NewCert(snap.Graph(), s.cfg.Shard)}
+	s.cert.Store(c)
+	return c.cert
+}
+
+func (s *Server) handleShardInfo(w http.ResponseWriter, r *http.Request) {
+	eng, ok := s.readEngine(w, r)
+	if !ok {
+		return
+	}
+	snap := eng.Current()
+	g := snap.Graph()
+	owned, ghosts := s.cfg.Shard.Counts(g)
+	writeJSON(w, http.StatusOK, ShardInfoResponse{
+		ShardID:     s.cfg.Shard.ID,
+		Shards:      s.cfg.Shard.Map.Shards,
+		MapChecksum: s.cfg.Shard.Map.Checksum(),
+		Vertices:    g.NumVertices(),
+		Owned:       owned,
+		Ghosts:      ghosts,
+		Edges:       snap.Edges(),
+		Role:        s.role(),
+	})
+}
+
+// handleShardSearch answers a query locally if and only if the certificate
+// holds. Validation runs exactly as /v1/query's would, so a router
+// forwarding the error envelope is indistinguishable from a single server.
+func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	eng, ok := s.readEngine(w, r)
+	if !ok {
+		return
+	}
+	snap := eng.Current()
+	searcher := snap.Get()
+	defer snap.Put(searcher)
+	q := req.toQuery()
+	if err := searcher.ValidateQuery(q); err != nil {
+		writeQueryError(w, r, err)
+		return
+	}
+	if !s.cfg.Shard.Owns(req.Q) {
+		writeError(w, r, http.StatusBadRequest, CodeWrongShard, "q",
+			fmt.Sprintf("vertex %d is owned by shard %d, not shard %d",
+				req.Q, s.cfg.Shard.Map.OwnerOf(req.Q), s.cfg.Shard.ID))
+		return
+	}
+	// The certificate covers the k-core candidate construction; θ-SAC scans
+	// a fixed disk instead and is always assembled router-side.
+	if spec, _ := core.LookupAlgo(req.Algo); spec != nil && spec.Name == "theta" {
+		writeJSON(w, http.StatusOK, ShardSearchResponse{Contained: false})
+		return
+	}
+	alive, certified := s.certFor(eng, snap).Contained(req.Q, req.K)
+	if !alive {
+		// q has fewer than k supporting neighbors even if every unseen edge
+		// survives: ErrNoCommunity is the exact global answer.
+		writeJSON(w, http.StatusOK, ShardSearchResponse{Contained: true, NoCommunity: true})
+		return
+	}
+	if !certified {
+		writeJSON(w, http.StatusOK, ShardSearchResponse{Contained: false})
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	res, err := searcher.Search(ctx, q)
+	if err != nil {
+		writeQueryError(w, r, err)
+		return
+	}
+	spec, _ := core.LookupAlgo(req.Algo)
+	resp := toQueryResponse(spec.Name, res)
+	writeJSON(w, http.StatusOK, ShardSearchResponse{Contained: true, Result: &resp})
+}
+
+func (s *Server) handleShardExpand(w http.ResponseWriter, r *http.Request) {
+	var req ShardExpandRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if req.K < 1 {
+		writeError(w, r, http.StatusBadRequest, CodeInvalidArgument, "k",
+			fmt.Sprintf("k must be >= 1, got %d", req.K))
+		return
+	}
+	eng, ok := s.readEngine(w, r)
+	if !ok {
+		return
+	}
+	snap := eng.Current()
+	g := snap.Graph()
+	for _, v := range req.Seeds {
+		if v < 0 || int(v) >= g.NumVertices() {
+			writeError(w, r, http.StatusNotFound, CodeUnknownVertex, "seeds",
+				fmt.Sprintf("unknown vertex %d", v))
+			return
+		}
+		if !s.cfg.Shard.Owns(v) {
+			writeError(w, r, http.StatusBadRequest, CodeWrongShard, "seeds",
+				fmt.Sprintf("seed %d is owned by shard %d, not shard %d",
+					v, s.cfg.Shard.Map.OwnerOf(v), s.cfg.Shard.ID))
+			return
+		}
+	}
+	members, frontier := s.certFor(eng, snap).Expand(req.Seeds, req.K)
+	resp := ShardExpandResponse{Members: make([]ShardVertexJSON, len(members)), Frontier: frontier}
+	for i, v := range members {
+		resp.Members[i] = shardVertex(g, v)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleShardRange(w http.ResponseWriter, r *http.Request) {
+	var req ShardRangeRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if !geom.Finite(req.X) || !geom.Finite(req.Y) || !geom.Finite(req.R) || req.R < 0 {
+		writeError(w, r, http.StatusBadRequest, CodeInvalidArgument, "r",
+			fmt.Sprintf("disk (%v, %v, r=%v) must be finite with r >= 0", req.X, req.Y, req.R))
+		return
+	}
+	eng, ok := s.readEngine(w, r)
+	if !ok {
+		return
+	}
+	snap := eng.Current()
+	g := snap.Graph()
+	circle := geom.Circle{C: geom.Point{X: req.X, Y: req.Y}, R: req.R}
+	var resp ShardRangeResponse
+	// Same closed-disk predicate (geom.Eps tolerance) as θ-SAC's own scan,
+	// so the assembled membership matches a single-engine run bit for bit.
+	for v := 0; v < g.NumVertices(); v++ {
+		if s.cfg.Shard.Owns(graph.V(v)) && circle.Contains(g.Loc(graph.V(v))) {
+			resp.Members = append(resp.Members, shardVertex(g, graph.V(v)))
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// shardVertex snapshots one owned vertex for the wire: location plus full
+// adjacency (complete by the subgraph invariant — every edge of an owned
+// vertex is materialized on its owner).
+func shardVertex(g *graph.Graph, v graph.V) ShardVertexJSON {
+	loc := g.Loc(v)
+	adj := g.Neighbors(v)
+	out := ShardVertexJSON{V: v, X: loc.X, Y: loc.Y}
+	if len(adj) > 0 {
+		out.Adj = append([]graph.V(nil), adj...)
+	}
+	return out
+}

@@ -100,6 +100,22 @@ func clampInt(v, lo, hi int) int {
 // NumPoints returns the number of indexed points.
 func (g *Grid) NumPoints() int { return len(g.pts) }
 
+// Dims returns the grid dimensions (columns, rows).
+func (g *Grid) Dims() (cols, rows int) { return g.cols, g.rows }
+
+// CellIndex returns the row-major cell index p falls into (clamped to the
+// grid, like every internal lookup).
+func (g *Grid) CellIndex(p geom.Point) int { return g.cellOf(p) }
+
+// Bucket returns the point ids indexed in the row-major cell idx. The slice
+// is the grid's own storage — callers must not mutate it.
+func (g *Grid) Bucket(idx int) []graph.V {
+	if idx < 0 || idx >= len(g.buckets) {
+		return nil
+	}
+	return g.buckets[idx]
+}
+
 // InCircle appends to dst every indexed point id inside the closed disk c
 // (with geom.Eps tolerance) and returns dst.
 func (g *Grid) InCircle(c geom.Circle, dst []graph.V) []graph.V {

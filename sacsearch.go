@@ -30,7 +30,12 @@
 // format. Serving survives node loss too: NewReplicaShipper streams a
 // store's WAL to ReplicaFollower nodes that serve read-only replicas of the
 // state, with fencing epochs (FenceLeader, ErrFenced) guaranteeing a
-// deposed leader cannot fork history.
+// deposed leader cannot fork history. Serving scales out as well:
+// PartitionGraph cuts a graph into spatially coherent shards (ShardMap,
+// ShardSubgraph), each shard runs the full engine stack on its subgraph
+// (`sacserver -shard-id/-shard-map`), and NewShardRouter fronts them with
+// the same /v1 API, answering single-shard queries from one shard and
+// scatter-gathering cross-shard ones exactly.
 //
 // # Quick start
 //
@@ -83,6 +88,8 @@ import (
 	"sacsearch/internal/graph"
 	"sacsearch/internal/metrics"
 	"sacsearch/internal/replica"
+	"sacsearch/internal/router"
+	"sacsearch/internal/shard"
 	"sacsearch/internal/snapshot"
 	"sacsearch/internal/store"
 )
@@ -322,6 +329,63 @@ func FenceLeader(addr string, epoch uint64, timeout time.Duration) (uint64, erro
 // ErrFenced reports a write rejected because a newer leader epoch fenced
 // this store.
 var ErrFenced = store.ErrFenced
+
+// Spatial sharding & scatter-gather routing (cmd/sacshard cuts the
+// artifacts, `sacserver -shard-id -shard-map` serves one shard, and
+// cmd/sacrouter — or an embedded ShardRouter — fronts the topology with
+// the unchanged /v1 API). A ShardMap is the deterministic spatial
+// partition of a graph's vertices; each shard serves the ShardSubgraph
+// induced by its owned vertices plus ghost copies of their cross-shard
+// neighbors, on the same engine/WAL/replication stack a single node runs.
+type (
+	// ShardMap assigns every vertex to exactly one owning shard; the same
+	// graph and shard count always produce the identical map, and its
+	// Checksum is how router and shards verify they agree.
+	ShardMap = shard.Map
+	// ShardServing is one node's identity inside a sharded topology: the
+	// map plus this node's shard id.
+	ShardServing = shard.Serving
+	// ShardRouter is the scatter-gather /v1 front: owner-first routing for
+	// single-shard answers, exact cross-shard assembly otherwise.
+	ShardRouter = router.Router
+	// ShardRouterConfig configures a ShardRouter: the map plus one
+	// endpoint group (leader first, then read replicas) per shard.
+	ShardRouterConfig = router.Config
+)
+
+// PartitionGraph cuts g into the given number of spatially coherent shards
+// (1 to 65536) by walking a location grid, balancing owned-vertex counts.
+// The cut is deterministic: identical input yields an identical map.
+func PartitionGraph(g *Graph, shards int) (*ShardMap, error) {
+	return shard.Partition(g, shards)
+}
+
+// ShardSubgraph extracts the subgraph shard id serves: the full vertex-id
+// space with every edge incident to an owned vertex, so owned vertices see
+// their true global degree and cross-shard neighbors appear as ghosts.
+func ShardSubgraph(g *Graph, m *ShardMap, id int) (*Graph, error) {
+	return shard.Subgraph(g, m, id)
+}
+
+// NewShardServing validates and packages one node's shard identity.
+func NewShardServing(m *ShardMap, id int) (*ShardServing, error) {
+	return shard.NewServing(m, id)
+}
+
+// WriteShardMap writes m in the versioned, checksummed artifact format
+// sacshard produces and `sacserver -shard-map`/sacrouter read.
+func WriteShardMap(w io.Writer, m *ShardMap) error { return m.WriteMap(w) }
+
+// ReadShardMap reads a shard-map artifact, verifying its checksum.
+func ReadShardMap(r io.Reader) (*ShardMap, error) { return shard.ReadMap(r) }
+
+// NewShardRouter creates the scatter-gather router over an already-running
+// sharded topology. It is an http.Handler serving the same /v1 contract as
+// a single sacserver; Router.CheckTopology verifies every shard is
+// reachable and serving the same map.
+func NewShardRouter(cfg ShardRouterConfig) (*ShardRouter, error) {
+	return router.New(cfg)
+}
 
 // Batch processing (Section 6 future work: answering many SAC queries at
 // once with a shared decomposition and parallel workers).

@@ -9,29 +9,49 @@
 //	sacbench -exp fig12exact -paper     # start from the paper-sized config
 //	sacbench -benchjson BENCH_4.json    # machine-readable perf snapshot
 //	sacbench -exp fig10 -load g.sacg    # bench a saved graph file
+//	sacbench -benchjson BENCH_8.json -scale 1 -gate-parallel 2  # CI scaling gate
+//	sacbench -exp fig10 -cpuprofile cpu.out -memprofile mem.out
 //
 // Output goes to stdout; redirect to keep a record alongside EXPERIMENTS.md.
 // The -benchjson report records repeated-query ns/op and allocs/op with the
 // candidate cache on/off, the cache speedup, batch scaling per worker
 // count, edge-churn throughput (incremental core maintenance vs
 // re-decomposition), serving throughput (lock-coupled vs snapshot-isolated
-// reads under concurrent churn, plus mid-Exact cancellation latency), and
+// reads under concurrent churn, plus mid-Exact cancellation latency),
 // durability costs (WAL append throughput per fsync policy, crash-recovery
-// time vs WAL length with and without checkpoint truncation), so
-// regressions are visible PR over PR.
+// time vs WAL length with and without checkpoint truncation), sharding
+// latency, and intra-query parallelism (serial vs parallel Exact/Exact+
+// across worker counts, shared-oracle batching on/off), so regressions are
+// visible PR over PR.
+//
+// -gate-parallel turns the parallelism section into a CI gate: the run
+// fails unless the best measured Exact/Exact+ speedup reaches the given
+// factor. Machines with fewer than 4 CPUs skip the gate with a log line
+// instead of failing — a 1-core runner measuring ~1× is expected physics,
+// not a regression.
 package main
 
 import (
-	"flag"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+
+	"flag"
 
 	"sacsearch/internal/exp"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body behind one normal return path, so the profile-flushing
+// defers execute on failures too (os.Exit would skip them).
+func run() int {
 	var (
 		expID     = flag.String("exp", "", "experiment id to run, or 'all'")
 		list      = flag.Bool("list", false, "list experiment ids and exit")
@@ -43,12 +63,51 @@ func main() {
 		seed      = flag.Int64("seed", 0, "workload seed (0 = config default)")
 		load      = flag.String("load", "", "bench a saved binary graph file instead of the dataset presets")
 		benchJSON = flag.String("benchjson", "", "write the hot-path perf report as JSON to this file ('-' for stdout)")
+
+		procs        = flag.Int("procs", 0, "set GOMAXPROCS for the run (0 = leave the runtime default, normally all cores)")
+		gateParallel = flag.Float64("gate-parallel", 0, "with -benchjson: fail unless the best parallel Exact/Exact+ speedup reaches this factor (skipped with a log line when NumCPU < 4)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sacbench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "sacbench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sacbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "sacbench: %v\n", err)
+			}
+		}()
+	}
+
 	if *load != "" && *datasets != "" {
 		fmt.Fprintln(os.Stderr, "sacbench: -load and -datasets are mutually exclusive")
-		os.Exit(2)
+		return 2
 	}
 
 	if *list {
@@ -56,11 +115,11 @@ func main() {
 			e := exp.Registry[id]
 			fmt.Printf("%-12s %s\n", id, e.Title)
 		}
-		return
+		return 0
 	}
 	if *expID == "" && *benchJSON == "" {
 		fmt.Fprintln(os.Stderr, "sacbench: -exp or -benchjson is required (try -list)")
-		os.Exit(2)
+		return 2
 	}
 
 	cfg := exp.DefaultConfig()
@@ -91,22 +150,34 @@ func main() {
 	}
 
 	if *benchJSON != "" {
+		rep, err := exp.Perf(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sacbench: %v\n", err)
+			return 1
+		}
 		out := os.Stdout
 		if *benchJSON != "-" {
 			f, err := os.Create(*benchJSON)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "sacbench: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			defer f.Close()
 			out = f
 		}
-		if err := exp.WritePerfJSON(cfg, out); err != nil {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintf(os.Stderr, "sacbench: %v\n", err)
-			os.Exit(1)
+			return 1
+		}
+		if *gateParallel > 0 {
+			if code := gate(rep, *gateParallel); code != 0 {
+				return code
+			}
 		}
 		if *expID == "" {
-			return
+			return 0
 		}
 	}
 
@@ -118,6 +189,32 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sacbench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// gate enforces -gate-parallel against the report's parallelism section.
+// The bar applies to the best speedup either exact algorithm reached; small
+// machines skip with an explanatory line so single-core CI runners don't
+// fail on physics.
+func gate(rep *exp.PerfReport, threshold float64) int {
+	if runtime.NumCPU() < 4 {
+		fmt.Fprintf(os.Stderr, "sacbench: -gate-parallel %.2g skipped: only %d CPUs (need ≥ 4 for a meaningful scaling gate)\n",
+			threshold, runtime.NumCPU())
+		return 0
+	}
+	best := 0.0
+	for _, ap := range []*exp.ParallelAlgoPerf{rep.Parallel.Exact, rep.Parallel.ExactPlus} {
+		if ap != nil && ap.MaxSpeedup > best {
+			best = ap.MaxSpeedup
+		}
+	}
+	if best < threshold {
+		fmt.Fprintf(os.Stderr, "sacbench: parallel gate FAILED: best Exact/Exact+ speedup %.2fx < required %.2fx (gomaxprocs %d, numcpu %d)\n",
+			best, threshold, runtime.GOMAXPROCS(0), runtime.NumCPU())
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "sacbench: parallel gate passed: best speedup %.2fx ≥ %.2fx\n", best, threshold)
+	return 0
 }

@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"sacsearch/internal/debugserve"
 	"sacsearch/internal/router"
 	"sacsearch/internal/shard"
 )
@@ -39,8 +40,11 @@ func main() {
 		maxBody   = flag.Int64("max-body", 1<<20, "maximum POST body size in bytes")
 		bootWait  = flag.Duration("boot-wait", 30*time.Second, "how long to wait for all shards to come up at boot (0 = don't wait)")
 		grace     = flag.Duration("grace", 20*time.Second, "shutdown drain period for in-flight requests")
+		queryPar  = flag.Int("query-parallelism", 0, "intra-query parallelism budget for local assembly runs, scaled down by in-flight load (0 = serial)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off when empty; keep it firewalled)")
 	)
 	flag.Parse()
+	debugserve.Serve(*pprofAddr, log.Printf)
 
 	if *mapPath == "" || *shardsArg == "" {
 		log.Fatal("sacrouter: -shard-map and -shards are required")
@@ -57,10 +61,11 @@ func main() {
 
 	groups := parseShards(*shardsArg)
 	rt, err := router.New(router.Config{
-		Map:          m,
-		Shards:       groups,
-		QueryTimeout: *qTimeout,
-		MaxBodyBytes: *maxBody,
+		Map:              m,
+		Shards:           groups,
+		QueryTimeout:     *qTimeout,
+		MaxBodyBytes:     *maxBody,
+		QueryParallelism: *queryPar,
 	})
 	if err != nil {
 		log.Fatalf("sacrouter: %v", err)

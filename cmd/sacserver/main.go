@@ -71,6 +71,7 @@ import (
 	"time"
 
 	"sacsearch/internal/dataset"
+	"sacsearch/internal/debugserve"
 	"sacsearch/internal/graph"
 	"sacsearch/internal/replica"
 	"sacsearch/internal/server"
@@ -99,8 +100,12 @@ func main() {
 
 		shardID  = flag.Int("shard-id", -1, "serve as this shard of a partitioned topology (requires -shard-map)")
 		shardMap = flag.String("shard-map", "", "shard-map artifact written by sacshard (requires -shard-id)")
+
+		queryPar  = flag.Int("query-parallelism", 0, "intra-query parallelism budget per query, scaled down by in-flight load (0 = serial)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off when empty; keep it firewalled)")
 	)
 	flag.Parse()
+	debugserve.Serve(*pprofAddr, log.Printf)
 
 	if *fence != "" {
 		runFence(*fence, *fenceEpoch)
@@ -119,7 +124,7 @@ func main() {
 		log.Fatal("sacserver: -load and -dataset are mutually exclusive")
 	}
 
-	cfg := server.Config{QueryTimeout: *qTimeout, MaxBodyBytes: *maxBody, StalenessBound: *staleBound}
+	cfg := server.Config{QueryTimeout: *qTimeout, MaxBodyBytes: *maxBody, StalenessBound: *staleBound, QueryParallelism: *queryPar}
 	srvName := graphName(*load, *name)
 
 	// Shard identity applies in every mode — a leader, a durable node, or a

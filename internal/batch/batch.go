@@ -124,6 +124,17 @@ type Options struct {
 	// EpsA is AppAcc's / ExactPlus's εA (default 0.5 for AppAcc, 1e-3 for
 	// ExactPlus). Legacy; prefer Template.
 	EpsA float64
+	// SharedOracle front-loads one shared candidate plan table for the
+	// batch's distinct (q, k) pairs — community BFS, induced CSR and prefix
+	// oracle built once on a single worker and shared read-only by every
+	// worker in the call — instead of each worker rebuilding them in its own
+	// cache. Worth it when many queries land in the same communities (the
+	// common event-recommendation shape). Applies to Run/RunOn with the
+	// k-core structure metric and a candidate-based algorithm; other
+	// configurations ignore it. The table is epoch-guarded, so a snapshot
+	// republication between build and execution costs time, never
+	// correctness.
+	SharedOracle bool
 }
 
 func (o Options) workers() int {
@@ -227,6 +238,26 @@ func RunOn(ctx context.Context, p Source, queries []Query, opt Options) []Item {
 	if workers > len(order) {
 		workers = len(order)
 	}
+
+	// Shared-oracle mode: plan the deduplicated (q, k) set once, up front, on
+	// a single worker. BuildSharedPlans returns nil for structure metrics
+	// without prefix oracles, and θ-SAC never touches the candidate
+	// machinery, so those fall back to the unshared path unchanged.
+	var plans *core.SharedPlans
+	if opt.SharedOracle && ctx.Err() == nil {
+		if spec, ok := core.LookupAlgo(tmpl.Algo); !ok || spec.Name != "theta" {
+			keys := make([]core.PlanKey, len(order))
+			for i, q := range order {
+				keys[i] = core.PlanKey{Q: q.Q, K: q.K}
+			}
+			func() {
+				w := p.Get()
+				defer p.Put(w)
+				plans = core.BuildSharedPlans(w, keys)
+			}()
+		}
+	}
+
 	if workers <= 1 {
 		// Run inline on a single pooled worker; no goroutines to coordinate.
 		// The deferred Put matches the worker-goroutine path: if run panics
@@ -235,6 +266,10 @@ func RunOn(ctx context.Context, p Source, queries []Query, opt Options) []Item {
 		func() {
 			w := p.Get()
 			defer p.Put(w)
+			if plans != nil {
+				w.SetSharedPlans(plans)
+				defer w.SetSharedPlans(nil)
+			}
 			for i, q := range order {
 				if err := ctx.Err(); err != nil {
 					cancelFrom(i, err)
@@ -253,6 +288,10 @@ func RunOn(ctx context.Context, p Source, queries []Query, opt Options) []Item {
 				defer wg.Done()
 				ws := p.Get()
 				defer p.Put(ws)
+				if plans != nil {
+					ws.SetSharedPlans(plans)
+					defer ws.SetSharedPlans(nil)
+				}
 				for q := range feed {
 					res, err := run(ctx, ws, q, tmpl)
 					items[slots[q].first] = Item{Query: q, Result: res, Err: err}

@@ -347,3 +347,87 @@ func BenchmarkBatch(b *testing.B) {
 		})
 	}
 }
+
+// TestSharedOracleMatchesUnshared pins the shared-plan differential: with
+// SharedOracle on, every item — across worker counts and every candidate-
+// based algorithm — must match the unshared run exactly.
+func TestSharedOracleMatchesUnshared(t *testing.T) {
+	g := clusteredGraph(13, 6, 8, 20)
+	s := core.NewSearcher(g)
+	var queries []Query
+	for v := 0; v < g.NumVertices(); v += 2 {
+		queries = append(queries, Query{Q: graph.V(v), K: 4})
+		queries = append(queries, Query{Q: graph.V(v), K: 4}) // duplicates exercise fan-out
+	}
+	for _, algo := range []string{"appfast", "appinc", "appacc", "exact+"} {
+		tmpl := core.Query{Algo: algo}
+		base := RunOn(context.Background(), core.NewPool(s), queries, Options{Workers: 1, Template: tmpl})
+		for _, workers := range []int{1, 4} {
+			shared := RunOn(context.Background(), core.NewPool(s), queries,
+				Options{Workers: workers, Template: tmpl, SharedOracle: true})
+			if len(shared) != len(base) {
+				t.Fatalf("%s workers=%d: %d items vs %d", algo, workers, len(shared), len(base))
+			}
+			for i := range base {
+				if (base[i].Err != nil) != (shared[i].Err != nil) {
+					t.Fatalf("%s workers=%d item %d: err %v vs %v", algo, workers, i, shared[i].Err, base[i].Err)
+				}
+				if base[i].Err != nil {
+					continue
+				}
+				if !sameMembers(base[i].Result.Members, shared[i].Result.Members) {
+					t.Fatalf("%s workers=%d item %d: members %v vs %v",
+						algo, workers, i, shared[i].Result.Members, base[i].Result.Members)
+				}
+				if base[i].Result.MCC != shared[i].Result.MCC {
+					t.Fatalf("%s workers=%d item %d: MCC %+v vs %+v",
+						algo, workers, i, shared[i].Result.MCC, base[i].Result.MCC)
+				}
+			}
+		}
+	}
+}
+
+// TestSharedPlansEpochFallback pins the staleness guard: a plan table built
+// before a location mutation must miss afterwards (epoch changed), with the
+// searcher transparently falling back to its own candidate path and still
+// answering correctly.
+func TestSharedPlansEpochFallback(t *testing.T) {
+	g := clusteredGraph(17, 4, 8, 10)
+	builder := core.NewSearcher(g)
+	plans := core.BuildSharedPlans(builder, []core.PlanKey{{Q: 0, K: 4}, {Q: 5, K: 4}})
+	if plans == nil || plans.Len() == 0 {
+		t.Fatal("no plans built")
+	}
+
+	// Fresh-table sanity: planned query answers match an unplanned searcher.
+	s := core.NewSearcher(g)
+	want, werr := s.AppFast(0, 4, 0.5)
+	ps := core.NewSearcher(g)
+	ps.SetSharedPlans(plans)
+	got, gerr := ps.AppFast(0, 4, 0.5)
+	if (werr == nil) != (gerr == nil) {
+		t.Fatalf("fresh table: err %v vs %v", gerr, werr)
+	}
+	if werr == nil && !sameMembers(want.Members, got.Members) {
+		t.Fatalf("fresh table: members %v vs %v", got.Members, want.Members)
+	}
+
+	// Mutate a location: the epoch guard must reject the table and the
+	// searcher must still answer — possibly differently, matching any
+	// plain searcher on the mutated graph.
+	g.SetLoc(0, geom.Point{X: 0.99, Y: 0.99})
+	want2, werr2 := core.NewSearcher(g).AppFast(0, 4, 0.5)
+	got2, gerr2 := ps.AppFast(0, 4, 0.5)
+	if (werr2 == nil) != (gerr2 == nil) {
+		t.Fatalf("stale table: err %v vs %v", gerr2, werr2)
+	}
+	if werr2 == nil {
+		if !sameMembers(want2.Members, got2.Members) {
+			t.Fatalf("stale table: members %v vs %v", got2.Members, want2.Members)
+		}
+		if want2.MCC != got2.MCC {
+			t.Fatalf("stale table: MCC %+v vs %+v", got2.MCC, want2.MCC)
+		}
+	}
+}

@@ -188,6 +188,20 @@ type Searcher struct {
 	// back to every candidate within O(q, 2γ)); ablation use only.
 	noAnnulus bool
 
+	// parallel is the worker budget for intra-query parallel circle
+	// enumeration (see parallel.go); 0 and 1 both mean serial. parWorkers
+	// caches the lazily cloned enumeration workers, and parGrid points a
+	// worker at the dispatching searcher's per-query candidate grid
+	// (read-only after Build) for the duration of one scan.
+	parallel   int
+	parWorkers []*Searcher
+	parGrid    *spatial.SubGrid
+
+	// sharedPlans, when set, resolves candidate sets from an immutable
+	// prebuilt plan table shared read-only across searchers (see shared.go);
+	// epoch-guarded, with transparent fallback to the normal path.
+	sharedPlans *SharedPlans
+
 	stats Stats // counters for the query in flight
 
 	// qctx is the context of the query in flight (nil when the query is not
@@ -222,6 +236,23 @@ func (s *Searcher) SetCandidateCaching(enabled bool) {
 // CachedCommunities returns the number of distinct communities currently
 // memoized by the candidate cache.
 func (s *Searcher) CachedCommunities() int { return s.cache.entries() }
+
+// SetParallelism sets the worker budget for intra-query parallel circle
+// enumeration (Exact and ExactPlus pair/triple scans). 0 and 1 both mean
+// serial — the default, which runs the exact byte-for-byte serial code
+// path. n ≥ 2 fans the outer enumeration loop out over up to n workers;
+// results are pinned identical to serial by the differential suite. The
+// budget carries across Clone and SnapshotOnto, so setting it on a pool or
+// snapshot base propagates to every worker drawn from it.
+func (s *Searcher) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.parallel = n
+}
+
+// Parallelism returns the current intra-query parallelism budget.
+func (s *Searcher) Parallelism() int { return s.parallel }
 
 // NewSearcher creates a Searcher with the default k-core structure metric.
 func NewSearcher(g *graph.Graph) *Searcher {
@@ -267,6 +298,7 @@ func (s *Searcher) Clone() *Searcher {
 		noCache:    s.noCache,
 		noPruning2: s.noPruning2,
 		noAnnulus:  s.noAnnulus,
+		parallel:   s.parallel,
 	}
 	switch s.structure {
 	case StructureKTruss:
@@ -424,6 +456,25 @@ func (s *Searcher) candidates(q graph.V, k int) (*candidateSet, error) {
 		s.cache.clear()
 		s.localEntry = nil
 		s.cacheTopo = te
+	}
+	// A shared plan table (batch execution pinned to one snapshot) answers
+	// first: the plan's entry and view are fully prebuilt — induced CSR and
+	// prefix oracle included — so every lazy-build mutation path is a no-op
+	// and the plan is safe to share read-only across workers. The lookup is
+	// epoch-guarded; a stale table silently falls through to the normal path.
+	if p := s.sharedPlans; p != nil {
+		if pl := p.lookup(s.g, q, k); pl != nil {
+			if pl.entry.members == nil {
+				return nil, ErrNoCommunity
+			}
+			s.curEntry = pl.entry
+			s.curView = &pl.view
+			s.bindLocal(pl.entry)
+			s.cand = candidateSet{verts: pl.view.verts, dists: pl.view.dists}
+			s.stats.CandidateSize = len(pl.view.verts)
+			s.stats.CacheHits++
+			return &s.cand, nil
+		}
 	}
 	if s.noCache {
 		members := s.communityOf(q, k)

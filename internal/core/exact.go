@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"math"
 
 	"sacsearch/internal/geom"
 	"sacsearch/internal/graph"
@@ -47,9 +46,14 @@ func (s *Searcher) ExactCtx(ctx context.Context, q graph.V, k int) (*Result, err
 	// members with an output-sensitive range query instead of scanning X.
 	s.sGrid.Build(s.g, X, gridTargetPerCell)
 
-	rcur := math.Inf(1)
-	best := s.bestBuf[:0]
-	found := false
+	// Seed the incumbent before the scan, not after it: X itself is feasible
+	// (it is the connected k-structure containing q), so its MCC bounds ropt
+	// from above and makes the d[i] > 2·rcur break and the Lemma 2 filters
+	// tight from the first iteration. The degenerate pair {X[0], X[1]} — the
+	// loop starts at i = 2 and never forms it — is likewise tried up front.
+	s.ptsBuf = s.g.Points(X, s.ptsBuf[:0])
+	rcur := geom.MCC(s.ptsBuf).R
+	best := append(s.bestBuf[:0], X...)
 
 	// tryCircle tests one fixed circle and updates the incumbent.
 	tryCircle := func(cc geom.Circle) {
@@ -72,52 +76,52 @@ func (s *Searcher) ExactCtx(ctx context.Context, q graph.V, k int) (*Result, err
 			if mcc.R < rcur {
 				rcur = mcc.R
 				best = append(best[:0], c...)
-				found = true
 			}
 		}
 	}
 
-enum:
-	for i := 2; i < len(X); i++ {
-		if d[i] > 2*rcur {
-			break // Algorithm 1, line 13
-		}
-		for j := 0; j < i; j++ {
-			if s.canceled() {
-				break enum
-			}
-			// Pair-fixed circle: segment X[j]X[i] as diameter (Lemma 1).
-			pj := s.g.Loc(X[j])
-			pi := s.g.Loc(X[i])
-			if pj.Dist(pi) <= 2*rcur {
-				tryCircle(geom.CircleFrom2(pj, pi))
-			}
-			for h := j + 1; h < i; h++ {
-				if s.canceledTick() {
-					break enum
-				}
-				ph := s.g.Loc(X[h])
-				// Lemma 2: all pairwise distances in Ψ are ≤ 2·ropt < 2·rcur.
-				if pj.Dist(ph) > 2*rcur || ph.Dist(pi) > 2*rcur || pj.Dist(pi) > 2*rcur {
-					continue
-				}
-				tryCircle(geom.CircleFrom3(pj, ph, pi))
-			}
-		}
-	}
-	// Also the degenerate pairs among the two nearest candidates (i started
-	// at 2, so the pair {X[0], X[1]} was never tried on its own).
 	if len(X) >= 2 {
 		tryCircle(geom.CircleFrom2(s.g.Loc(X[0]), s.g.Loc(X[1])))
+	}
+
+	if ws := s.parWorkersFor(len(X) - 2); ws != nil {
+		if r, c, ok := s.exactScanPar(ctx, ws, X, d, qLoc, q, k, rcur); ok {
+			rcur = r
+			best = append(best[:0], c...)
+		}
+	} else {
+	enum:
+		for i := 2; i < len(X); i++ {
+			if d[i] > 2*rcur {
+				break // Algorithm 1, line 13
+			}
+			for j := 0; j < i; j++ {
+				if s.canceled() {
+					break enum
+				}
+				// Pair-fixed circle: segment X[j]X[i] as diameter (Lemma 1).
+				pj := s.g.Loc(X[j])
+				pi := s.g.Loc(X[i])
+				if pj.Dist(pi) <= 2*rcur {
+					tryCircle(geom.CircleFrom2(pj, pi))
+				}
+				for h := j + 1; h < i; h++ {
+					if s.canceledTick() {
+						break enum
+					}
+					ph := s.g.Loc(X[h])
+					// Lemma 2: all pairwise distances in Ψ are ≤ 2·ropt < 2·rcur.
+					if pj.Dist(ph) > 2*rcur || ph.Dist(pi) > 2*rcur || pj.Dist(pi) > 2*rcur {
+						continue
+					}
+					tryCircle(geom.CircleFrom3(pj, ph, pi))
+				}
+			}
+		}
 	}
 	s.bestBuf = best
 	if s.ctxErr != nil {
 		return s.ctxResult(nil, nil)
-	}
-	if !found {
-		// Unreachable: X itself is feasible and its MCC is fixed by ≤ 3 of
-		// its vertices, which the enumeration covers.
-		return nil, ErrNoCommunity
 	}
 	res := s.buildResult(q, k, best, rcur)
 	return s.finish(res, start), nil

@@ -106,39 +106,46 @@ func (s *Searcher) ExactPlusCtx(ctx context.Context, q graph.V, k int, epsA floa
 	// Enumerate F1 pairs and triples with the distance filters of
 	// Algorithm 5, lines 6-10. rcur tightens as better solutions appear,
 	// narrowing the filters further.
-enum:
-	for i1, v1 := range f1 {
-		p1 := s.g.Loc(v1)
-		for i2, v2 := range f1 {
-			if i2 <= i1 {
-				continue
-			}
-			if s.canceled() {
-				break enum
-			}
-			p2 := s.g.Loc(v2)
-			d12 := p1.Dist(p2)
-			// v2 plays the farthest-fixed-vertex role: Lemma 2 puts the
-			// largest fixed-vertex distance in [√3·ropt, 2·ropt] ⊆
-			// [√3·rMinus, 2·rcur].
-			if d12 < sqrt3*rMinus-geom.Eps || d12 > 2*rcur+geom.Eps {
-				continue
-			}
-			// Two fixed vertices: diameter circle.
-			tryCircle(geom.CircleFrom2(p1, p2))
-			// Third fixed vertex: no farther from v1 than v2 is (F3 filter).
-			for i3, v3 := range f1 {
-				if i3 == i1 || i3 == i2 {
+	if ws := s.parWorkersFor(len(f1)); ws != nil {
+		if r, c, ok := s.exactPlusScanPar(ctx, ws, f1, rMinus, qLoc, q, k, rcur); ok {
+			rcur = r
+			best = append(best[:0], c...)
+		}
+	} else {
+	enum:
+		for i1, v1 := range f1 {
+			p1 := s.g.Loc(v1)
+			for i2, v2 := range f1 {
+				if i2 <= i1 {
 					continue
 				}
-				if s.canceledTick() {
+				if s.canceled() {
 					break enum
 				}
-				p3 := s.g.Loc(v3)
-				if p1.Dist(p3) > d12+geom.Eps || p2.Dist(p3) > d12+geom.Eps {
+				p2 := s.g.Loc(v2)
+				d12 := p1.Dist(p2)
+				// v2 plays the farthest-fixed-vertex role: Lemma 2 puts the
+				// largest fixed-vertex distance in [√3·ropt, 2·ropt] ⊆
+				// [√3·rMinus, 2·rcur].
+				if d12 < sqrt3*rMinus-geom.Eps || d12 > 2*rcur+geom.Eps {
 					continue
 				}
-				tryCircle(geom.CircleFrom3(p1, p2, p3))
+				// Two fixed vertices: diameter circle.
+				tryCircle(geom.CircleFrom2(p1, p2))
+				// Third fixed vertex: no farther from v1 than v2 is (F3 filter).
+				for i3, v3 := range f1 {
+					if i3 == i1 || i3 == i2 {
+						continue
+					}
+					if s.canceledTick() {
+						break enum
+					}
+					p3 := s.g.Loc(v3)
+					if p1.Dist(p3) > d12+geom.Eps || p2.Dist(p3) > d12+geom.Eps {
+						continue
+					}
+					tryCircle(geom.CircleFrom3(p1, p2, p3))
+				}
 			}
 		}
 	}

@@ -43,6 +43,7 @@ func (s *Searcher) SnapshotOnto(g *graph.Graph, coresFrom *Searcher) *Searcher {
 		noCache:    s.noCache,
 		noPruning2: s.noPruning2,
 		noAnnulus:  s.noAnnulus,
+		parallel:   s.parallel,
 	}
 	return snap
 }

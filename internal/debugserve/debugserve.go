@@ -1,0 +1,50 @@
+// Package debugserve exposes the Go runtime profiling endpoints
+// (net/http/pprof) on a dedicated listener, opt-in only.
+//
+// The handlers are registered on a private mux rather than by importing
+// net/http/pprof for its side effect: the blank import registers on
+// http.DefaultServeMux, which would silently attach profiling to any
+// component in the process that serves DefaultServeMux. Keeping the
+// endpoints on their own address also keeps them off the public API
+// listener, so operators can firewall the debug port independently.
+package debugserve
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns a mux serving the standard pprof surface under
+// /debug/pprof/.
+func Handler() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the pprof listener on addr in a background goroutine and
+// reports outcomes through logf. An empty addr is a no-op, so callers can
+// pass their -pprof-addr flag value straight through. Profile and trace
+// requests stream for a caller-chosen duration, so the server deliberately
+// sets no write timeout.
+func Serve(addr string, logf func(format string, args ...any)) {
+	if addr == "" {
+		return
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		logf("pprof: serving /debug/pprof/ on %s", addr)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			logf("pprof: %v", err)
+		}
+	}()
+}

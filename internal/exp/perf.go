@@ -33,12 +33,15 @@ import (
 // baseline vs snapshot-isolated readers under the same write churn, plus
 // mid-Exact cancellation latency), durability costs (WAL group-commit
 // append throughput per fsync policy; crash-recovery time against WAL
-// length with and without checkpoint truncation), and sharding costs
+// length with and without checkpoint truncation), sharding costs
 // (direct vs routed single-shard vs routed cross-shard query latency
-// through a 2-shard scatter-gather topology) — so the performance
+// through a 2-shard scatter-gather topology), and intra-query parallelism
+// (serial vs parallel Exact/Exact+ circle enumeration across worker
+// counts, plus the shared-oracle batch mode on/off) — so the performance
 // trajectory is recorded PR over PR (BENCH_1.json, BENCH_2.json with the
 // churn metric, BENCH_3.json with the serving metrics, BENCH_4.json with
-// the durability metrics, BENCH_7.json with the sharding metrics).
+// the durability metrics, BENCH_7.json with the sharding metrics,
+// BENCH_8.json with the parallelism metrics).
 // Measurements use testing.Benchmark so ns/op and allocs/op match what
 // `go test -bench` reports.
 
@@ -56,11 +59,16 @@ type BatchScalePoint struct {
 	// Speedup is sequential ns/query divided by this point's ns/query;
 	// near-linear scaling approaches Workers (bounded by GOMAXPROCS).
 	Speedup float64 `json:"speedup"`
+	// GoMaxProcs and NumCPU record the conditions the row was measured
+	// under, so a flat curve is attributable (1 core, or an artificially
+	// lowered GOMAXPROCS) instead of looking like a scaling regression.
+	GoMaxProcs int `json:"gomaxprocs"`
+	NumCPU     int `json:"numcpu"`
 }
 
 // PerfReport is the full snapshot sacbench writes as JSON.
 type PerfReport struct {
-	Schema     string  `json:"schema"` // "sacsearch-bench/7"
+	Schema     string  `json:"schema"` // "sacsearch-bench/8"
 	Dataset    string  `json:"dataset"`
 	Scale      float64 `json:"scale"`
 	Queries    int     `json:"queries"`
@@ -93,7 +101,64 @@ type PerfReport struct {
 	// latency through a real 2-shard HTTP topology (BENCH_7).
 	Sharding ShardingPerf `json:"sharding"`
 
+	// Parallel: intra-query parallelism — serial vs parallel Exact/Exact+
+	// circle enumeration across worker counts, and the shared-oracle batch
+	// mode on/off (BENCH_8).
+	Parallel ParallelPerf `json:"parallel"`
+
 	ElapsedMillis int64 `json:"elapsedMillis"`
+}
+
+// ParallelScalePoint is one worker-count measurement of a single query's
+// circle enumeration.
+type ParallelScalePoint struct {
+	Workers int     `json:"workers"`
+	NsPerOp float64 `json:"nsPerOp"`
+	// Speedup is the serial ns/op divided by this point's ns/op. On a
+	// single-core box every point honestly reads ~1.0 — consult the
+	// per-row GoMaxProcs/NumCPU before calling that a regression.
+	Speedup    float64 `json:"speedup"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"numcpu"`
+}
+
+// ParallelAlgoPerf is one exact algorithm's serial-vs-parallel scaling
+// curve on a fixed workload query.
+type ParallelAlgoPerf struct {
+	Algo string `json:"algo"`
+	Q    int64  `json:"q"`
+	K    int    `json:"k"`
+	// CandidateSize is the measured query's candidate k-ĉore size — the
+	// width the enumeration strips partition.
+	CandidateSize int     `json:"candidateSize"`
+	SerialNsPerOp float64 `json:"serialNsPerOp"`
+	// Points measures the same query with SetParallelism(workers) for each
+	// ladder entry ≥ 2; the parallel results are byte-identical to the
+	// serial ones by construction (the differential tests pin this).
+	Points     []ParallelScalePoint `json:"points"`
+	MaxSpeedup float64              `json:"maxSpeedup"`
+}
+
+// SharedOraclePerf compares one deduplicated batch run with and without the
+// shared candidate-plan table.
+type SharedOraclePerf struct {
+	Workers       int     `json:"workers"`
+	Queries       int     `json:"queries"`
+	OffNsPerQuery float64 `json:"offNsPerQuery"`
+	OnNsPerQuery  float64 `json:"onNsPerQuery"`
+	// Speedup = off ÷ on (> 1 means the shared table paid for itself).
+	Speedup float64 `json:"speedup"`
+}
+
+// ParallelPerf is the BENCH_8 intra-query parallelism measurement set.
+type ParallelPerf struct {
+	// Exact and ExactPlus are nil when no workload query fits under
+	// cfg.ExactCap (nothing to enumerate at a measurable size).
+	Exact     *ParallelAlgoPerf `json:"exact,omitempty"`
+	ExactPlus *ParallelAlgoPerf `json:"exactPlus,omitempty"`
+	// BatchSharedOracle reruns the batch-scaling workload with the shared
+	// plan table off and on at the ladder's top worker count.
+	BatchSharedOracle SharedOraclePerf `json:"batchSharedOracle"`
 }
 
 // WalAppendPoint is one fsync policy's group-commit append throughput,
@@ -183,7 +248,7 @@ func Perf(cfg Config) (*PerfReport, error) {
 		return nil, errNoQueries(name)
 	}
 	rep := &PerfReport{
-		Schema:     "sacsearch-bench/7",
+		Schema:     "sacsearch-bench/8",
 		Dataset:    name,
 		Scale:      cfg.Scale,
 		Queries:    len(queries),
@@ -228,12 +293,7 @@ func Perf(cfg Config) (*PerfReport, error) {
 		work = append(work, batch.Query{Q: q, K: cfg.K})
 	}
 	base := core.NewSearcher(ds.Graph)
-	maxWorkers := runtime.GOMAXPROCS(0)
-	var workerCounts []int
-	for w := 1; w < maxWorkers; w *= 2 {
-		workerCounts = append(workerCounts, w)
-	}
-	workerCounts = append(workerCounts, maxWorkers)
+	workerCounts := workerLadder()
 	var seqNs float64
 	for _, w := range workerCounts {
 		pool := core.NewPool(base)
@@ -255,6 +315,8 @@ func Perf(cfg Config) (*PerfReport, error) {
 			Workers:    w,
 			NsPerQuery: nsPerQuery,
 			Speedup:    sp,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
 		})
 	}
 
@@ -318,8 +380,156 @@ func Perf(cfg Config) (*PerfReport, error) {
 	}
 	rep.Sharding = sharding
 
+	rep.Parallel = measureParallel(ds.Graph, queries, work, cfg)
+
 	rep.ElapsedMillis = time.Since(start).Milliseconds()
 	return rep, nil
+}
+
+// workerLadder is the shared worker-count sweep: powers of two up to the
+// machine's core count. It is derived from NumCPU, not GOMAXPROCS — a
+// process booted with GOMAXPROCS=1 used to collapse the ladder to a single
+// workers:1 row (the BENCH_7 bug), which silently erased the scaling curve.
+// The floor of 2 keeps at least one multi-worker row on a 1-core box; its
+// recorded per-row GoMaxProcs/NumCPU explain the flat speedup there.
+func workerLadder() []int {
+	max := runtime.NumCPU()
+	if max < 2 {
+		max = 2
+	}
+	var counts []int
+	for w := 1; w < max; w *= 2 {
+		counts = append(counts, w)
+	}
+	return append(counts, max)
+}
+
+// measureParallel benchmarks the intra-query parallel enumeration paths and
+// the shared-oracle batch mode (BENCH_8). The Exact/Exact+ arms pick the
+// workload query with the largest candidate set still under cfg.ExactCap —
+// the widest enumeration the harness is allowed to run — and measure the
+// same query serially and at each ladder worker count.
+//
+// At full scale no such query exists: every preset collapses into one giant
+// connected k-core at the workload k, so plain Exact's pairwise enumeration
+// is the paper's >10h case and is honestly skipped (the section stays null).
+// Exact+ survives — the annulus filter is the whole point of Algorithm 5 —
+// so the fallback benches it on the smallest feasible candidate at doubled
+// k, escalating until any query is feasible, and records the chosen (q, k).
+func measureParallel(g *graph.Graph, queries []graph.V, work []batch.Query, cfg Config) ParallelPerf {
+	var out ParallelPerf
+
+	s := core.NewSearcher(g)
+	ladder := workerLadder()
+	measureAlgo := func(algo string, q graph.V, k, size int, run func() error) *ParallelAlgoPerf {
+		ap := &ParallelAlgoPerf{Algo: algo, Q: int64(q), K: k, CandidateSize: size}
+		bench := func(workers int) float64 {
+			s.SetParallelism(workers)
+			defer s.SetParallelism(0)
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			return float64(r.NsPerOp())
+		}
+		ap.SerialNsPerOp = bench(0)
+		for _, w := range ladder {
+			if w < 2 {
+				continue // workers:1 is the serial path by definition
+			}
+			ns := bench(w)
+			sp := 0.0
+			if ns > 0 {
+				sp = ap.SerialNsPerOp / ns
+			}
+			if sp > ap.MaxSpeedup {
+				ap.MaxSpeedup = sp
+			}
+			ap.Points = append(ap.Points, ParallelScalePoint{
+				Workers:    w,
+				NsPerOp:    ns,
+				Speedup:    sp,
+				GoMaxProcs: runtime.GOMAXPROCS(0),
+				NumCPU:     runtime.NumCPU(),
+			})
+		}
+		return ap
+	}
+
+	bestQ := graph.V(-1)
+	bestSize := -1
+	for _, q := range queries {
+		probe, err := s.AppFast(q, cfg.K, 2)
+		if err != nil {
+			continue
+		}
+		if sz := probe.Stats.CandidateSize; sz <= cfg.ExactCap && sz > bestSize {
+			bestQ, bestSize = q, sz
+		}
+	}
+	switch {
+	case bestSize > 0:
+		out.Exact = measureAlgo("exact", bestQ, cfg.K, bestSize, func() error {
+			_, err := s.Exact(bestQ, cfg.K)
+			return err
+		})
+		out.ExactPlus = measureAlgo("exact+", bestQ, cfg.K, bestSize, func() error {
+			_, err := s.ExactPlusDefault(bestQ, cfg.K)
+			return err
+		})
+	default:
+		// Full-scale fallback: smallest feasible candidate at escalating k.
+		// A doubled degree bound thins the core below whole-graph size while
+		// AppAcc's annulus stays tight (pushing k further makes the filter
+		// admit nearly every circle and the scan slower, not faster).
+		for k := 2 * cfg.K; k <= 16*cfg.K; k *= 2 {
+			fbQ, fbSize := graph.V(-1), -1
+			for _, q := range queries {
+				probe, err := s.AppFast(q, k, 2)
+				if err != nil {
+					continue
+				}
+				if sz := probe.Stats.CandidateSize; fbSize < 0 || sz < fbSize {
+					fbQ, fbSize = q, sz
+				}
+			}
+			if fbSize > 0 {
+				out.ExactPlus = measureAlgo("exact+", fbQ, k, fbSize, func() error {
+					_, err := s.ExactPlusDefault(fbQ, k)
+					return err
+				})
+				break
+			}
+		}
+	}
+
+	// Shared-oracle batch mode, off vs on, at the ladder's top worker count.
+	// Same deduplicated workload as the batch-scaling sweep; a fresh pool per
+	// arm so neither inherits the other's warmed caches.
+	topW := ladder[len(ladder)-1]
+	benchBatch := func(shared bool) float64 {
+		pool := core.NewPool(core.NewSearcher(g))
+		opt := batch.Options{Workers: topW, Algorithm: batch.AlgoAppFast, EpsF: 0.5, SharedOracle: shared}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				batch.RunOn(context.Background(), pool, work, opt)
+			}
+		})
+		return float64(r.NsPerOp()) / float64(len(work))
+	}
+	out.BatchSharedOracle = SharedOraclePerf{
+		Workers:       topW,
+		Queries:       len(work),
+		OffNsPerQuery: benchBatch(false),
+		OnNsPerQuery:  benchBatch(true),
+	}
+	if out.BatchSharedOracle.OnNsPerQuery > 0 {
+		out.BatchSharedOracle.Speedup = out.BatchSharedOracle.OffNsPerQuery / out.BatchSharedOracle.OnNsPerQuery
+	}
+	return out
 }
 
 // walAppendBatch is the group-commit batch size the WAL append measurement

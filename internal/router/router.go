@@ -73,6 +73,12 @@ type Config struct {
 	ClientOptions []client.Option
 	// Logf receives router-level events. Default log.Printf.
 	Logf func(format string, args ...any)
+	// QueryParallelism is the intra-query parallelism budget for the local
+	// assembly run of a cross-shard query (the merged-subgraph Exact /
+	// ExactPlus enumeration). As on the server, the budget is divided by the
+	// number of assembly runs in flight (floor 1) so a busy router degrades
+	// to serial per query instead of oversubscribing cores. 0 disables.
+	QueryParallelism int
 }
 
 func (c Config) queryTimeout() time.Duration {
@@ -110,6 +116,9 @@ type Router struct {
 	// router: the partition-time count plus every Changed mutation routed
 	// here. Writes that bypass the router are not reflected.
 	edges atomic.Int64
+	// inflight counts local assembly runs in progress; it scales the
+	// per-query parallelism budget down under concurrent load.
+	inflight atomic.Int64
 }
 
 // New builds a Router over the shard endpoint groups. It validates shapes

@@ -125,6 +125,16 @@ type Config struct {
 	// ShipperStatus, when set on a leader, surfaces outbound replication
 	// state (connected follower count, min acked sequence) in /v1/health.
 	ShipperStatus func() replica.ShipperStatus
+	// QueryParallelism is the intra-query parallelism budget for /v1/query:
+	// a lone Exact or ExactPlus request fans its circle enumeration over up
+	// to this many goroutines. The budget is divided by the number of query
+	// and batch requests in flight (floor 1), so a saturated server degrades
+	// to one goroutine per query instead of oversubscribing cores and
+	// collapsing p99 — per-query parallelism helps latency when cores are
+	// idle, never throughput when they are not. Batch requests themselves
+	// always run their queries serially (the batch's own workers are the
+	// parallelism). 0, the default, disables the feature.
+	QueryParallelism int
 }
 
 func (c Config) queryTimeout() time.Duration {
@@ -165,6 +175,10 @@ type Server struct {
 	cfg    Config
 	mux    *http.ServeMux
 	nextID atomic.Uint64 // request-id fallback counter
+
+	// inflight counts query and batch requests being served right now; it
+	// scales the per-query parallelism budget down under concurrent load.
+	inflight atomic.Int64
 
 	// cert caches the shard exactness certificate for the current topology
 	// (sharded nodes only; see certFor).
@@ -732,6 +746,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	snap := eng.Current()
 	searcher := snap.Get()
 	defer snap.Put(searcher)
+	// Scale the per-query parallelism budget by the in-flight count: an idle
+	// server gives this query the whole budget, a saturated one hands out
+	// serial searchers. The previous value is restored before the worker
+	// returns to the pool (defers run LIFO, so this precedes snap.Put).
+	if n := s.cfg.QueryParallelism; n > 1 {
+		inf := s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		eff := n / int(inf)
+		if eff < 1 {
+			eff = 1
+		}
+		prev := searcher.Parallelism()
+		searcher.SetParallelism(eff)
+		defer searcher.SetParallelism(prev)
+	}
 	res, err := searcher.Search(ctx, req.toQuery())
 	if err != nil {
 		writeQueryError(w, r, err)
@@ -792,6 +821,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	// Batches count toward the in-flight load that scales down single-query
+	// parallelism, but their own workers stay serial: the batch already owns
+	// its cores via worker fan-out.
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	items := batch.RunOn(ctx, snap, queries, batch.Options{
 		Workers:  req.Workers,
 		Template: template,

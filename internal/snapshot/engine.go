@@ -90,6 +90,14 @@ type Options struct {
 	// engine starts from (the recovered checkpoint plus replayed tail).
 	// Snapshots report it as WalSeq until the first persisted batch.
 	InitialSeq uint64
+	// Parallelism is the intra-query parallelism budget stamped on the base
+	// searcher — every worker drawn from a snapshot inherits it, so Exact
+	// and ExactPlus enumeration fans out over up to this many goroutines
+	// per query. 0 (the default) and 1 mean serial. Servers that take
+	// concurrent traffic should cap the per-query budget under load (see
+	// server.Config.QueryParallelism) rather than setting a large value
+	// here unconditionally.
+	Parallelism int
 }
 
 func (o Options) queueLen() int {
@@ -177,6 +185,7 @@ func New(g *graph.Graph, opt Options) *Engine {
 		persist: opt.Persist,
 		walSeq:  opt.InitialSeq,
 	}
+	e.base.SetParallelism(opt.Parallelism)
 	snap := e.freeze()
 	e.pool = core.NewPool(snap.base)
 	e.cur.Store(snap)

@@ -42,6 +42,7 @@ func TestReadmeMatchesRegistry(t *testing.T) {
 		"/v1/health", "/v1/ready", "/v1/algorithms", "/v1/vertex/{id}",
 		"/v1/query", "/v1/batch", "/v1/checkin", "/v1/edge",
 		"/v1/shard/info", "/v1/shard/search", "/v1/shard/expand", "/v1/shard/range",
+		"/metrics",
 	} {
 		if !strings.Contains(section, route) {
 			t.Errorf("API v1 section does not document route %s", route)
@@ -64,7 +65,10 @@ func TestReadmeMatchesRegistry(t *testing.T) {
 		}
 	}
 
-	for _, needle := range []string{"deprecated", "Deprecation", "X-Request-Id", "sacsearch/client"} {
+	for _, needle := range []string{
+		"deprecated", "Deprecation", "X-Request-Id", "sacsearch/client",
+		"X-Trace-Span", "uptimeSeconds", "build",
+	} {
 		if !strings.Contains(section, needle) {
 			t.Errorf("API v1 section missing %q", needle)
 		}

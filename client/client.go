@@ -61,6 +61,9 @@ type APIError struct {
 	Message string
 	// RequestID correlates the failure with server logs.
 	RequestID string
+	// SpanID is the serving daemon's root trace span id (the X-Trace-Span
+	// response header), correlating the failure with its trace tree.
+	SpanID string
 	// RetryAfter is the server's Retry-After hint on 503/429 responses
 	// (0 = no header). The retry loop sleeps this long instead of its own
 	// backoff when present.
@@ -86,6 +89,27 @@ func (e *APIError) Error() string {
 // inspecting Code by hand.
 func (e *APIError) Is(target error) bool {
 	return target == ErrNoCommunity && e.Code == "no_community"
+}
+
+// Context keys carrying outbound correlation headers; set via
+// WithRequestID / WithTraceSpan.
+type (
+	requestIDCtxKey struct{}
+	traceSpanCtxKey struct{}
+)
+
+// WithRequestID returns a context that makes every client call under it
+// send the given X-Request-Id header, so a multi-hop topology (client →
+// router → shards) logs one id end to end.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDCtxKey{}, id)
+}
+
+// WithTraceSpan returns a context that makes every client call under it
+// send the given X-Trace-Span header — the caller's span id — so the
+// receiving daemon parents its trace under the caller's span.
+func WithTraceSpan(ctx context.Context, spanID string) context.Context {
+	return context.WithValue(ctx, traceSpanCtxKey{}, spanID)
 }
 
 // Option customizes a Client.
@@ -423,6 +447,12 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if in != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		if id, _ := ctx.Value(requestIDCtxKey{}).(string); id != "" {
+			req.Header.Set("X-Request-Id", id)
+		}
+		if sp, _ := ctx.Value(traceSpanCtxKey{}).(string); sp != "" {
+			req.Header.Set("X-Trace-Span", sp)
+		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -473,7 +503,11 @@ func consume(resp *http.Response, out any) (*APIError, error) {
 		Field     string `json:"field"`
 		RequestID string `json:"requestId"`
 	}
-	apiErr := &APIError{Status: resp.StatusCode, RequestID: resp.Header.Get("X-Request-Id")}
+	apiErr := &APIError{
+		Status:    resp.StatusCode,
+		RequestID: resp.Header.Get("X-Request-Id"),
+		SpanID:    resp.Header.Get("X-Trace-Span"),
+	}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		// Delta-seconds form only (what sacserver sends); capped so a
 		// misconfigured header cannot park the retry loop for minutes.

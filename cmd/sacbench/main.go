@@ -20,15 +20,18 @@
 // reads under concurrent churn, plus mid-Exact cancellation latency),
 // durability costs (WAL append throughput per fsync policy, crash-recovery
 // time vs WAL length with and without checkpoint truncation), sharding
-// latency, and intra-query parallelism (serial vs parallel Exact/Exact+
-// across worker counts, shared-oracle batching on/off), so regressions are
-// visible PR over PR.
+// latency, intra-query parallelism (serial vs parallel Exact/Exact+
+// across worker counts, shared-oracle batching on/off), and telemetry
+// overhead (the instrumented query hot path vs the same path on a nil
+// registry), so regressions are visible PR over PR.
 //
 // -gate-parallel turns the parallelism section into a CI gate: the run
 // fails unless the best measured Exact/Exact+ speedup reaches the given
 // factor. Machines with fewer than 4 CPUs skip the gate with a log line
 // instead of failing — a 1-core runner measuring ~1× is expected physics,
-// not a regression.
+// not a regression. -gate-telemetry fails the run when the measured
+// telemetry overhead exceeds the given percentage (5 is the documented
+// bar).
 package main
 
 import (
@@ -64,10 +67,11 @@ func run() int {
 		load      = flag.String("load", "", "bench a saved binary graph file instead of the dataset presets")
 		benchJSON = flag.String("benchjson", "", "write the hot-path perf report as JSON to this file ('-' for stdout)")
 
-		procs        = flag.Int("procs", 0, "set GOMAXPROCS for the run (0 = leave the runtime default, normally all cores)")
-		gateParallel = flag.Float64("gate-parallel", 0, "with -benchjson: fail unless the best parallel Exact/Exact+ speedup reaches this factor (skipped with a log line when NumCPU < 4)")
-		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
-		memProfile   = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		procs         = flag.Int("procs", 0, "set GOMAXPROCS for the run (0 = leave the runtime default, normally all cores)")
+		gateParallel  = flag.Float64("gate-parallel", 0, "with -benchjson: fail unless the best parallel Exact/Exact+ speedup reaches this factor (skipped with a log line when NumCPU < 4)")
+		gateTelemetry = flag.Float64("gate-telemetry", 0, "with -benchjson: fail when telemetry overhead exceeds this percentage of the uninstrumented hot path")
+		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile    = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -176,6 +180,11 @@ func run() int {
 				return code
 			}
 		}
+		if *gateTelemetry > 0 {
+			if code := gateOverhead(rep, *gateTelemetry); code != 0 {
+				return code
+			}
+		}
 		if *expID == "" {
 			return 0
 		}
@@ -216,5 +225,19 @@ func gate(rep *exp.PerfReport, threshold float64) int {
 		return 1
 	}
 	fmt.Fprintf(os.Stderr, "sacbench: parallel gate passed: best speedup %.2fx ≥ %.2fx\n", best, threshold)
+	return 0
+}
+
+// gateOverhead enforces -gate-telemetry: the instrumented query hot path
+// must cost no more than the given percentage over the nil-registry run.
+func gateOverhead(rep *exp.PerfReport, maxPct float64) int {
+	tp := rep.Telemetry
+	if tp.OverheadPct > maxPct {
+		fmt.Fprintf(os.Stderr, "sacbench: telemetry gate FAILED: overhead %.2f%% > allowed %.2f%% (base %.0f ns/op, instrumented %.0f ns/op)\n",
+			tp.OverheadPct, maxPct, tp.BaseNsPerOp, tp.InstrumentedNsPerOp)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "sacbench: telemetry gate passed: overhead %.2f%% ≤ %.2f%% (base %.0f ns/op, instrumented %.0f ns/op)\n",
+		tp.OverheadPct, maxPct, tp.BaseNsPerOp, tp.InstrumentedNsPerOp)
 	return 0
 }

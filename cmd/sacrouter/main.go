@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -29,6 +30,8 @@ import (
 	"sacsearch/internal/debugserve"
 	"sacsearch/internal/router"
 	"sacsearch/internal/shard"
+	"sacsearch/internal/telemetry"
+	"sacsearch/internal/version"
 )
 
 func main() {
@@ -42,9 +45,19 @@ func main() {
 		grace     = flag.Duration("grace", 20*time.Second, "shutdown drain period for in-flight requests")
 		queryPar  = flag.Int("query-parallelism", 0, "intra-query parallelism budget for local assembly runs, scaled down by in-flight load (0 = serial)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off when empty; keep it firewalled)")
+		metrics   = flag.Bool("metrics", true, "register internal instruments and serve Prometheus text format on /metrics")
+		slowQuery = flag.Duration("slow-query", time.Second, "log requests slower than this with their span tree (0 disables)")
 	)
 	flag.Parse()
-	debugserve.Serve(*pprofAddr, log.Printf)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
+	var reg *telemetry.Registry
+	if *metrics {
+		reg = telemetry.NewRegistry()
+	}
+	debugserve.Serve(*pprofAddr, reg, logger)
+	bi := version.Get()
+	logger.Info("sacrouter starting", "version", bi.Version, "commit", bi.Commit, "go", bi.Go)
 
 	if *mapPath == "" || *shardsArg == "" {
 		log.Fatal("sacrouter: -shard-map and -shards are required")
@@ -61,11 +74,15 @@ func main() {
 
 	groups := parseShards(*shardsArg)
 	rt, err := router.New(router.Config{
-		Map:              m,
-		Shards:           groups,
-		QueryTimeout:     *qTimeout,
-		MaxBodyBytes:     *maxBody,
-		QueryParallelism: *queryPar,
+		Map:                m,
+		Shards:             groups,
+		QueryTimeout:       *qTimeout,
+		MaxBodyBytes:       *maxBody,
+		QueryParallelism:   *queryPar,
+		Logger:             logger,
+		Metrics:            reg,
+		ServeMetrics:       *metrics,
+		SlowQueryThreshold: *slowQuery,
 	})
 	if err != nil {
 		log.Fatalf("sacrouter: %v", err)
@@ -75,7 +92,7 @@ func main() {
 		if err := waitTopology(rt, *bootWait); err != nil {
 			log.Fatalf("sacrouter: %v", err)
 		}
-		log.Printf("sacrouter: all %d shards up and serving map %08x", m.Shards, m.Checksum())
+		logger.Info("all shards up", "shards", m.Shards, "mapChecksum", fmt.Sprintf("%08x", m.Checksum()))
 	}
 
 	httpSrv := &http.Server{
@@ -100,11 +117,11 @@ func main() {
 		log.Fatalf("sacrouter: %v", err)
 	case <-ctx.Done():
 		stop()
-		log.Printf("sacrouter: signal received, draining for up to %v", *grace)
+		logger.Info("signal received, draining", "grace", *grace)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Printf("sacrouter: shutdown: %v", err)
+			logger.Error("shutdown failed", "err", err)
 		}
 	}
 }

@@ -61,6 +61,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -77,6 +78,8 @@ import (
 	"sacsearch/internal/server"
 	"sacsearch/internal/shard"
 	"sacsearch/internal/store"
+	"sacsearch/internal/telemetry"
+	"sacsearch/internal/version"
 )
 
 func main() {
@@ -103,9 +106,19 @@ func main() {
 
 		queryPar  = flag.Int("query-parallelism", 0, "intra-query parallelism budget per query, scaled down by in-flight load (0 = serial)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off when empty; keep it firewalled)")
+		metrics   = flag.Bool("metrics", true, "register internal instruments and serve Prometheus text format on /metrics")
+		slowQuery = flag.Duration("slow-query", time.Second, "log requests slower than this with their span tree (0 disables)")
 	)
 	flag.Parse()
-	debugserve.Serve(*pprofAddr, log.Printf)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
+	var reg *telemetry.Registry
+	if *metrics {
+		reg = telemetry.NewRegistry()
+	}
+	debugserve.Serve(*pprofAddr, reg, logger)
+	bi := version.Get()
+	logger.Info("sacserver starting", "version", bi.Version, "commit", bi.Commit, "go", bi.Go)
 
 	if *fence != "" {
 		runFence(*fence, *fenceEpoch)
@@ -124,7 +137,11 @@ func main() {
 		log.Fatal("sacserver: -load and -dataset are mutually exclusive")
 	}
 
-	cfg := server.Config{QueryTimeout: *qTimeout, MaxBodyBytes: *maxBody, StalenessBound: *staleBound, QueryParallelism: *queryPar}
+	cfg := server.Config{
+		QueryTimeout: *qTimeout, MaxBodyBytes: *maxBody, StalenessBound: *staleBound,
+		QueryParallelism: *queryPar, Logger: logger, Metrics: reg, ServeMetrics: *metrics,
+		SlowQueryThreshold: *slowQuery,
+	}
 	srvName := graphName(*load, *name)
 
 	// Shard identity applies in every mode — a leader, a durable node, or a
@@ -139,8 +156,8 @@ func main() {
 		}
 		cfg.Shard = sv
 		srvName = fmt.Sprintf("%s[shard %d/%d]", srvName, sv.ID, sv.Map.Shards)
-		log.Printf("sacserver: serving shard %d of %d (%d owned vertices, map checksum %08x)",
-			sv.ID, sv.Map.Shards, sv.Map.OwnedCount(sv.ID), sv.Map.Checksum())
+		logger.Info("serving shard", "shard", sv.ID, "shards", sv.Map.Shards,
+			"owned", sv.Map.OwnedCount(sv.ID), "mapChecksum", fmt.Sprintf("%08x", sv.Map.Checksum()))
 	}
 
 	var api *server.Server
@@ -154,13 +171,13 @@ func main() {
 		if *load != "" || datasetSet {
 			log.Fatal("sacserver: -replicate-from excludes -load/-dataset (state comes from the leader)")
 		}
-		f, err := replica.NewFollower(replica.FollowerOptions{Leader: *replFrom})
+		f, err := replica.NewFollower(replica.FollowerOptions{Leader: *replFrom, Logger: logger, Metrics: reg})
 		if err != nil {
 			log.Fatalf("sacserver: %v", err)
 		}
 		srvName = "replica(" + *replFrom + ")"
 		api = server.NewReplica(srvName, f, cfg)
-		log.Printf("sacserver: replicating from %s (staleness bound %v)", *replFrom, *staleBound)
+		logger.Info("replicating from leader", "leader", *replFrom, "stalenessBound", *staleBound)
 	case *dataDir != "":
 		policy, err := store.ParseFsyncPolicy(*fsync)
 		if err != nil {
@@ -174,33 +191,34 @@ func main() {
 				log.Fatalf("sacserver: %v", err)
 			}
 		}
-		st, err := store.Open(*dataDir, store.Options{Init: g, Fsync: policy})
+		st, err := store.Open(*dataDir, store.Options{Init: g, Fsync: policy, Metrics: reg})
 		if err != nil {
 			log.Fatalf("sacserver: %v", err)
 		}
 		s := st.Stats()
 		if s.Recovered {
-			log.Printf("sacserver: recovered %s from %s (checkpoint seq %d, %d WAL records replayed); the -dataset/-load graph was not built",
-				srvName, *dataDir, s.LastCheckpointSeq, s.ReplayedRecords)
+			logger.Info("recovered durable state; the -dataset/-load graph was not built",
+				"name", srvName, "dir", *dataDir, "checkpointSeq", s.LastCheckpointSeq,
+				"replayedRecords", s.ReplayedRecords)
 		} else {
-			log.Printf("sacserver: bootstrapped %s into %s (fsync %s)", srvName, *dataDir, s.FsyncPolicy)
+			logger.Info("bootstrapped durable state", "name", srvName, "dir", *dataDir, "fsync", s.FsyncPolicy)
 		}
 		if *bumpEpoch {
 			e, err := st.BumpEpoch()
 			if err != nil {
 				log.Fatalf("sacserver: bumping epoch: %v", err)
 			}
-			log.Printf("sacserver: fencing epoch bumped to %d", e)
+			logger.Info("fencing epoch bumped", "epoch", e)
 		}
 		if *listenRepl != "" {
 			ln, err := net.Listen("tcp", *listenRepl)
 			if err != nil {
 				log.Fatalf("sacserver: replication listener: %v", err)
 			}
-			sh := replica.NewShipper(st, ln, replica.ShipperOptions{})
+			sh := replica.NewShipper(st, ln, replica.ShipperOptions{Logger: logger, Metrics: reg})
 			defer sh.Close()
 			cfg.ShipperStatus = sh.Status
-			log.Printf("sacserver: shipping WAL on %s (epoch %d)", ln.Addr(), st.Epoch())
+			logger.Info("shipping WAL", "addr", ln.Addr().String(), "epoch", st.Epoch())
 		}
 		api = server.NewWithStore(srvName, st, cfg)
 	default:
@@ -249,13 +267,13 @@ func main() {
 		log.Fatalf("sacserver: %v", err)
 	case <-ctx.Done():
 		stop() // a second signal kills immediately
-		log.Printf("sacserver: signal received, draining for up to %v", *grace)
+		logger.Info("signal received, draining", "grace", *grace)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Printf("sacserver: shutdown: %v", err)
+			logger.Error("shutdown failed", "err", err)
 		}
-		log.Printf("sacserver: drained, stopping snapshot writer")
+		logger.Info("drained, stopping snapshot writer")
 	}
 }
 

@@ -1,5 +1,6 @@
 // Package debugserve exposes the Go runtime profiling endpoints
-// (net/http/pprof) on a dedicated listener, opt-in only.
+// (net/http/pprof) and the process's /metrics scrape on a dedicated
+// listener, opt-in only.
 //
 // The handlers are registered on a private mux rather than by importing
 // net/http/pprof for its side effect: the blank import registers on
@@ -10,41 +11,50 @@
 package debugserve
 
 import (
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"sacsearch/internal/telemetry"
 )
 
 // Handler returns a mux serving the standard pprof surface under
-// /debug/pprof/.
-func Handler() *http.ServeMux {
+// /debug/pprof/ plus /metrics when reg is non-nil.
+func Handler(reg *telemetry.Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
 	return mux
 }
 
-// Serve starts the pprof listener on addr in a background goroutine and
-// reports outcomes through logf. An empty addr is a no-op, so callers can
-// pass their -pprof-addr flag value straight through. Profile and trace
-// requests stream for a caller-chosen duration, so the server deliberately
-// sets no write timeout.
-func Serve(addr string, logf func(format string, args ...any)) {
+// Serve starts the debug listener on addr in a background goroutine and
+// reports outcomes through logger (nil = slog.Default()). An empty addr is
+// a no-op, so callers can pass their -pprof-addr flag value straight
+// through. Profile and trace requests stream for a caller-chosen duration,
+// so the server deliberately sets no write timeout.
+func Serve(addr string, reg *telemetry.Registry, logger *slog.Logger) {
 	if addr == "" {
 		return
 	}
+	if logger == nil {
+		logger = slog.Default()
+	}
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           Handler(),
+		Handler:           Handler(reg),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {
-		logf("pprof: serving /debug/pprof/ on %s", addr)
+		logger.Info("debug listener up", "addr", addr, "pprof", "/debug/pprof/", "metrics", reg != nil)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			logf("pprof: %v", err)
+			logger.Error("debug listener failed", "addr", addr, "err", err)
 		}
 	}()
 }

@@ -6,7 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net"
 	"sync"
@@ -15,6 +15,7 @@ import (
 
 	"sacsearch/internal/graph"
 	"sacsearch/internal/snapshot"
+	"sacsearch/internal/telemetry"
 	"sacsearch/internal/wal"
 )
 
@@ -32,8 +33,11 @@ type FollowerOptions struct {
 	// BackoffMin/BackoffMax bound the jittered reconnect backoff
 	// (defaults 50 ms / 2 s).
 	BackoffMin, BackoffMax time.Duration
-	// Logf receives connection-level events (defaults to log.Printf).
-	Logf func(format string, args ...any)
+	// Logger receives connection-level events (defaults to slog.Default()).
+	Logger *slog.Logger
+	// Metrics, when non-nil, exports replication lag, connection state and
+	// resync/reconnect counters.
+	Metrics *telemetry.Registry
 }
 
 func (o FollowerOptions) dial() func(context.Context, string) (net.Conn, error) {
@@ -60,11 +64,11 @@ func (o FollowerOptions) backoffMax() time.Duration {
 	return 2 * time.Second
 }
 
-func (o FollowerOptions) logf() func(string, ...any) {
-	if o.Logf != nil {
-		return o.Logf
+func (o FollowerOptions) logger() *slog.Logger {
+	if o.Logger != nil {
+		return o.Logger
 	}
-	return log.Printf
+	return slog.Default()
 }
 
 // FollowerStatus is one consistent observation of replication state, the
@@ -135,8 +139,29 @@ func NewFollower(opt FollowerOptions) (*Follower, error) {
 	}
 	f := &Follower{opt: opt, done: make(chan struct{})}
 	f.ctx, f.cancel = context.WithCancel(context.Background())
+	if reg := opt.Metrics; reg != nil {
+		reg.GaugeFunc("sac_replica_lag_seqs", "Leader WAL records not yet applied locally.",
+			func() float64 { return float64(f.Status().LagSeqs) })
+		reg.GaugeFunc("sac_replica_lag_seconds", "Seconds since this replica was last provably caught up.",
+			func() float64 { return f.Status().LagSeconds })
+		reg.GaugeFunc("sac_replica_connected", "1 when a replication stream is live.",
+			func() float64 { return boolGauge(f.connected.Load()) })
+		reg.GaugeFunc("sac_replica_synced", "1 once an initial state transfer completed.",
+			func() float64 { return boolGauge(f.synced.Load()) })
+		reg.CounterFunc("sac_replica_resyncs_total", "Full snapshot transfers received.",
+			f.resyncs.Load)
+		reg.CounterFunc("sac_replica_reconnects_total", "Replication sessions established.",
+			f.reconnects.Load)
+	}
 	go f.run()
 	return f, nil
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Engine returns the engine holding the replicated state, nil before the
@@ -192,7 +217,7 @@ func (f *Follower) Close() {
 // ±50% jitter so a herd of followers does not reconnect in lockstep.
 func (f *Follower) run() {
 	defer close(f.done)
-	logf := f.opt.logf()
+	logger := f.opt.logger()
 	backoff := f.opt.backoffMin()
 	for {
 		if f.ctx.Err() != nil {
@@ -203,7 +228,7 @@ func (f *Follower) run() {
 			return
 		}
 		if err != nil {
-			logf("replica: follower of %s: %v", f.opt.Leader, err)
+			logger.Warn("replica session ended", "leader", f.opt.Leader, "err", err)
 		}
 		if streamed {
 			backoff = f.opt.backoffMin() // the leader was healthy; start over gently

@@ -3,6 +3,8 @@ package replica
 import (
 	"context"
 	"errors"
+	"io"
+	"log/slog"
 	"math/rand"
 	"net"
 	"testing"
@@ -16,7 +18,7 @@ import (
 
 // discard swallows connection-level log lines: reconnect storms are the
 // point of these tests, not noise worth printing.
-func discard(string, ...any) {}
+var discard = slog.New(slog.NewTextHandler(io.Discard, nil))
 
 // testGraph mirrors the store suite's deterministic fixture: 8 spatial
 // cliques of 6 vertices with bridges, so every vertex has a community for
@@ -220,7 +222,7 @@ func startLeader(t *testing.T, opt store.Options) (*store.Store, *Shipper) {
 		t.Fatal(err)
 	}
 	sh := NewShipper(st, ln, ShipperOptions{
-		Heartbeat: 20 * time.Millisecond, Poll: time.Millisecond, Logf: discard})
+		Heartbeat: 20 * time.Millisecond, Poll: time.Millisecond, Logger: discard})
 	t.Cleanup(func() { sh.Close(); st.Close() })
 	return st, sh
 }
@@ -231,7 +233,7 @@ func startFollower(t *testing.T, addr string) *Follower {
 		Leader:     addr,
 		BackoffMin: 5 * time.Millisecond,
 		BackoffMax: 100 * time.Millisecond,
-		Logf:       discard,
+		Logger:     discard,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -330,7 +332,7 @@ func TestFollowerResyncsAcrossTruncatedHistory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh2 := NewShipper(st, ln, ShipperOptions{Heartbeat: 20 * time.Millisecond, Poll: time.Millisecond, Logf: discard})
+	sh2 := NewShipper(st, ln, ShipperOptions{Heartbeat: 20 * time.Millisecond, Poll: time.Millisecond, Logger: discard})
 	defer sh2.Close()
 
 	waitFor(t, 10*time.Second, "post-truncation catch-up", caughtUp(st, f))

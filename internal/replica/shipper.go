@@ -5,7 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -13,6 +13,7 @@ import (
 
 	"sacsearch/internal/graph"
 	"sacsearch/internal/store"
+	"sacsearch/internal/telemetry"
 	"sacsearch/internal/wal"
 )
 
@@ -26,8 +27,11 @@ type ShipperOptions struct {
 	Poll time.Duration
 	// BatchMax bounds the records shipped in one stream message.
 	BatchMax int
-	// Logf receives connection-level events (defaults to log.Printf).
-	Logf func(format string, args ...any)
+	// Logger receives connection-level events (defaults to slog.Default()).
+	Logger *slog.Logger
+	// Metrics, when non-nil, exports follower counts, the slowest acked
+	// sequence, and snapshot-transfer counters.
+	Metrics *telemetry.Registry
 }
 
 func (o ShipperOptions) heartbeat() time.Duration {
@@ -51,11 +55,11 @@ func (o ShipperOptions) batchMax() int {
 	return 512
 }
 
-func (o ShipperOptions) logf() func(string, ...any) {
-	if o.Logf != nil {
-		return o.Logf
+func (o ShipperOptions) logger() *slog.Logger {
+	if o.Logger != nil {
+		return o.Logger
 	}
-	return log.Printf
+	return slog.Default()
 }
 
 // Shipper accepts follower connections and streams the store's WAL to each:
@@ -72,6 +76,8 @@ type Shipper struct {
 	conns  map[net.Conn]*shipSession
 	closed bool
 	done   chan struct{}
+
+	snapshots atomic.Uint64 // snapshot transfers sent
 }
 
 // shipSession is the leader's per-follower state: whether the session
@@ -115,6 +121,14 @@ func (s *Shipper) Status() ShipperStatus {
 func NewShipper(st *store.Store, ln net.Listener, opt ShipperOptions) *Shipper {
 	s := &Shipper{st: st, ln: ln, opt: opt,
 		conns: make(map[net.Conn]*shipSession), done: make(chan struct{})}
+	if reg := opt.Metrics; reg != nil {
+		reg.GaugeFunc("sac_replication_followers", "Live streaming follower sessions.",
+			func() float64 { return float64(s.Status().Followers) })
+		reg.GaugeFunc("sac_replication_min_acked_seq", "Slowest live follower's acknowledged WAL seq.",
+			func() float64 { return float64(s.Status().MinAckedSeq) })
+		reg.CounterFunc("sac_replication_snapshot_transfers_total", "Full snapshot transfers sent to followers.",
+			s.snapshots.Load)
+	}
 	go s.acceptLoop()
 	return s
 }
@@ -170,13 +184,13 @@ func (s *Shipper) acceptLoop() {
 // serve runs one follower session to completion.
 func (s *Shipper) serve(conn net.Conn, sess *shipSession) {
 	defer conn.Close()
-	logf := s.opt.logf()
+	logger := s.opt.logger()
 	peer := conn.RemoteAddr()
 
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
 	hs, err := readHandshake(conn)
 	if err != nil {
-		logf("replica: %v: bad handshake: %v", peer, err)
+		logger.Warn("replication handshake failed", "peer", peer, "err", err)
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
@@ -186,10 +200,10 @@ func (s *Shipper) serve(conn net.Conn, sess *shipSession) {
 	// rejection can never race a write that forks history.
 	if hs.MaxEpochSeen > s.st.Epoch() {
 		if err := s.st.Fence(hs.MaxEpochSeen); err != nil {
-			logf("replica: %v: fencing at epoch %d failed: %v", peer, hs.MaxEpochSeen, err)
+			logger.Error("fencing failed", "peer", peer, "epoch", hs.MaxEpochSeen, "err", err)
 			return
 		}
-		logf("replica: fenced by %v at epoch %d; rejecting", peer, hs.MaxEpochSeen)
+		logger.Warn("fenced by peer, rejecting writes", "peer", peer, "epoch", hs.MaxEpochSeen)
 		s.reject(conn, hs.MaxEpochSeen)
 		return
 	}
@@ -209,16 +223,17 @@ func (s *Shipper) serve(conn net.Conn, sess *shipSession) {
 	if hs.AppliedEpoch == epoch && hs.AfterSeq <= s.st.WalLastSeq() {
 		cur, err = wal.OpenCursor(s.st.Dir(), hs.AfterSeq)
 		if err != nil && !errors.Is(err, wal.ErrGap) {
-			logf("replica: %v: opening cursor at %d: %v", peer, hs.AfterSeq, err)
+			logger.Warn("opening replication cursor failed", "peer", peer, "seq", hs.AfterSeq, "err", err)
 			return
 		}
 	}
 	if cur == nil {
 		cur, startSeq, err = s.sendSnapshot(conn, epoch, hbMillis)
 		if err != nil {
-			logf("replica: %v: snapshot transfer: %v", peer, err)
+			logger.Warn("snapshot transfer failed", "peer", peer, "err", err)
 			return
 		}
+		s.snapshots.Add(1)
 	} else {
 		if err := writeResponse(conn, response{Status: statusTail, Epoch: epoch,
 			StartSeq: startSeq, HeartbeatMillis: hbMillis}); err != nil {
@@ -257,7 +272,7 @@ func (s *Shipper) serve(conn net.Conn, sess *shipSession) {
 	sess.streaming.Store(true)
 
 	if err := s.ship(conn, cur, epoch); err != nil {
-		logf("replica: %v: stream ended at seq %d: %v", peer, cur.Pos(), err)
+		logger.Info("replication stream ended", "peer", peer, "seq", cur.Pos(), "err", err)
 	}
 }
 

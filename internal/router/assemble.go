@@ -10,6 +10,7 @@ import (
 	"sacsearch/internal/geom"
 	"sacsearch/internal/graph"
 	"sacsearch/internal/server"
+	"sacsearch/internal/telemetry"
 )
 
 // The slow path: when no single shard can certify a query, the router
@@ -40,10 +41,13 @@ import (
 // routeAssembled gathers the cross-shard k-core closure around q and runs
 // the query locally. owner is q's shard (already consulted and uncertified).
 func (rt *Router) routeAssembled(ctx context.Context, cq core.Query, owner int) (*server.QueryResponse, error) {
+	ctx, aspan := telemetry.StartSpan(ctx, "assemble")
+	defer aspan.End()
 	collected := make(map[int64]client.ShardVertex)
 	seeded := map[int64]bool{int64(cq.Q): true}
 	pending := make([][]int64, rt.m.Shards)
 	pending[owner] = []int64{int64(cq.Q)}
+	rounds := 0
 	for {
 		var shards []int
 		for s := range pending {
@@ -54,6 +58,8 @@ func (rt *Router) routeAssembled(ctx context.Context, cq core.Query, owner int) 
 		if len(shards) == 0 {
 			break
 		}
+		rounds++
+		rt.expandRounds.Inc()
 		expansions := make([]*client.ShardExpansion, len(shards))
 		errs := make([]error, len(shards))
 		var wg sync.WaitGroup
@@ -61,7 +67,9 @@ func (rt *Router) routeAssembled(ctx context.Context, cq core.Query, owner int) 
 			wg.Add(1)
 			go func(i, s int) {
 				defer wg.Done()
-				expansions[i], errs[i] = rt.sets[s].ShardExpand(ctx, cq.K, pending[s])
+				lctx, span := rt.leg(ctx, "expand", s)
+				defer span.End()
+				expansions[i], errs[i] = rt.sets[s].ShardExpand(lctx, cq.K, pending[s])
 			}(i, s)
 		}
 		wg.Wait()
@@ -88,6 +96,8 @@ func (rt *Router) routeAssembled(ctx context.Context, cq core.Query, owner int) 
 			}
 		}
 	}
+	aspan.SetAttr("rounds", rounds)
+	aspan.SetAttr("gathered", len(collected))
 	if _, ok := collected[int64(cq.Q)]; !ok {
 		// q was alive when its shard declined to certify but dead by the
 		// time the closure ran (concurrent topology churn): at the closure's
@@ -102,8 +112,12 @@ func (rt *Router) routeAssembled(ctx context.Context, cq core.Query, owner int) 
 // drift arbitrarily afterwards — so every shard is asked; each reports its
 // owned vertices currently inside the disk.
 func (rt *Router) routeTheta(ctx context.Context, cq core.Query) (*server.QueryResponse, error) {
+	ctx, aspan := telemetry.StartSpan(ctx, "assemble")
+	defer aspan.End()
 	owner := rt.m.OwnerOf(cq.Q)
-	loc, err := rt.sets[owner].Vertex(ctx, int64(cq.Q))
+	lctx, vspan := rt.leg(ctx, "vertex", owner)
+	loc, err := rt.sets[owner].Vertex(lctx, int64(cq.Q))
+	vspan.End()
 	if err != nil {
 		return nil, &legFailure{owner, err}
 	}
@@ -115,7 +129,9 @@ func (rt *Router) routeTheta(ctx context.Context, cq core.Query) (*server.QueryR
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			gathered[s], errs[s] = rt.sets[s].ShardRange(ctx, loc.X, loc.Y, theta)
+			lctx, span := rt.leg(ctx, "range", s)
+			defer span.End()
+			gathered[s], errs[s] = rt.sets[s].ShardRange(lctx, loc.X, loc.Y, theta)
 		}(s)
 	}
 	wg.Wait()
@@ -128,6 +144,7 @@ func (rt *Router) routeTheta(ctx context.Context, cq core.Query) (*server.QueryR
 			collected[v.V] = v
 		}
 	}
+	aspan.SetAttr("gathered", len(collected))
 	if _, ok := collected[int64(cq.Q)]; !ok {
 		// q moved off the fetched location between the two legs; at the
 		// gather's view it is outside its own disk, so no community.
@@ -142,6 +159,9 @@ func (rt *Router) routeTheta(ctx context.Context, cq core.Query) (*server.QueryR
 // vertices in the same relative order as a single engine would and the
 // answer remaps back unchanged.
 func (rt *Router) runLocal(ctx context.Context, cq core.Query, vertices map[int64]client.ShardVertex) (*server.QueryResponse, error) {
+	ctx, span := telemetry.StartSpan(ctx, "merge")
+	defer span.End()
+	span.SetAttr("vertices", len(vertices))
 	ids := make([]int64, 0, len(vertices))
 	for id := range vertices {
 		ids = append(ids, id)

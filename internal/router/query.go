@@ -149,14 +149,18 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) route(ctx context.Context, cq core.Query) (*server.QueryResponse, error) {
 	spec, _ := core.LookupAlgo(cq.Algo)
 	if spec.Name == "theta" {
+		rt.queryPath.With("theta").Inc()
 		return rt.routeTheta(ctx, cq)
 	}
 	owner := rt.m.OwnerOf(cq.Q)
-	verdict, err := rt.sets[owner].ShardSearch(ctx, toClientQuery(cq))
+	lctx, span := rt.leg(ctx, "search", owner)
+	verdict, err := rt.sets[owner].ShardSearch(lctx, toClientQuery(cq))
+	span.End()
 	if err != nil {
 		return nil, &legFailure{owner, err}
 	}
 	if verdict.Contained {
+		rt.queryPath.With("certified").Inc()
 		if verdict.NoCommunity {
 			return nil, core.ErrNoCommunity
 		}
@@ -166,6 +170,7 @@ func (rt *Router) route(ctx context.Context, cq core.Query) (*server.QueryRespon
 		resp := fromClientResult(verdict.Result)
 		return &resp, nil
 	}
+	rt.queryPath.With("assembled").Inc()
 	return rt.routeAssembled(ctx, cq, owner)
 }
 

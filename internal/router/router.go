@@ -41,7 +41,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -54,6 +54,8 @@ import (
 	"sacsearch/internal/graph"
 	"sacsearch/internal/server"
 	"sacsearch/internal/shard"
+	"sacsearch/internal/telemetry"
+	"sacsearch/internal/version"
 )
 
 // Config assembles a Router.
@@ -71,8 +73,19 @@ type Config struct {
 	// ClientOptions apply to every per-endpoint client (test doubles,
 	// retry tuning).
 	ClientOptions []client.Option
-	// Logf receives router-level events. Default log.Printf.
-	Logf func(format string, args ...any)
+	// Logger receives router-level structured logs. Default slog.Default().
+	Logger *slog.Logger
+	// Metrics is the registry router instruments register on. Nil disables
+	// metrics entirely (all instruments no-op).
+	Metrics *telemetry.Registry
+	// ServeMetrics mounts GET /metrics on the router's own mux (Prometheus
+	// text format) when Metrics is non-nil.
+	ServeMetrics bool
+	// SlowQueryThreshold logs any request slower than this at Warn with the
+	// full span tree attached. 0 disables.
+	SlowQueryThreshold time.Duration
+	// TraceHook, when set, receives every finished root span (tests).
+	TraceHook func(*telemetry.Span)
 	// QueryParallelism is the intra-query parallelism budget for the local
 	// assembly run of a cross-shard query (the merged-subgraph Exact /
 	// ExactPlus enumeration). As on the server, the budget is divided by the
@@ -95,11 +108,11 @@ func (c Config) maxBodyBytes() int64 {
 	return 1 << 20
 }
 
-func (c Config) logf() func(string, ...any) {
-	if c.Logf != nil {
-		return c.Logf
+func (c Config) logger() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
 	}
-	return log.Printf
+	return slog.Default()
 }
 
 // Router is the /v1 front of a sharded topology. It is safe for concurrent
@@ -119,6 +132,18 @@ type Router struct {
 	// inflight counts local assembly runs in progress; it scales the
 	// per-query parallelism budget down under concurrent load.
 	inflight atomic.Int64
+	start    time.Time
+
+	httpMet telemetry.HTTPMetrics
+	// legsTotal counts outbound shard calls by kind (search, expand, range,
+	// vertex, checkin, edge, info, health).
+	legsTotal *telemetry.CounterVec
+	// queryPath counts how each routed query was answered: certified (one
+	// shard proved its local answer global), assembled (cross-shard k-core
+	// closure), or theta (disk gather).
+	queryPath *telemetry.CounterVec
+	// expandRounds counts frontier-expansion rounds across assembled queries.
+	expandRounds *telemetry.Counter
 }
 
 // New builds a Router over the shard endpoint groups. It validates shapes
@@ -139,7 +164,15 @@ func New(cfg Config) (*Router, error) {
 		checksum: cfg.Map.Checksum(),
 		sets:     make([]*client.Set, len(cfg.Shards)),
 		mux:      http.NewServeMux(),
+		start:    time.Now(),
 	}
+	rt.httpMet = telemetry.NewHTTPMetrics(cfg.Metrics)
+	rt.legsTotal = cfg.Metrics.CounterVec("sac_router_legs_total",
+		"Outbound shard calls issued by the router, by kind.", "kind")
+	rt.queryPath = cfg.Metrics.CounterVec("sac_router_query_path_total",
+		"Routed queries by answer path: certified, assembled or theta.", "path")
+	rt.expandRounds = cfg.Metrics.Counter("sac_router_expand_rounds_total",
+		"Frontier-expansion rounds run across all assembled queries.")
 	rt.edges.Store(int64(cfg.Map.Edges))
 	for i, urls := range cfg.Shards {
 		set, err := client.NewSet(urls, cfg.ClientOptions...)
@@ -156,33 +189,57 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("POST /v1/batch", rt.handleBatch)
 	rt.mux.HandleFunc("POST /v1/checkin", rt.handleCheckin)
 	rt.mux.HandleFunc("POST /v1/edge", rt.handleEdge)
+	if cfg.Metrics != nil && cfg.ServeMetrics {
+		rt.mux.Handle("GET /metrics", cfg.Metrics.Handler())
+	}
 	return rt, nil
 }
 
 // Handler returns the router as an http.Handler.
 func (rt *Router) Handler() http.Handler { return rt }
 
-// ServeHTTP stamps the request id and recovers panics into 500 envelopes —
-// the same discipline as the server's, so envelopes stay uniform.
+// ServeHTTP stamps the request id, roots the request's trace span, records
+// the sac_http_* instruments and recovers panics into 500 envelopes — the
+// same discipline as the server's, so envelopes (and dashboards) stay
+// uniform across the topology.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	id := sanitizeRequestID(r.Header.Get("X-Request-Id"))
 	if id == "" {
 		id = rt.newRequestID()
 	}
 	w.Header().Set("X-Request-Id", id)
+	route := telemetry.RouteLabel(r.URL.Path)
 	ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+	ctx, span := telemetry.StartSpan(ctx, r.Method+" "+route)
+	span.Remote = sanitizeRequestID(r.Header.Get(telemetry.TraceHeader))
+	w.Header().Set(telemetry.TraceHeader, span.ID)
 	r = r.WithContext(ctx)
 	rw := &trackingWriter{ResponseWriter: w}
+	start := time.Now()
+	rt.httpMet.Inflight.Add(1)
 	defer func() {
 		p := recover()
-		if p == nil || p == http.ErrAbortHandler {
-			return
+		if p != nil && p != http.ErrAbortHandler {
+			rt.cfg.logger().Error("panic serving request",
+				"method", r.Method, "path", r.URL.Path, "requestId", id,
+				"spanId", span.ID, "panic", p, "stack", string(debug.Stack()))
+			if !rw.wrote {
+				writeError(rw, r, http.StatusInternalServerError, server.CodeInternal, "",
+					"internal server error (request "+id+")")
+			}
 		}
-		rt.cfg.logf()("router: panic serving %s %s (request %s): %v\n%s",
-			r.Method, r.URL.Path, id, p, debug.Stack())
-		if !rw.wrote {
-			writeError(rw, r, http.StatusInternalServerError, server.CodeInternal, "",
-				"internal server error (request "+id+")")
+		span.End()
+		elapsed := time.Since(start)
+		rt.httpMet.Inflight.Add(-1)
+		rt.httpMet.Requests.With(route, r.Method, strconv.Itoa(rw.status())).Inc()
+		rt.httpMet.Duration.With(route).Observe(elapsed.Seconds())
+		if t := rt.cfg.SlowQueryThreshold; t > 0 && elapsed >= t {
+			rt.cfg.logger().Warn("slow request",
+				"method", r.Method, "route", route, "requestId", id, "spanId", span.ID,
+				"elapsed", elapsed, "status", rw.status(), "trace", "\n"+span.Tree())
+		}
+		if rt.cfg.TraceHook != nil {
+			rt.cfg.TraceHook(span)
 		}
 	}()
 	rt.mux.ServeHTTP(rw, r)
@@ -191,9 +248,13 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 type trackingWriter struct {
 	http.ResponseWriter
 	wrote bool
+	code  int
 }
 
 func (w *trackingWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+	}
 	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
@@ -201,6 +262,15 @@ func (w *trackingWriter) WriteHeader(code int) {
 func (w *trackingWriter) Write(b []byte) (int, error) {
 	w.wrote = true
 	return w.ResponseWriter.Write(b)
+}
+
+// status is the response code sent to the client (200 when the handler
+// never called WriteHeader explicitly).
+func (w *trackingWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
 }
 
 type requestIDKey struct{}
@@ -286,8 +356,25 @@ func (rt *Router) writeLegError(w http.ResponseWriter, r *http.Request, shardID 
 		fmt.Sprintf("shard %d unavailable: %v", shardID, err))
 }
 
+// requestCtx bounds one routed request and arranges for every shard leg
+// under it to carry the caller-visible request id, so a single id follows
+// the request through router and shard logs alike.
 func (rt *Router) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
-	return context.WithTimeout(r.Context(), rt.cfg.queryTimeout())
+	ctx := r.Context()
+	if id := requestID(r); id != "" {
+		ctx = client.WithRequestID(ctx, id)
+	}
+	return context.WithTimeout(ctx, rt.cfg.queryTimeout())
+}
+
+// leg opens a child span for one outbound shard call, counts it in
+// sac_router_legs_total, and threads the span id onto the wire so the
+// shard's trace parents under this one. Callers must End the span.
+func (rt *Router) leg(ctx context.Context, kind string, shardID int) (context.Context, *telemetry.Span) {
+	rt.legsTotal.With(kind).Inc()
+	ctx, span := telemetry.StartSpan(ctx, "shard-"+kind)
+	span.SetAttr("shard", shardID)
+	return client.WithTraceSpan(ctx, span.ID), span
 }
 
 func (rt *Router) decodeJSON(w http.ResponseWriter, r *http.Request, into any) bool {
@@ -315,6 +402,7 @@ type shardProbe struct {
 
 // probeShards fans /v1/shard/info to every shard concurrently.
 func (rt *Router) probeShards(ctx context.Context) []shardProbe {
+	rt.legsTotal.With("info").Add(uint64(len(rt.sets)))
 	probes := make([]shardProbe, len(rt.sets))
 	var wg sync.WaitGroup
 	for i := range rt.sets {
@@ -369,6 +457,7 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Health *client.Health `json:"health,omitempty"`
 	}
 	out := make([]shardHealth, len(rt.sets))
+	rt.legsTotal.With("health").Add(uint64(len(rt.sets)))
 	var wg sync.WaitGroup
 	for i := range rt.sets {
 		wg.Add(1)
@@ -403,6 +492,8 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"edges":            rt.edges.Load(),
 		"shardMapChecksum": rt.checksum,
 		"shardHealth":      out,
+		"uptimeSeconds":    int64(time.Since(rt.start).Seconds()),
+		"build":            version.Get(),
 	})
 }
 
@@ -449,7 +540,9 @@ func (rt *Router) handleVertex(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := rt.requestCtx(r)
 	defer cancel()
 	owner := rt.m.OwnerOf(graph.V(id))
-	v, err := rt.sets[owner].Vertex(ctx, int64(id))
+	lctx, span := rt.leg(ctx, "vertex", owner)
+	v, err := rt.sets[owner].Vertex(lctx, int64(id))
+	span.End()
 	if err != nil {
 		rt.writeLegError(w, r, owner, err)
 		return
@@ -477,7 +570,10 @@ func (rt *Router) handleCheckin(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := rt.requestCtx(r)
 	defer cancel()
 	owner := rt.m.OwnerOf(req.V)
-	if err := rt.sets[owner].CheckIn(ctx, int64(req.V), req.X, req.Y); err != nil {
+	lctx, span := rt.leg(ctx, "checkin", owner)
+	err := rt.sets[owner].CheckIn(lctx, int64(req.V), req.X, req.Y)
+	span.End()
+	if err != nil {
 		rt.writeLegError(w, r, owner, err)
 		return
 	}
@@ -531,7 +627,9 @@ func (rt *Router) handleEdge(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i, o int) {
 			defer wg.Done()
-			results[i], errs[i] = rt.sets[o].Edge(ctx, int64(req.U), int64(req.V), insert)
+			lctx, span := rt.leg(ctx, "edge", o)
+			defer span.End()
+			results[i], errs[i] = rt.sets[o].Edge(lctx, int64(req.U), int64(req.V), insert)
 		}(i, o)
 	}
 	wg.Wait()

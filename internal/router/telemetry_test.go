@@ -1,0 +1,296 @@
+package router
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"sacsearch/client"
+	"sacsearch/internal/server"
+	"sacsearch/internal/shard"
+	"sacsearch/internal/telemetry"
+)
+
+// recordedReq is one shard-bound request's correlation headers as the shard
+// actually received them.
+type recordedReq struct {
+	path      string
+	requestID string
+	traceSpan string
+}
+
+type headerRecorder struct {
+	mu   sync.Mutex
+	reqs []recordedReq
+}
+
+func (rec *headerRecorder) wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec.mu.Lock()
+		rec.reqs = append(rec.reqs, recordedReq{
+			path:      r.URL.Path,
+			requestID: r.Header.Get("X-Request-Id"),
+			traceSpan: r.Header.Get(telemetry.TraceHeader),
+		})
+		rec.mu.Unlock()
+		h.ServeHTTP(w, r)
+	})
+}
+
+func (rec *headerRecorder) snapshot() []recordedReq {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return append([]recordedReq(nil), rec.reqs...)
+}
+
+// spanLog collects the root spans the router's TraceHook hands over.
+type spanLog struct {
+	mu    sync.Mutex
+	roots []*telemetry.Span
+}
+
+func (sl *spanLog) hook(s *telemetry.Span) {
+	sl.mu.Lock()
+	sl.roots = append(sl.roots, s)
+	sl.mu.Unlock()
+}
+
+func (sl *spanLog) snapshot() []*telemetry.Span {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return append([]*telemetry.Span(nil), sl.roots...)
+}
+
+// childNames returns the names of a span's direct children, in order.
+func childNames(s *telemetry.Span) []string {
+	var names []string
+	for _, c := range s.Children() {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+func findChild(s *telemetry.Span, name string) *telemetry.Span {
+	for _, c := range s.Children() {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// newTracedTopology builds a 2-shard topology whose shard servers record
+// the correlation headers they receive, fronted by a router with a live
+// registry, a trace hook, and /metrics mounted.
+func newTracedTopology(t *testing.T) (routerURL string, rec *headerRecorder, sl *spanLog) {
+	t.Helper()
+	g := testGraph(200, 900, 91)
+	m, err := shard.Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = &headerRecorder{}
+	urls := make([][]string, m.Shards)
+	for id := 0; id < m.Shards; id++ {
+		sub, err := shard.Subgraph(g, m, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv, err := shard.NewServing(m, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := server.NewWithConfig(fmt.Sprintf("shard-%d", id), sub, server.Config{Shard: sv})
+		t.Cleanup(srv.Close)
+		ts := httptest.NewServer(rec.wrap(srv))
+		t.Cleanup(ts.Close)
+		urls[id] = []string{ts.URL}
+	}
+	sl = &spanLog{}
+	rt, err := New(Config{
+		Map:          m,
+		Shards:       urls,
+		Metrics:      telemetry.NewRegistry(),
+		ServeMetrics: true,
+		TraceHook:    sl.hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt)
+	t.Cleanup(ts.Close)
+	return ts.URL, rec, sl
+}
+
+// TestRouterForwardsRequestID pins satellite behavior the failover story
+// depends on: the request id a caller sends to the router is the id every
+// shard leg of that request carries, and every leg also carries a
+// X-Trace-Span naming a span in the router's own tree — so one id and one
+// tree stitch the whole cross-process request together.
+func TestRouterForwardsRequestID(t *testing.T) {
+	url, rec, sl := newTracedTopology(t)
+	cl, err := client.New(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const reqID = "cli-correlate-7"
+	ctx := client.WithRequestID(t.Context(), reqID)
+	// Drive all three leg shapes: a query (search, possibly expand legs), a
+	// check-in (single owner leg) and an edge insert (up to two legs).
+	if _, err := cl.Query(ctx, client.Query{Q: 3, K: 2}); err != nil && !strings.Contains(err.Error(), "no_community") {
+		if _, ok := err.(*client.APIError); !ok {
+			t.Fatalf("query: %v", err)
+		}
+	}
+	if err := cl.CheckIn(ctx, 5, 0.4, 0.4); err != nil {
+		t.Fatalf("checkin: %v", err)
+	}
+	if _, err := cl.Edge(ctx, 1, 150, true); err != nil {
+		t.Fatalf("edge: %v", err)
+	}
+
+	reqs := rec.snapshot()
+	if len(reqs) == 0 {
+		t.Fatal("no shard legs recorded")
+	}
+	// Collect every span id in every root tree; each leg's X-Trace-Span must
+	// name one of them.
+	spanIDs := map[string]bool{}
+	var collect func(s *telemetry.Span)
+	collect = func(s *telemetry.Span) {
+		spanIDs[s.ID] = true
+		for _, c := range s.Children() {
+			collect(c)
+		}
+	}
+	for _, root := range sl.snapshot() {
+		collect(root)
+	}
+	for _, rq := range reqs {
+		if rq.requestID != reqID {
+			t.Errorf("shard leg %s carried request id %q, want %q", rq.path, rq.requestID, reqID)
+		}
+		if rq.traceSpan == "" {
+			t.Errorf("shard leg %s carried no %s header", rq.path, telemetry.TraceHeader)
+		} else if !spanIDs[rq.traceSpan] {
+			t.Errorf("shard leg %s carried span id %q not present in any router trace", rq.path, rq.traceSpan)
+		}
+	}
+}
+
+// TestRouterSpanTreeDifferential asserts the trace tree's shape tracks the
+// routing decision: a certified query shows exactly one search leg and no
+// assembly; an assembled query shows the declined search leg plus an
+// assemble span with expand legs and a merge; θ-SAC shows an assemble span
+// gathering every shard. The differential then cross-checks the trees
+// against sac_router_query_path_total on /metrics.
+func TestRouterSpanTreeDifferential(t *testing.T) {
+	url, _, sl := newTracedTopology(t)
+	cl, err := client.New(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := t.Context()
+	for v := int64(0); v < 200; v += 17 {
+		for _, k := range []int{3, 4, 5} {
+			_, err := cl.Query(ctx, client.Query{Q: v, K: k})
+			if err != nil {
+				if _, ok := err.(*client.APIError); !ok {
+					t.Fatalf("query q=%d k=%d: %v", v, k, err)
+				}
+			}
+		}
+	}
+	if _, err := cl.Query(ctx, client.Query{Q: 3, K: 2, Algo: "theta", Theta: client.Float(0.2)}); err != nil {
+		if _, ok := err.(*client.APIError); !ok {
+			t.Fatalf("theta query: %v", err)
+		}
+	}
+
+	var certified, assembled, theta int
+	for _, root := range sl.snapshot() {
+		if !strings.HasPrefix(root.Name, "POST /v1/query") {
+			continue
+		}
+		search := findChild(root, "shard-search")
+		assemble := findChild(root, "assemble")
+		switch {
+		case search != nil && assemble == nil:
+			certified++
+			if n := len(root.Children()); n != 1 {
+				t.Errorf("certified query has %d children %v, want just the search leg",
+					n, childNames(root))
+			}
+		case search != nil && assemble != nil:
+			assembled++
+			if findChild(assemble, "shard-expand") == nil {
+				t.Errorf("assembled query's assemble span has no expand leg: %v", childNames(assemble))
+			}
+			if findChild(assemble, "merge") == nil {
+				t.Errorf("assembled query's assemble span has no merge: %v", childNames(assemble))
+			}
+		case search == nil && assemble != nil:
+			theta++
+			if findChild(assemble, "shard-range") == nil {
+				t.Errorf("theta query's assemble span has no range leg: %v", childNames(assemble))
+			}
+		default:
+			t.Errorf("query span with neither search nor assemble children: %v", childNames(root))
+		}
+	}
+	if certified == 0 || assembled == 0 {
+		t.Fatalf("differential needs both paths: %d certified, %d assembled", certified, assembled)
+	}
+	if theta != 1 {
+		t.Fatalf("expected exactly 1 theta trace, saw %d", theta)
+	}
+
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for metric, want := range map[string]int{
+		`sac_router_query_path_total{path="certified"}`: certified,
+		`sac_router_query_path_total{path="assembled"}`: assembled,
+		`sac_router_query_path_total{path="theta"}`:     theta,
+	} {
+		if !strings.Contains(text, fmt.Sprintf("%s %d", metric, want)) {
+			t.Errorf("metrics missing %s %d:\n%s", metric, want,
+				grepLines(text, "sac_router_query_path_total"))
+		}
+	}
+	for _, needle := range []string{
+		`sac_router_legs_total{kind="search"}`,
+		`sac_router_legs_total{kind="expand"}`,
+		`sac_router_legs_total{kind="range"}`,
+		"sac_router_expand_rounds_total",
+		"sac_http_requests_total",
+		"sac_http_request_duration_seconds_bucket",
+	} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("metrics missing %q", needle)
+		}
+	}
+}
+
+// grepLines filters a metrics dump down to the lines containing sub, for
+// readable failures.
+func grepLines(text, sub string) string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, sub) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

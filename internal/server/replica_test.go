@@ -1,8 +1,10 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
-	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -15,7 +17,26 @@ import (
 	"sacsearch/internal/store"
 )
 
-func discardLogf(string, ...any) {}
+var discardLogger = slog.New(slog.NewTextHandler(io.Discard, nil))
+
+// lockedBuffer is an io.Writer safe for the concurrent writes a slog
+// handler may issue while the test goroutine reads the captured output.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
 
 // unmarshalErr decodes an error envelope, failing the test on bad JSON.
 func unmarshalErr(t *testing.T, body []byte, into *ErrorJSON) {
@@ -62,24 +83,24 @@ func startReplicatedPair(t *testing.T, cfg Config) (leader, rep *httptest.Server
 		t.Fatal(err)
 	}
 	sh = replica.NewShipper(st, ln, replica.ShipperOptions{
-		Heartbeat: 20 * time.Millisecond, Poll: time.Millisecond, Logf: discardLogf,
+		Heartbeat: 20 * time.Millisecond, Poll: time.Millisecond, Logger: discardLogger,
 	})
 	t.Cleanup(sh.Close)
 
-	srvL := NewWithStore("test", st, Config{Logf: discardLogf, ShipperStatus: sh.Status})
+	srvL := NewWithStore("test", st, Config{Logger: discardLogger, ShipperStatus: sh.Status})
 	t.Cleanup(srvL.Close)
 	leader = httptest.NewServer(srvL)
 	t.Cleanup(leader.Close)
 
 	f, err := replica.NewFollower(replica.FollowerOptions{
 		Leader: sh.Addr().String(), BackoffMin: 5 * time.Millisecond,
-		BackoffMax: 100 * time.Millisecond, Logf: discardLogf,
+		BackoffMax: 100 * time.Millisecond, Logger: discardLogger,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = discardLogf
+	if cfg.Logger == nil {
+		cfg.Logger = discardLogger
 	}
 	srvR := NewReplica("test", f, cfg)
 	t.Cleanup(srvR.Close)
@@ -212,12 +233,12 @@ func TestReplicaNotReadyBeforeSync(t *testing.T) {
 
 	f, err := replica.NewFollower(replica.FollowerOptions{
 		Leader: addr, BackoffMin: 5 * time.Millisecond,
-		BackoffMax: 50 * time.Millisecond, Logf: discardLogf,
+		BackoffMax: 50 * time.Millisecond, Logger: discardLogger,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewReplica("test", f, Config{Logf: discardLogf})
+	srv := NewReplica("test", f, Config{Logger: discardLogger})
 	t.Cleanup(srv.Close)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
@@ -252,7 +273,7 @@ func TestFencedLeaderTurnsReadonly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewWithStore("test", st, Config{Logf: discardLogf})
+	srv := NewWithStore("test", st, Config{Logger: discardLogger})
 	t.Cleanup(srv.Close)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
@@ -289,14 +310,11 @@ func TestFencedLeaderTurnsReadonly(t *testing.T) {
 // client sees a 500 envelope carrying the request id while the stack lands
 // in the server log — a handler bug must cost one request, not the process.
 func TestPanicRecoveryMiddleware(t *testing.T) {
-	var mu sync.Mutex
-	var logged strings.Builder
+	var logged lockedBuffer
 	g := testGraph()
-	srv := NewWithConfig("test", g, Config{Logf: func(format string, args ...any) {
-		mu.Lock()
-		fmt.Fprintf(&logged, format, args...)
-		mu.Unlock()
-	}})
+	srv := NewWithConfig("test", g, Config{
+		Logger: slog.New(slog.NewTextHandler(&logged, nil)),
+	})
 	t.Cleanup(srv.Close)
 	srv.mux.HandleFunc("GET /v1/boom", func(http.ResponseWriter, *http.Request) {
 		panic("kaboom")
@@ -324,9 +342,7 @@ func TestPanicRecoveryMiddleware(t *testing.T) {
 	if e.Code != CodeInternal || e.RequestID != "trace-me-123" {
 		t.Fatalf("panic envelope = %+v", e)
 	}
-	mu.Lock()
 	out := logged.String()
-	mu.Unlock()
 	if !strings.Contains(out, "kaboom") || !strings.Contains(out, "trace-me-123") ||
 		!strings.Contains(out, "goroutine") {
 		t.Fatalf("panic log missing panic value, request id or stack:\n%s", out)

@@ -53,7 +53,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -69,6 +69,8 @@ import (
 	"sacsearch/internal/shard"
 	"sacsearch/internal/snapshot"
 	"sacsearch/internal/store"
+	"sacsearch/internal/telemetry"
+	"sacsearch/internal/version"
 )
 
 // Machine-readable error codes of the /v1 error envelope. Codes originating
@@ -113,9 +115,23 @@ type Config struct {
 	// which is local-clock-only and so immune to clock skew. Default 10s;
 	// negative disables shedding. Ignored on a leader.
 	StalenessBound time.Duration
-	// Logf receives server-level events — today, recovered panics with their
-	// stacks. Default log.Printf.
-	Logf func(format string, args ...any)
+	// Logger receives server-level structured events — recovered panics,
+	// slow queries — keyed by request and span id. Default slog.Default().
+	Logger *slog.Logger
+	// Metrics, when non-nil, receives the server's instrumentation
+	// (sac_http_*, sac_query_*, engine gauges). The same registry should be
+	// shared with the store/follower/shipper so one scrape covers the node.
+	Metrics *telemetry.Registry
+	// ServeMetrics mounts GET /metrics on the public mux (requires
+	// Metrics). Deployments that want the scrape firewalled separately
+	// leave this false and scrape the debugserve listener instead.
+	ServeMetrics bool
+	// SlowQueryThreshold, when positive, logs any request slower than this
+	// at Warn level with its full span tree.
+	SlowQueryThreshold time.Duration
+	// TraceHook, when set, receives every request's finished root span
+	// (tests use it to pin span-tree shapes).
+	TraceHook func(*telemetry.Span)
 	// Shard, when set, makes this node one shard of a partitioned topology:
 	// the /v1/shard/* protocol is served, writes for vertices owned elsewhere
 	// are rejected with 400 wrong_shard, and /v1/health reports the shard
@@ -158,11 +174,11 @@ func (c Config) stalenessBound() time.Duration {
 	return 10 * time.Second
 }
 
-func (c Config) logf() func(string, ...any) {
-	if c.Logf != nil {
-		return c.Logf
+func (c Config) logger() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
 	}
-	return log.Printf
+	return slog.Default()
 }
 
 // Server serves SAC queries over one spatial graph — as a standalone
@@ -175,6 +191,18 @@ type Server struct {
 	cfg    Config
 	mux    *http.ServeMux
 	nextID atomic.Uint64 // request-id fallback counter
+	start  time.Time     // boot time, for health's uptimeSeconds
+
+	// Instruments; all nil-safe no-ops when cfg.Metrics is nil.
+	httpMet      telemetry.HTTPMetrics
+	queryDur     *telemetry.HistogramVec // per-algorithm search latency
+	statCand     *telemetry.CounterVec   // per-algorithm core.Stats counters
+	statFeas     *telemetry.CounterVec
+	statBinIters *telemetry.CounterVec
+	statCircles  *telemetry.CounterVec
+	statCacheHit *telemetry.CounterVec
+	parBudget    *telemetry.Counter // requested parallelism-budget goroutines
+	parEffective *telemetry.Counter // goroutines actually granted under load
 
 	// inflight counts query and batch requests being served right now; it
 	// scales the per-query parallelism budget down under concurrent load.
@@ -197,6 +225,7 @@ func NewWithConfig(name string, g *graph.Graph, cfg Config) *Server {
 	return newServer(name, snapshot.New(g, snapshot.Options{
 		QueueLen: cfg.WriterQueue,
 		BatchMax: cfg.WriterBatch,
+		Metrics:  cfg.Metrics,
 	}), nil, nil, cfg)
 }
 
@@ -222,13 +251,32 @@ func NewReplica(name string, f *replica.Follower, cfg Config) *Server {
 
 func newServer(name string, eng *snapshot.Engine, st *store.Store, rep *replica.Follower, cfg Config) *Server {
 	s := &Server{
-		name: name,
-		eng:  eng,
-		st:   st,
-		rep:  rep,
-		cfg:  cfg,
-		mux:  http.NewServeMux(),
+		name:  name,
+		eng:   eng,
+		st:    st,
+		rep:   rep,
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
 	}
+	reg := cfg.Metrics // nil-safe: every constructor below no-ops on nil
+	s.httpMet = telemetry.NewHTTPMetrics(reg)
+	s.queryDur = reg.HistogramVec("sac_query_duration_seconds",
+		"SAC search latency by algorithm (single queries and shard legs).", nil, "algo")
+	s.statCand = reg.CounterVec("sac_query_candidate_vertices_total",
+		"Candidate-set vertices examined, by algorithm (paper Section 5 counter).", "algo")
+	s.statFeas = reg.CounterVec("sac_query_feasibility_checks_total",
+		"Feasibility checks run, by algorithm.", "algo")
+	s.statBinIters = reg.CounterVec("sac_query_binary_iters_total",
+		"Binary-search iterations over the radius, by algorithm.", "algo")
+	s.statCircles = reg.CounterVec("sac_query_circles_examined_total",
+		"Covering circles enumerated, by algorithm.", "algo")
+	s.statCacheHit = reg.CounterVec("sac_query_cache_hits_total",
+		"Candidate-cache hits, by algorithm.", "algo")
+	s.parBudget = reg.Counter("sac_query_parallelism_budget_total",
+		"Goroutines the configured per-query parallelism budget would grant.")
+	s.parEffective = reg.Counter("sac_query_parallelism_effective_total",
+		"Goroutines actually granted after scaling the budget by in-flight load.")
 	// /v1 is the current surface; the unversioned /api prefix predates
 	// versioning and stays wired to the same handlers as a deprecated
 	// alias (ServeHTTP stamps those responses with a Deprecation header).
@@ -249,6 +297,9 @@ func newServer(name string, eng *snapshot.Engine, st *store.Store, rep *replica.
 		s.mux.HandleFunc("POST /v1/shard/search", s.handleShardSearch)
 		s.mux.HandleFunc("POST /v1/shard/expand", s.handleShardExpand)
 		s.mux.HandleFunc("POST /v1/shard/range", s.handleShardRange)
+	}
+	if cfg.Metrics != nil && cfg.ServeMetrics {
+		s.mux.Handle("GET /metrics", cfg.Metrics.Handler())
 	}
 	return s
 }
@@ -323,11 +374,15 @@ func (s *Server) readEngine(w http.ResponseWriter, r *http.Request) (*snapshot.E
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s }
 
-// ServeHTTP implements http.Handler: it assigns the request id, stamps
-// deprecation metadata on legacy /api/* calls, then routes. A handler panic
-// is recovered here: the stack is logged with the request id, and — if the
-// handler had not started its response — the client gets a 500 envelope
-// instead of a severed connection.
+// ServeHTTP implements http.Handler: it assigns the request id, starts the
+// request's root trace span (linking it to the caller's span when the
+// X-Trace-Span header names one), stamps deprecation metadata on legacy
+// /api/* calls, then routes. On the way out it observes the sac_http_*
+// metrics, logs slow requests with their full span tree, and hands the
+// finished span to cfg.TraceHook. A handler panic is recovered here: the
+// stack is logged with the request and span ids, and — if the handler had
+// not started its response — the client gets a 500 envelope instead of a
+// severed connection.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	id := sanitizeRequestID(r.Header.Get("X-Request-Id"))
 	if id == "" {
@@ -338,32 +393,56 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Deprecation", "true")
 		w.Header().Set("Link", `</v1/`+rest+`>; rel="successor-version"`)
 	}
+	route := telemetry.RouteLabel(r.URL.Path)
 	ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+	ctx, span := telemetry.StartSpan(ctx, r.Method+" "+route)
+	span.Remote = sanitizeRequestID(r.Header.Get(telemetry.TraceHeader))
+	w.Header().Set(telemetry.TraceHeader, span.ID)
 	r = r.WithContext(ctx)
 	rw := &trackingWriter{ResponseWriter: w}
+	start := time.Now()
+	s.httpMet.Inflight.Add(1)
 	defer func() {
 		p := recover()
-		if p == nil || p == http.ErrAbortHandler {
-			return
+		if p != nil && p != http.ErrAbortHandler {
+			s.cfg.logger().Error("panic serving request",
+				"method", r.Method, "path", r.URL.Path, "requestId", id,
+				"spanId", span.ID, "panic", p, "stack", string(debug.Stack()))
+			if !rw.wrote {
+				writeError(rw, r, http.StatusInternalServerError, CodeInternal, "",
+					"internal server error (request "+id+")")
+			}
 		}
-		s.cfg.logf()("server: panic serving %s %s (request %s): %v\n%s",
-			r.Method, r.URL.Path, id, p, debug.Stack())
-		if !rw.wrote {
-			writeError(rw, r, http.StatusInternalServerError, CodeInternal, "",
-				"internal server error (request "+id+")")
+		span.End()
+		elapsed := time.Since(start)
+		s.httpMet.Inflight.Add(-1)
+		s.httpMet.Requests.With(route, r.Method, strconv.Itoa(rw.status())).Inc()
+		s.httpMet.Duration.With(route).Observe(elapsed.Seconds())
+		if t := s.cfg.SlowQueryThreshold; t > 0 && elapsed >= t {
+			s.cfg.logger().Warn("slow request",
+				"method", r.Method, "route", route, "requestId", id, "spanId", span.ID,
+				"elapsed", elapsed, "status", rw.status(), "trace", "\n"+span.Tree())
+		}
+		if s.cfg.TraceHook != nil {
+			s.cfg.TraceHook(span)
 		}
 	}()
 	s.mux.ServeHTTP(rw, r)
 }
 
-// trackingWriter records whether the response has started, so the panic
-// recovery knows if a 500 envelope can still be sent.
+// trackingWriter records whether the response has started (so the panic
+// recovery knows if a 500 envelope can still be sent) and the status code
+// (for the request metrics).
 type trackingWriter struct {
 	http.ResponseWriter
 	wrote bool
+	code  int
 }
 
 func (w *trackingWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+	}
 	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
@@ -371,6 +450,15 @@ func (w *trackingWriter) WriteHeader(code int) {
 func (w *trackingWriter) Write(b []byte) (int, error) {
 	w.wrote = true
 	return w.ResponseWriter.Write(b)
+}
+
+// status is the response code sent to the client (200 when the handler
+// never called WriteHeader explicitly).
+func (w *trackingWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
 }
 
 type requestIDKey struct{}
@@ -559,10 +647,12 @@ func writeError(w http.ResponseWriter, r *http.Request, status int, code, field,
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	readonly, degraded := false, false
 	health := map[string]any{
-		"dataset":     s.name,
-		"apiVersions": []string{"v1"},
-		"role":        s.role(),
-		"durable":     s.st != nil,
+		"dataset":       s.name,
+		"apiVersions":   []string{"v1"},
+		"role":          s.role(),
+		"durable":       s.st != nil,
+		"uptimeSeconds": int64(time.Since(s.start).Seconds()),
+		"build":         version.Get(),
 	}
 	if eng := s.engine(); eng != nil {
 		snap := eng.Current()
@@ -757,17 +847,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if eff < 1 {
 			eff = 1
 		}
+		s.parBudget.Add(uint64(n))
+		s.parEffective.Add(uint64(eff))
 		prev := searcher.Parallelism()
 		searcher.SetParallelism(eff)
 		defer searcher.SetParallelism(prev)
 	}
+	ctx, qspan := telemetry.StartSpan(ctx, "search")
 	res, err := searcher.Search(ctx, req.toQuery())
+	qspan.End()
 	if err != nil {
 		writeQueryError(w, r, err)
 		return
 	}
 	spec, _ := core.LookupAlgo(req.Algo) // Search succeeded, so the name resolves
+	qspan.SetAttr("algo", spec.Name)
+	qspan.SetAttr("q", req.Q)
+	qspan.SetAttr("k", req.K)
+	s.observeQuery(spec.Name, res.Stats)
 	writeJSON(w, http.StatusOK, toQueryResponse(spec.Name, res))
+}
+
+// observeQuery records one successful search's latency and the paper's
+// per-query work counters under the algorithm label.
+func (s *Server) observeQuery(algo string, st core.Stats) {
+	s.queryDur.With(algo).Observe(st.Elapsed.Seconds())
+	s.statCand.With(algo).Add(uint64(st.CandidateSize))
+	s.statFeas.With(algo).Add(uint64(st.FeasibilityChecks))
+	s.statBinIters.With(algo).Add(uint64(st.BinaryIters))
+	s.statCircles.With(algo).Add(uint64(st.CirclesExamined))
+	s.statCacheHit.With(algo).Add(uint64(st.CacheHits))
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {

@@ -176,6 +176,7 @@ func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	spec, _ := core.LookupAlgo(req.Algo)
+	s.observeQuery(spec.Name, res.Stats)
 	resp := toQueryResponse(spec.Name, res)
 	writeJSON(w, http.StatusOK, ShardSearchResponse{Contained: true, Result: &resp})
 }

@@ -35,10 +35,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sacsearch/internal/core"
 	"sacsearch/internal/geom"
 	"sacsearch/internal/graph"
+	"sacsearch/internal/telemetry"
 )
 
 // ErrClosed is returned by writes submitted to a closed Engine.
@@ -98,6 +100,12 @@ type Options struct {
 	// server.Config.QueryParallelism) rather than setting a large value
 	// here unconditionally.
 	Parallelism int
+	// Metrics, when non-nil, receives the engine's instrumentation:
+	// publish latency and batch-coalescing histograms plus queue-depth and
+	// progress gauges read at scrape time. Gauge registration is last-wins,
+	// so a replica promotion that builds a fresh engine points the scrape
+	// at the live one.
+	Metrics *telemetry.Registry
 }
 
 func (o Options) queueLen() int {
@@ -147,6 +155,10 @@ type Engine struct {
 
 	published atomic.Uint64 // snapshots published (== latest Snap.Seq)
 	applied   atomic.Uint64 // events applied
+
+	// Nil-safe instruments observed by the writer goroutine.
+	publishDur  *telemetry.Histogram
+	batchEvents *telemetry.Histogram
 }
 
 type opKind uint8
@@ -189,6 +201,21 @@ func New(g *graph.Graph, opt Options) *Engine {
 	snap := e.freeze()
 	e.pool = core.NewPool(snap.base)
 	e.cur.Store(snap)
+	if reg := opt.Metrics; reg != nil {
+		e.publishDur = reg.Histogram("sac_engine_publish_duration_seconds",
+			"Snapshot freeze-and-publish latency in the writer loop.", nil)
+		e.batchEvents = reg.Histogram("sac_engine_batch_events",
+			"Events coalesced per writer batch (group commit size).",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+		reg.GaugeFunc("sac_engine_queue_depth", "Writer queue depth (pending writes).",
+			func() float64 { return float64(e.QueueDepth()) })
+		reg.GaugeFunc("sac_engine_published", "Snapshots published since boot.",
+			func() float64 { return float64(e.Published()) })
+		reg.GaugeFunc("sac_engine_applied", "Write events applied since boot.",
+			func() float64 { return float64(e.Applied()) })
+		reg.GaugeFunc("sac_engine_pool_clones", "Searcher clones created by the snapshot pool.",
+			func() float64 { return float64(e.PoolClones()) })
+	}
 	go e.writer(opt.batchMax())
 	return e
 }
@@ -368,9 +395,12 @@ func (e *Engine) writer(batchMax int) {
 			// every write — skipping the O(n) clone keeps garbage write
 			// traffic from turning into allocation churn, and snapshotSeq
 			// keeps meaning "distinct published states".
+			e.batchEvents.Observe(float64(len(pending)))
 			if e.prev == nil ||
 				e.g.LocEpoch() != e.prev.locEpoch || e.g.TopoEpoch() != e.prev.topoEpoch {
+				start := time.Now()
 				e.cur.Store(e.freeze())
+				e.publishDur.Observe(time.Since(start).Seconds())
 			}
 			for i, ev := range pending {
 				ev.done <- results[i]

@@ -43,6 +43,7 @@ import (
 	"sacsearch/internal/geom"
 	"sacsearch/internal/graph"
 	"sacsearch/internal/snapshot"
+	"sacsearch/internal/telemetry"
 	"sacsearch/internal/wal"
 )
 
@@ -83,6 +84,10 @@ type Options struct {
 	// Engine passes through the snapshot engine's queue and batch tuning.
 	// Persist and InitialSeq are owned by the store and must be left zero.
 	Engine snapshot.Options
+	// Metrics, when non-nil, instruments the store and is forwarded to the
+	// WAL and engine it owns: fsync and publish latency histograms,
+	// checkpoint duration, segment gauges.
+	Metrics *telemetry.Registry
 }
 
 func (o Options) checkpointInterval() time.Duration {
@@ -150,6 +155,8 @@ type Store struct {
 	closeErr    error
 
 	recScratch []wal.Record // persist-hook scratch; writer goroutine only
+
+	ckptDur *telemetry.Histogram // nil-safe checkpoint-latency instrument
 }
 
 // HasState reports whether dataDir holds a checkpoint to recover from —
@@ -203,6 +210,7 @@ func Open(dataDir string, opt Options) (*Store, error) {
 		Policy:        opt.Fsync,
 		SegmentBytes:  opt.SegmentBytes,
 		FlushInterval: opt.FsyncInterval,
+		Metrics:       opt.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -254,7 +262,16 @@ func Open(dataDir string, opt Options) (*Store, error) {
 	engOpt := opt.Engine
 	engOpt.Persist = st.persistBatch
 	engOpt.InitialSeq = log.LastSeq()
+	if engOpt.Metrics == nil {
+		engOpt.Metrics = opt.Metrics
+	}
 	st.eng = snapshot.New(g, engOpt)
+	st.ckptDur = opt.Metrics.Histogram("sac_store_checkpoint_duration_seconds",
+		"Checkpoint write latency (snapshot serialization plus WAL truncation).",
+		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 15, 60})
+	opt.Metrics.GaugeFunc("sac_store_last_checkpoint_seq",
+		"WAL sequence covered by the newest checkpoint.",
+		func() float64 { return float64(st.lastCkpt.Load()) })
 
 	if opt.checkpointInterval() > 0 || opt.CheckpointEvents > 0 {
 		st.ckptStarted = true
@@ -410,6 +427,8 @@ func (s *Store) Checkpoint() error {
 	if seq <= s.lastCkpt.Load() {
 		return nil
 	}
+	start := time.Now()
+	defer func() { s.ckptDur.Observe(time.Since(start).Seconds()) }()
 	// The published graph is frozen and immutable; WriteBinary is a pure
 	// reader, so checkpointing never blocks writers or queries.
 	if err := writeCheckpoint(s.dir, snap.Graph(), seq); err != nil {

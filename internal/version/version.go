@@ -1,0 +1,30 @@
+// Package version carries the build identity stamped into release
+// binaries. CI overrides the variables with -ldflags:
+//
+//	go build -ldflags "-X sacsearch/internal/version.Version=v1.2.3 \
+//	                   -X sacsearch/internal/version.Commit=abc1234" ./...
+//
+// A plain `go build` leaves the defaults, so local binaries report
+// "devel" instead of lying about a release.
+package version
+
+import "runtime"
+
+var (
+	// Version is the release tag, or "devel" for unstamped builds.
+	Version = "devel"
+	// Commit is the VCS commit hash, or "devel" for unstamped builds.
+	Commit = "devel"
+)
+
+// Info is the build block embedded in /v1/health and logged at boot.
+type Info struct {
+	Version string `json:"version"`
+	Commit  string `json:"commit"`
+	Go      string `json:"go"`
+}
+
+// Get returns the build identity of the running binary.
+func Get() Info {
+	return Info{Version: Version, Commit: Commit, Go: runtime.Version()}
+}

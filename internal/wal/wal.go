@@ -43,6 +43,7 @@ import (
 
 	"sacsearch/internal/geom"
 	"sacsearch/internal/graph"
+	"sacsearch/internal/telemetry"
 )
 
 // Policy selects when appended records reach stable storage.
@@ -153,6 +154,10 @@ type Options struct {
 	// FlushInterval paces the background fsync under PolicyInterval
 	// (default 100 ms).
 	FlushInterval time.Duration
+	// Metrics, when non-nil, receives the log's instrumentation: an
+	// fsync-latency histogram and segment/bytes/last-seq gauges read at
+	// scrape time.
+	Metrics *telemetry.Registry
 }
 
 func (o Options) policy() Policy {
@@ -200,6 +205,8 @@ type Log struct {
 	err     error // latched I/O or fsync failure; all later appends fail
 
 	buf []byte // append scratch, one batch's frames
+
+	fsyncDur *telemetry.Histogram // nil-safe; observed around every fsync
 
 	stopFlush chan struct{}
 	flushDone chan struct{}
@@ -282,6 +289,21 @@ func Open(dir string, startSeq uint64, opt Options) (*Log, error) {
 		l.stopFlush = make(chan struct{})
 		l.flushDone = make(chan struct{})
 		go l.flusher()
+	}
+	if reg := opt.Metrics; reg != nil {
+		l.fsyncDur = reg.Histogram("sac_wal_fsync_duration_seconds",
+			"WAL fsync latency (one group commit under PolicyAlways).", nil)
+		reg.GaugeFunc("sac_wal_segments", "WAL segment files on disk.", func() float64 {
+			n, _ := l.Stats()
+			return float64(n)
+		})
+		reg.GaugeFunc("sac_wal_bytes", "WAL bytes on disk across all segments.", func() float64 {
+			_, b := l.Stats()
+			return float64(b)
+		})
+		reg.GaugeFunc("sac_wal_last_seq", "Sequence of the newest appended WAL record.", func() float64 {
+			return float64(l.LastSeq())
+		})
 	}
 	return l, nil
 }
@@ -368,10 +390,12 @@ func (l *Log) Append(recs []Record) (uint64, error) {
 	l.active.size += int64(len(l.buf))
 	switch l.opt.policy() {
 	case PolicyAlways:
+		start := time.Now()
 		if err := l.f.Sync(); err != nil {
 			l.err = fmt.Errorf("wal: fsync: %w", err)
 			return l.lastSeq, l.err
 		}
+		l.fsyncDur.Observe(time.Since(start).Seconds())
 	default:
 		l.dirty = true
 	}
@@ -398,10 +422,12 @@ func (l *Log) syncLocked() error {
 	if l.f == nil {
 		return nil
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		l.err = fmt.Errorf("wal: fsync: %w", err)
 		return l.err
 	}
+	l.fsyncDur.Observe(time.Since(start).Seconds())
 	l.dirty = false
 	return nil
 }

@@ -42,6 +42,7 @@ func TestReadmeMatchesRegistry(t *testing.T) {
 		"/v1/health", "/v1/ready", "/v1/algorithms", "/v1/vertex/{id}",
 		"/v1/query", "/v1/batch", "/v1/checkin", "/v1/edge",
 		"/v1/shard/info", "/v1/shard/search", "/v1/shard/expand", "/v1/shard/range",
+		"/v1/subscribe", "/v1/shard/watch",
 		"/metrics",
 	} {
 		if !strings.Contains(section, route) {
@@ -58,6 +59,7 @@ func TestReadmeMatchesRegistry(t *testing.T) {
 		"unavailable", "query_failed", // server codes
 		"read_only", "stale_read", "not_ready", "internal", // replication + recovery codes
 		"wrong_shard", "shard_unavailable", // sharded-topology codes
+		"unknown_subscription", "subscription_limit", // standing-query codes
 	}
 	for _, code := range codes {
 		if !strings.Contains(section, code) {

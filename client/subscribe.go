@@ -1,0 +1,447 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Standing queries: Subscribe registers a (q, k, algo) standing query on
+// the server and returns a channel of community events — an init with the
+// full membership, then deltas as the graph churns. The subscription
+// reconnects automatically with Last-Event-ID resume until the context is
+// canceled, Close is called, or the server says goodbye.
+
+// ErrSubscriptionClosed is returned by Subscription.Err after the server
+// ended the stream with a terminal bye event (drain/shutdown).
+var ErrSubscriptionClosed = errors.New("sac client: subscription closed by server")
+
+// SubEvent is one standing-query event.
+type SubEvent struct {
+	// Kind is "init" (Members carries the full community), "delta"
+	// (Joined/Left carry the change) or "bye" (terminal; the stream ends).
+	Kind string
+	// Sub is the subscription id; Seq the per-subscription event sequence.
+	Sub string
+	Seq uint64
+	// The standing query, echoed on every event.
+	Q    int64
+	K    int
+	Algo string
+	// NoCommunity reports that the query vertex currently has no feasible
+	// community; MCC is nil then.
+	NoCommunity bool
+	Members     []int64
+	Joined      []int64
+	Left        []int64
+	MCC         *Circle
+	Delta       float64
+	// Hash fingerprints the full state after this event (FNV-1a, hex);
+	// replaying deltas over the init must reproduce it.
+	Hash string
+}
+
+// SubscribeOptions tunes Subscribe.
+type SubscribeOptions struct {
+	// ID pins the subscription id (resumable across client restarts);
+	// empty lets the server assign one.
+	ID string
+	// Buffer is the event channel's capacity (default 16). The server
+	// sheds consumers that fall a server-side buffer behind; a shed stream
+	// resumes transparently.
+	Buffer int
+}
+
+// Subscription is a live standing query.
+type Subscription struct {
+	// Events delivers the stream in order. It closes when the subscription
+	// ends; check Err for why.
+	Events <-chan SubEvent
+
+	id     string
+	events chan SubEvent
+	cancel context.CancelFunc
+	done   chan struct{}
+	err    error // written once before done closes
+}
+
+// ID returns the subscription id (server-assigned when not pinned).
+func (s *Subscription) ID() string { return s.id }
+
+// Err reports why Events closed: nil while live or after Close/context
+// cancellation, ErrSubscriptionClosed after a server bye, or the terminal
+// failure. Valid after Events closes.
+func (s *Subscription) Err() error {
+	select {
+	case <-s.done:
+		return s.err
+	default:
+		return nil
+	}
+}
+
+// Close ends the subscription and waits for its goroutine. The server-side
+// registration stays resumable (by pinned ID) until its resume TTL lapses.
+func (s *Subscription) Close() {
+	s.cancel()
+	<-s.done
+}
+
+// Subscribe opens a standing query. The first connection is made
+// synchronously so registration errors (validation, limits) surface here;
+// afterwards the subscription re-dials on its own with jittered backoff,
+// resuming via Last-Event-ID. A resume the server no longer recognizes
+// (404 unknown_subscription) restarts fresh — the stream then carries a new
+// init frame. A nil opt takes the defaults.
+func (c *Client) Subscribe(ctx context.Context, q Query, opt *SubscribeOptions) (*Subscription, error) {
+	return subscribeWith(ctx, q, opt, func(ctx context.Context, q Query, id string, lastID uint64, hasLast bool) (*http.Response, error) {
+		return c.dialSubscribe(ctx, q, id, lastID, hasLast)
+	})
+}
+
+// dialer opens one subscription connection attempt.
+type dialer func(ctx context.Context, q Query, id string, lastID uint64, hasLast bool) (*http.Response, error)
+
+func subscribeWith(ctx context.Context, q Query, opt *SubscribeOptions, dial dialer) (*Subscription, error) {
+	var o SubscribeOptions
+	if opt != nil {
+		o = *opt
+	}
+	if o.Buffer <= 0 {
+		o.Buffer = 16
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	resp, err := dial(sctx, q, o.ID, 0, false)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	events := make(chan SubEvent, o.Buffer)
+	sub := &Subscription{
+		Events: events,
+		id:     o.ID,
+		events: events,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	go sub.run(sctx, q, dial, resp)
+	return sub, nil
+}
+
+// run pumps one connection after another until a terminal condition.
+func (s *Subscription) run(ctx context.Context, q Query, dial dialer, resp *http.Response) {
+	defer close(s.done)
+	defer close(s.events)
+	defer s.cancel()
+	var lastID uint64
+	var hasLast bool
+	backoff := 100 * time.Millisecond
+	for {
+		bye, got := s.pump(ctx, resp, &lastID, &hasLast)
+		if bye {
+			s.err = ErrSubscriptionClosed
+			return
+		}
+		if got {
+			backoff = 100 * time.Millisecond // progress: reset the backoff
+		}
+		// Reconnect until the context ends or the server rejects us for good.
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(jitter(backoff)):
+			}
+			if backoff < 5*time.Second {
+				backoff *= 2
+			}
+			var err error
+			resp, err = dial(ctx, q, s.id, lastID, hasLast)
+			if err == nil {
+				break
+			}
+			var apiErr *APIError
+			if errors.As(err, &apiErr) {
+				if apiErr.Code == "unknown_subscription" {
+					// Resume state expired server-side: start fresh and let
+					// the new init frame resynchronize the consumer.
+					hasLast, lastID = false, 0
+					continue
+				}
+				if apiErr.Status >= 400 && apiErr.Status < 500 && apiErr.Status != http.StatusTooManyRequests {
+					s.err = err
+					return
+				}
+			}
+			if ctx.Err() != nil {
+				return
+			}
+		}
+	}
+}
+
+// pump reads one SSE connection until it ends. Reports whether a terminal
+// bye arrived and whether any event was delivered (for backoff reset).
+func (s *Subscription) pump(ctx context.Context, resp *http.Response, lastID *uint64, hasLast *bool) (bye, got bool) {
+	defer resp.Body.Close()
+	// Tie the read loop to the context: closing the body unblocks Read.
+	stop := context.AfterFunc(ctx, func() { resp.Body.Close() })
+	defer stop()
+	br := bufio.NewReader(resp.Body)
+	for {
+		frame, err := readSSEFrame(br)
+		if err != nil {
+			return false, got
+		}
+		if frame.event == "" && frame.data == nil {
+			continue // comment heartbeat
+		}
+		var payload struct {
+			Sub         string  `json:"sub"`
+			Seq         uint64  `json:"seq"`
+			Q           int64   `json:"q"`
+			K           int     `json:"k"`
+			Algo        string  `json:"algo"`
+			NoCommunity bool    `json:"noCommunity"`
+			Members     []int64 `json:"members"`
+			Joined      []int64 `json:"joined"`
+			Left        []int64 `json:"left"`
+			MCC         *Circle `json:"mcc"`
+			Delta       float64 `json:"delta"`
+			Hash        string  `json:"hash"`
+		}
+		if json.Unmarshal(frame.data, &payload) != nil {
+			continue
+		}
+		if payload.Sub != "" {
+			s.id = payload.Sub
+		}
+		ev := SubEvent{
+			Kind: frame.event, Sub: s.id, Seq: payload.Seq,
+			Q: payload.Q, K: payload.K, Algo: payload.Algo,
+			NoCommunity: payload.NoCommunity, Members: payload.Members,
+			Joined: payload.Joined, Left: payload.Left,
+			MCC: payload.MCC, Delta: payload.Delta, Hash: payload.Hash,
+		}
+		select {
+		case s.events <- ev:
+		case <-ctx.Done():
+			return false, got
+		}
+		got = true
+		if frame.id != "" {
+			if id, err := strconv.ParseUint(frame.id, 10, 64); err == nil {
+				*lastID, *hasLast = id, true
+			}
+		}
+		if frame.event == "bye" {
+			return true, got
+		}
+	}
+}
+
+// dialSubscribe opens one GET /v1/subscribe connection; a non-200 response
+// is consumed into an *APIError.
+func (c *Client) dialSubscribe(ctx context.Context, q Query, id string, lastID uint64, hasLast bool) (*http.Response, error) {
+	vals := url.Values{}
+	vals.Set("q", strconv.FormatInt(q.Q, 10))
+	vals.Set("k", strconv.Itoa(q.K))
+	if q.Algo != "" {
+		vals.Set("algo", q.Algo)
+	}
+	if q.EpsF != nil {
+		vals.Set("epsF", strconv.FormatFloat(*q.EpsF, 'g', -1, 64))
+	}
+	if q.EpsA != nil {
+		vals.Set("epsA", strconv.FormatFloat(*q.EpsA, 'g', -1, 64))
+	}
+	if q.Theta != nil {
+		vals.Set("theta", strconv.FormatFloat(*q.Theta, 'g', -1, 64))
+	}
+	if q.Structure != "" {
+		vals.Set("structure", q.Structure)
+	}
+	if id != "" {
+		vals.Set("id", id)
+	}
+	return c.dialSSE(ctx, "/v1/subscribe?"+vals.Encode(), lastID, hasLast)
+}
+
+// dialSSE opens one streaming GET, decoding non-200 responses into
+// *APIError like every other call.
+func (c *Client) dialSSE(ctx context.Context, pathAndQuery string, lastID uint64, hasLast bool) (*http.Response, error) {
+	parsed, err := url.Parse(pathAndQuery)
+	if err != nil {
+		return nil, fmt.Errorf("sac client: building request: %w", err)
+	}
+	u := c.base.JoinPath(parsed.Path)
+	u.RawQuery = parsed.RawQuery
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("sac client: building request: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if hasLast {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(lastID, 10))
+	}
+	if id, _ := ctx.Value(requestIDCtxKey{}).(string); id != "" {
+		req.Header.Set("X-Request-Id", id)
+	}
+	// Streams are long-lived: bypass the default client's global timeout
+	// but keep its transport (connection reuse, proxies, test doubles).
+	hc := &http.Client{Transport: c.hc.Transport}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("sac client: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		apiErr, cerr := consume(resp, nil)
+		if cerr != nil {
+			return nil, cerr
+		}
+		return nil, apiErr
+	}
+	return resp, nil
+}
+
+// sseFrame is one parsed SSE frame; a zero frame is a comment/heartbeat.
+type sseFrame struct {
+	id    string
+	event string
+	data  []byte
+}
+
+// readSSEFrame reads lines up to one blank-line frame boundary.
+func readSSEFrame(br *bufio.Reader) (sseFrame, error) {
+	var f sseFrame
+	started := false
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			return f, err
+		}
+		line = bytes.TrimRight(line, "\r\n")
+		if len(line) == 0 {
+			if started {
+				return f, nil
+			}
+			continue
+		}
+		if line[0] == ':' {
+			started = true // heartbeat comment: flush as an empty frame
+			continue
+		}
+		name, val, _ := bytes.Cut(line, []byte(":"))
+		val = bytes.TrimPrefix(val, []byte(" "))
+		started = true
+		switch string(name) {
+		case "id":
+			f.id = string(val)
+		case "event":
+			f.event = string(val)
+		case "data":
+			f.data = append(f.data, val...)
+		}
+	}
+}
+
+// --- shard watch (router-facing) -------------------------------------------
+
+// WatchEvent is one frame of a shard's publication firehose
+// (GET /v1/shard/watch): the vertices checked in and edges changed by one
+// published snapshot. Resync means the change history is unknown and every
+// derived answer must be recomputed. Bye means the shard is draining.
+type WatchEvent struct {
+	Seq      uint64
+	SnapSeq  uint64
+	Resync   bool
+	Bye      bool
+	Checkins []int64
+	Edges    [][2]int64
+}
+
+// WatchStream is one live shard-watch connection. It does not reconnect —
+// the consumer (the router) owns endpoint rotation and resume.
+type WatchStream struct {
+	// Events closes when the connection ends (EOF, cancellation, or a
+	// terminal bye, delivered as the last event).
+	Events <-chan WatchEvent
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// Close tears the connection down and waits for the reader.
+func (w *WatchStream) Close() {
+	w.cancel()
+	<-w.done
+}
+
+// ShardWatch opens the shard's publication firehose, resuming after
+// lastID when hasLast is set (the server replays the gap, or a resync
+// frame when it cannot).
+func (c *Client) ShardWatch(ctx context.Context, lastID uint64, hasLast bool) (*WatchStream, error) {
+	wctx, cancel := context.WithCancel(ctx)
+	resp, err := c.dialSSE(wctx, "/v1/shard/watch", lastID, hasLast)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	events := make(chan WatchEvent, 64)
+	ws := &WatchStream{Events: events, cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(ws.done)
+		defer close(events)
+		defer cancel()
+		defer resp.Body.Close()
+		stop := context.AfterFunc(wctx, func() { resp.Body.Close() })
+		defer stop()
+		br := bufio.NewReader(resp.Body)
+		for {
+			frame, err := readSSEFrame(br)
+			if err != nil {
+				return
+			}
+			if frame.event == "" && frame.data == nil {
+				continue
+			}
+			ev := WatchEvent{}
+			if frame.event == "bye" {
+				ev.Bye = true
+			} else {
+				var payload struct {
+					Seq      uint64     `json:"seq"`
+					SnapSeq  uint64     `json:"snapSeq"`
+					Resync   bool       `json:"resync"`
+					Checkins []int64    `json:"checkins"`
+					Edges    [][2]int64 `json:"edges"`
+				}
+				if json.Unmarshal(frame.data, &payload) != nil {
+					continue
+				}
+				ev.Seq, ev.SnapSeq, ev.Resync = payload.Seq, payload.SnapSeq, payload.Resync
+				ev.Checkins, ev.Edges = payload.Checkins, payload.Edges
+			}
+			if frame.id != "" {
+				if id, err := strconv.ParseUint(frame.id, 10, 64); err == nil {
+					ev.Seq = id
+				}
+			}
+			select {
+			case events <- ev:
+			case <-wctx.Done():
+				return
+			}
+			if ev.Bye {
+				return
+			}
+		}
+	}()
+	return ws, nil
+}

@@ -118,6 +118,9 @@ func main() {
 	case <-ctx.Done():
 		stop()
 		logger.Info("signal received, draining", "grace", *grace)
+		// Close standing-query streams (flushed deltas + terminal bye) so
+		// the open SSE responses finish and Shutdown's drain can complete.
+		rt.DrainSubscriptions()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

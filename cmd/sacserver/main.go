@@ -268,6 +268,10 @@ func main() {
 	case <-ctx.Done():
 		stop() // a second signal kills immediately
 		logger.Info("signal received, draining", "grace", *grace)
+		// Standing-query streams first: flush pending deltas and send each
+		// subscriber the terminal bye, so the open SSE responses finish and
+		// Shutdown's drain below can complete.
+		api.DrainSubscriptions()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

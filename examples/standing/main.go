@@ -1,0 +1,275 @@
+// Standing-query drill: boot a real sacserver process, open a standing
+// community query over SSE through the typed client, churn the graph, and
+// verify the pushed deltas replay to exactly the answer a fresh /v1/query
+// gives. The drill then checks the invalidation gate's telemetry on
+// /metrics and finishes with a graceful SIGTERM: the server must flush a
+// terminal bye down the stream before its listener closes.
+//
+// This is the single-process standing-query integration test CI runs
+// against the shipped binary (see .github/workflows/ci.yml):
+//
+//	go build -o /tmp/sacserver ./cmd/sacserver
+//	go run ./examples/standing -sacserver /tmp/sacserver
+//
+// Without -sacserver the drill builds the binary itself, so a plain
+// `go run ./examples/standing` from the module root also works. The drill
+// exits 0 only if every step held; any violated expectation is fatal.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"sacsearch/client"
+)
+
+var (
+	binPath = flag.String("sacserver", "", "path to a built sacserver binary (empty = build it into a temp dir)")
+	addr    = flag.String("addr", "127.0.0.1:18095", "server HTTP address")
+)
+
+func main() {
+	flag.Parse()
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	if err := run(ctx); err != nil {
+		log.Fatalf("standing: FAIL: %v", err)
+	}
+	fmt.Println("standing: PASS — deltas replayed to the fresh answer, gate counted, drain said bye")
+}
+
+func run(ctx context.Context) error {
+	bin := *binPath
+	scratch, err := os.MkdirTemp("", "sacstanding-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch)
+	if bin == "" {
+		bin = filepath.Join(scratch, "sacserver")
+		log.Printf("standing: building %s", bin)
+		build := exec.Command("go", "build", "-o", bin, "./cmd/sacserver")
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("building sacserver: %w", err)
+		}
+	}
+
+	baseURL := "http://" + *addr
+	srv := exec.Command(bin, "-dataset", "syn1", "-scale", "0.02", "-addr", *addr)
+	srv.Stdout, srv.Stderr = os.Stdout, os.Stderr
+	if err := srv.Start(); err != nil {
+		return fmt.Errorf("starting sacserver: %w", err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			_ = srv.Process.Kill()
+			_, _ = srv.Process.Wait()
+		}
+	}()
+	if err := waitReady(ctx, baseURL); err != nil {
+		return fmt.Errorf("server never became ready: %w", err)
+	}
+
+	cl, err := client.New(baseURL)
+	if err != nil {
+		return err
+	}
+
+	// Find an anchor vertex that actually has a 3-core community.
+	q := client.Query{K: 3, Algo: "appfast"}
+	var res *client.Result
+	for v := int64(0); v < 40; v++ {
+		q.Q = v
+		if res, err = cl.Query(ctx, q); err == nil {
+			break
+		}
+		if !errors.Is(err, client.ErrNoCommunity) {
+			return fmt.Errorf("probing for an anchor: %w", err)
+		}
+	}
+	if res == nil {
+		return errors.New("no vertex in [0,40) has a 3-core community; dataset too sparse")
+	}
+	log.Printf("standing: anchor q=%d k=%d, initial community has %d members", q.Q, q.K, len(res.Members))
+
+	// --- subscribe and verify the init snapshot -------------------------
+	sub, err := cl.Subscribe(ctx, q, &client.SubscribeOptions{ID: "standing-demo", Buffer: 256})
+	if err != nil {
+		return fmt.Errorf("subscribe: %w", err)
+	}
+	defer sub.Close()
+
+	members := map[int64]bool{}
+	init, err := nextEvent(ctx, sub, 30*time.Second)
+	if err != nil {
+		return fmt.Errorf("waiting for init: %w", err)
+	}
+	if init.Kind != "init" {
+		return fmt.Errorf("first event is %q, want init", init.Kind)
+	}
+	for _, v := range init.Members {
+		members[v] = true
+	}
+	log.Printf("standing: init delivered (%d members, seq %d)", len(init.Members), init.Seq)
+
+	// --- churn: move the anchor, expect a pushed delta ------------------
+	// Moving the query vertex itself always changes the answer's MCC, so a
+	// delta (or at least a changed result hash) is guaranteed.
+	anchor, err := cl.Vertex(ctx, q.Q)
+	if err != nil {
+		return err
+	}
+	deltas := 0
+	for round := 0; round < 5 && deltas == 0; round++ {
+		if err := cl.CheckIn(ctx, q.Q, anchor.X+0.05+0.02*float64(round), anchor.Y+0.03); err != nil {
+			return fmt.Errorf("churn check-in: %w", err)
+		}
+		ev, err := nextEvent(ctx, sub, 10*time.Second)
+		if err != nil {
+			continue // coalesced or hash-equal; move further and retry
+		}
+		if ev.Kind != "delta" {
+			return fmt.Errorf("churn produced a %q event, want delta", ev.Kind)
+		}
+		deltas++
+		for _, v := range ev.Joined {
+			members[v] = true
+		}
+		for _, v := range ev.Left {
+			delete(members, v)
+		}
+		log.Printf("standing: delta seq %d (+%d/-%d members, mcc %+v)", ev.Seq, len(ev.Joined), len(ev.Left), ev.MCC)
+	}
+	if deltas == 0 {
+		return errors.New("moving the anchor never pushed a delta")
+	}
+
+	// The replayed membership must equal a fresh query on the final graph.
+	fresh, err := cl.Query(ctx, q)
+	if err != nil {
+		return fmt.Errorf("fresh query after churn: %w", err)
+	}
+	if got, want := sortedKeys(members), fresh.Members; fmt.Sprint(got) != fmt.Sprint(want) {
+		return fmt.Errorf("replayed membership diverged:\n  replayed: %v\n  fresh:    %v", got, want)
+	}
+	log.Printf("standing: replayed stream equals the fresh answer (%d members)", len(fresh.Members))
+
+	// --- gate telemetry on /metrics -------------------------------------
+	metrics, err := scrape(ctx, baseURL+"/metrics")
+	if err != nil {
+		return err
+	}
+	for _, name := range []string{
+		"sac_subscriptions_active",
+		"sac_subscription_evaluations_total",
+		"sac_subscription_skipped_by_gate_total",
+		"sac_subscription_deltas_total",
+	} {
+		if !strings.Contains(metrics, name) {
+			return fmt.Errorf("/metrics is missing %s", name)
+		}
+	}
+	log.Printf("standing: subscription telemetry exported on /metrics")
+
+	// --- graceful drain: SIGTERM must flush a bye -----------------------
+	log.Printf("standing: sending SIGTERM")
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	byeDeadline := time.Now().Add(30 * time.Second)
+	sawBye := false
+	for !sawBye && time.Now().Before(byeDeadline) {
+		ev, err := nextEvent(ctx, sub, time.Until(byeDeadline))
+		if err != nil {
+			break // channel closed: check Err below
+		}
+		sawBye = ev.Kind == "bye"
+	}
+	if !sawBye && !errors.Is(sub.Err(), client.ErrSubscriptionClosed) {
+		return fmt.Errorf("no bye after SIGTERM (stream err: %v)", sub.Err())
+	}
+	if err := srv.Wait(); err != nil {
+		return fmt.Errorf("server exited non-zero after SIGTERM: %w", err)
+	}
+	killed = true
+	log.Printf("standing: drain flushed the terminal bye, server exited cleanly")
+	return nil
+}
+
+// nextEvent waits for one event or times out. A closed channel is an error
+// carrying the subscription's terminal status.
+func nextEvent(ctx context.Context, sub *client.Subscription, d time.Duration) (client.SubEvent, error) {
+	select {
+	case ev, ok := <-sub.Events:
+		if !ok {
+			return client.SubEvent{}, fmt.Errorf("stream ended: %w", sub.Err())
+		}
+		return ev, nil
+	case <-time.After(d):
+		return client.SubEvent{}, errors.New("timed out waiting for an event")
+	case <-ctx.Done():
+		return client.SubEvent{}, ctx.Err()
+	}
+}
+
+func sortedKeys(m map[int64]bool) []int64 {
+	out := make([]int64, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func scrape(ctx context.Context, url string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// waitReady polls GET /v1/ready until it answers 200.
+func waitReady(ctx context.Context, baseURL string) error {
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/ready", nil)
+		if err == nil {
+			if resp, err := http.DefaultClient.Do(req); err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return nil
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return errors.New("timed out")
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"sacsearch/internal/graph"
+)
+
+// CandidateClosure returns the candidate set X of (q, k) — the connected
+// k-structure containing q — together with its frontier: the vertices
+// outside X adjacent to a member. members is nil when q has no community at
+// this k. Both slices are freshly allocated.
+//
+// The standing-query layer uses the closure as an invalidation gate: every
+// registered algorithm except θ-SAC is a pure function of induced(X) and the
+// locations of X, and (for the k-core metric) X can only change when an
+// applied event touches X itself or moves a frontier vertex into the k-core,
+// so a publication disjoint from the closure cannot change the answer.
+func (s *Searcher) CandidateClosure(q graph.V, k int) (members, frontier []graph.V) {
+	if q < 0 || int(q) >= s.g.NumVertices() || k < 1 {
+		return nil, nil
+	}
+	members = s.communityOf(q, k)
+	if members == nil {
+		return nil, nil
+	}
+	in := graph.NewMarker(s.g.NumVertices())
+	in.MarkAll(members)
+	seen := graph.NewMarker(s.g.NumVertices())
+	for _, v := range members {
+		for _, u := range s.g.Neighbors(v) {
+			if !in.Has(u) && !seen.Has(u) {
+				seen.Mark(u)
+				frontier = append(frontier, u)
+			}
+		}
+	}
+	return members, frontier
+}

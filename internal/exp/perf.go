@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"math/rand"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"sacsearch/internal/kcore"
 	"sacsearch/internal/snapshot"
 	"sacsearch/internal/store"
+	"sacsearch/internal/subscribe"
 	"sacsearch/internal/telemetry"
 	"sacsearch/internal/wal"
 )
@@ -40,12 +42,14 @@ import (
 // (serial vs parallel Exact/Exact+ circle enumeration across worker
 // counts, plus the shared-oracle batch mode on/off), and telemetry
 // overhead (the instrumented per-query hot path against the same path on
-// a nil registry) — so the performance
+// a nil registry), and standing-query costs (mutation-to-delta push
+// latency and the invalidation gate's hit rate under churn) — so the
+// performance
 // trajectory is recorded PR over PR (BENCH_1.json, BENCH_2.json with the
 // churn metric, BENCH_3.json with the serving metrics, BENCH_4.json with
 // the durability metrics, BENCH_7.json with the sharding metrics,
 // BENCH_8.json with the parallelism metrics, BENCH_9.json with the
-// telemetry overhead).
+// telemetry overhead, BENCH_10.json with the standing-query metrics).
 // Measurements use testing.Benchmark so ns/op and allocs/op match what
 // `go test -bench` reports.
 
@@ -72,7 +76,7 @@ type BatchScalePoint struct {
 
 // PerfReport is the full snapshot sacbench writes as JSON.
 type PerfReport struct {
-	Schema     string  `json:"schema"` // "sacsearch-bench/9"
+	Schema     string  `json:"schema"` // "sacsearch-bench/10"
 	Dataset    string  `json:"dataset"`
 	Scale      float64 `json:"scale"`
 	Queries    int     `json:"queries"`
@@ -113,6 +117,10 @@ type PerfReport struct {
 	// Telemetry: the instrumented per-query hot path (span + counters +
 	// histograms live) against the same code on a nil registry (BENCH_9).
 	Telemetry TelemetryPerf `json:"telemetry"`
+
+	// Subscribe: standing-query delta push latency and the invalidation
+	// gate's hit rate under churn (BENCH_10).
+	Subscribe SubscribePerf `json:"subscribe"`
 
 	ElapsedMillis int64 `json:"elapsedMillis"`
 }
@@ -251,6 +259,26 @@ type ServingPerf struct {
 	CancelSamples int `json:"cancelSamples"`
 }
 
+// SubscribePerf is the standing-query measurement set (BENCH_10): how fast
+// a graph mutation reaches a subscribed consumer as a community delta, and
+// how much re-evaluation work the invalidation gate saves under churn that
+// mostly does not touch the subscribed communities.
+type SubscribePerf struct {
+	// DeltaLatencyMicros is the mean wall time from a check-in of a
+	// subscription's anchor vertex returning (snapshot published) to the
+	// consumer receiving the resulting delta on its stream, over
+	// DeltaSamples moves that each force an MCC change.
+	DeltaLatencyMicros float64 `json:"deltaLatencyMicros"`
+	DeltaSamples       int     `json:"deltaSamples"`
+	// Evaluations and SkippedByGate are the manager's counters after the
+	// churn phase; GateHitRatePct = skipped ÷ (skipped + evaluations) —
+	// the fraction of (subscription × batch) decisions the gate absorbed
+	// without running a search.
+	Evaluations    uint64  `json:"evaluations"`
+	SkippedByGate  uint64  `json:"skippedByGate"`
+	GateHitRatePct float64 `json:"gateHitRatePct"`
+}
+
 // Perf measures the report on cfg's first dataset.
 func Perf(cfg Config) (*PerfReport, error) {
 	start := time.Now()
@@ -267,7 +295,7 @@ func Perf(cfg Config) (*PerfReport, error) {
 		return nil, errNoQueries(name)
 	}
 	rep := &PerfReport{
-		Schema:     "sacsearch-bench/9",
+		Schema:     "sacsearch-bench/10",
 		Dataset:    name,
 		Scale:      cfg.Scale,
 		Queries:    len(queries),
@@ -407,6 +435,12 @@ func Perf(cfg Config) (*PerfReport, error) {
 	}
 	rep.Telemetry = telemetryPerf
 
+	subscribePerf, err := measureSubscribe(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Subscribe = subscribePerf
+
 	rep.ElapsedMillis = time.Since(start).Milliseconds()
 	return rep, nil
 }
@@ -481,6 +515,127 @@ func measureTelemetry(g *graph.Graph, queries []graph.V, cfg Config) (TelemetryP
 	}
 	if out.BaseNsPerOp > 0 {
 		out.OverheadPct = (out.InstrumentedNsPerOp - out.BaseNsPerOp) / out.BaseNsPerOp * 100
+	}
+	return out, nil
+}
+
+// measureSubscribe drives a live subscription manager hooked to a snapshot
+// engine (the serving wiring, minus HTTP) through two phases. The latency
+// phase moves one subscription's anchor vertex and times publication →
+// gate → pooled re-evaluation → stream delivery for each resulting delta;
+// anchor moves always change the community's MCC, so every sample produces
+// exactly one event and nothing coalesces. The gate phase churns random
+// vertices with small positional jitter and reads the manager's counters
+// to report how many (subscription × batch) decisions the invalidation
+// gate absorbed. It runs on the sharding bench's constellation graph —
+// disjoint communities — because the gate's leverage is exactly the
+// fraction of the graph outside each subscription's closure: a dense
+// single-component dataset at bench scale degenerates to closure == graph
+// and would honestly (but uselessly) report a 0% hit rate.
+func measureSubscribe(cfg Config) (SubscribePerf, error) {
+	var out SubscribePerf
+	g := constellationGraph(cfg.Seed + 13)
+	queries := dataset.QueryWorkload(g, cfg.MinCore, 8, cfg.Seed)
+	if len(queries) == 0 {
+		return out, fmt.Errorf("subscribe bench: constellation has no vertices with core >= %d", cfg.MinCore)
+	}
+	eng := snapshot.New(g.Clone(), snapshot.Options{})
+	defer eng.Close()
+	mgr := subscribe.NewManager(subscribe.ManagerOptions{
+		Current: eng.Current,
+		// A real registry: the gate counters the report reads are no-ops
+		// on a nil one.
+		Hub: subscribe.Options{Metrics: telemetry.NewRegistry(), StreamBuf: 4096},
+	})
+	defer mgr.Close()
+	eng.SetOnPublish(mgr.Notify)
+
+	nSubs := 8
+	if len(queries) < nSubs {
+		nSubs = len(queries)
+	}
+	streams := make([]*subscribe.Stream, nSubs)
+	for i := 0; i < nSubs; i++ {
+		sub, err := mgr.Register(fmt.Sprintf("bench-%d", i),
+			core.Query{Q: queries[i], K: cfg.K, Algo: "appfast"})
+		if err != nil {
+			return out, err
+		}
+		st, _, err := sub.Attach(0, false)
+		if err != nil {
+			return out, err
+		}
+		streams[i] = st
+	}
+
+	// Every subscription must deliver its init before the timed phase, so
+	// registration-time evaluations don't pollute the first sample.
+	for i, st := range streams {
+		select {
+		case <-st.C:
+		case <-time.After(30 * time.Second):
+			return out, fmt.Errorf("subscription %d never delivered its init", i)
+		}
+	}
+
+	ctx := context.Background()
+	anchor := queries[0]
+	base := g.Loc(anchor)
+	const latencySamples = 30
+	var totalLatency time.Duration
+	for i := 0; i < latencySamples; i++ {
+		// Alternate the anchor around its home location; each move shifts
+		// the MCC so the result hash always changes.
+		p := geom.Point{
+			X: base.X + 0.02 + 0.001*float64(i%7),
+			Y: base.Y - 0.015 + 0.001*float64(i%5),
+		}
+		t0 := time.Now()
+		if err := eng.CheckIn(ctx, anchor, p); err != nil {
+			return out, err
+		}
+		select {
+		case <-streams[0].C:
+			totalLatency += time.Since(t0)
+			out.DeltaSamples++
+		case <-time.After(10 * time.Second):
+			return out, errors.New("anchor move never pushed a delta")
+		}
+	}
+	if out.DeltaSamples > 0 {
+		out.DeltaLatencyMicros = float64(totalLatency.Microseconds()) / float64(out.DeltaSamples)
+	}
+
+	// Gate phase: random-vertex jitter churn across the whole graph.
+	evals0 := mgr.Hub().Evals().Value()
+	skipped0 := mgr.Hub().Skipped().Value()
+	rnd := rand.New(rand.NewSource(cfg.Seed + 10))
+	n := g.NumVertices()
+	const churnEvents = 400
+	deadline := time.Now().Add(120 * time.Second)
+	for i := 0; i < churnEvents; i++ {
+		v := graph.V(rnd.Intn(n))
+		p := g.Loc(v)
+		p.X += (rnd.Float64() - 0.5) * 0.01
+		p.Y += (rnd.Float64() - 0.5) * 0.01
+		if err := eng.CheckIn(ctx, v, p); err != nil {
+			return out, err
+		}
+		// Paced churn: let the dispatcher process each publication before
+		// the next write, so every event is its own gate decision instead
+		// of the whole phase coalescing into one batch (which would reduce
+		// the measurement to a single evaluate-everything decision).
+		for mgr.ProcessedSeq() < eng.Current().Seq() {
+			if time.Now().After(deadline) {
+				return out, errors.New("subscription manager never caught up with the churn")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	out.Evaluations = mgr.Hub().Evals().Value() - evals0
+	out.SkippedByGate = mgr.Hub().Skipped().Value() - skipped0
+	if total := out.Evaluations + out.SkippedByGate; total > 0 {
+		out.GateHitRatePct = float64(out.SkippedByGate) / float64(total) * 100
 	}
 	return out, nil
 }

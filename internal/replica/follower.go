@@ -122,6 +122,10 @@ type Follower struct {
 	mu   sync.Mutex
 	conn net.Conn // live connection, closed by Close to unblock reads
 
+	// onPublish is the post-publish hook stamped onto every engine this
+	// follower builds — the standing-query layer's feed. See SetOnPublish.
+	onPublish atomic.Pointer[func(*snapshot.Snap, []snapshot.AppliedEvent)]
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -175,6 +179,28 @@ func (f *Follower) Current() *snapshot.Snap {
 		return e.Current()
 	}
 	return nil
+}
+
+// SetOnPublish installs fn as the post-publish hook on the current engine
+// and every engine a future re-sync builds, so standing queries keep
+// flowing across engine swaps. After each re-sync swap, fn additionally
+// fires once with the new engine's current snapshot and a nil event list —
+// the change history across a swap is unknown, so subscribers must treat it
+// as a full invalidation (snapshot sequence numbers also restart at 1
+// across swaps). Like Engine.SetOnPublish, fn runs on writer critical paths
+// and must only hand work off.
+func (f *Follower) SetOnPublish(fn func(*snapshot.Snap, []snapshot.AppliedEvent)) {
+	if fn == nil {
+		f.onPublish.Store(nil)
+	} else {
+		f.onPublish.Store(&fn)
+	}
+	if eng := f.eng.Load(); eng != nil {
+		eng.SetOnPublish(fn)
+		if fn != nil {
+			fn(eng.Current(), nil)
+		}
+	}
 }
 
 // Status returns a point-in-time view of replication state.
@@ -378,8 +404,16 @@ func (f *Follower) receiveSnapshot(conn net.Conn, resp response) error {
 		return err
 	}
 	eng := snapshot.New(g, f.opt.Engine)
+	if fn := f.onPublish.Load(); fn != nil {
+		eng.SetOnPublish(*fn)
+	}
 	if old := f.eng.Swap(eng); old != nil {
 		old.Close()
+	}
+	if fn := f.onPublish.Load(); fn != nil {
+		// The swap invalidates every derived answer: no event list can
+		// describe it, so notify with nil (= re-evaluate everything).
+		(*fn)(eng.Current(), nil)
 	}
 	f.applied.Store(resp.StartSeq)
 	if resp.StartSeq > f.leaderSeq.Load() {

@@ -41,6 +41,14 @@ import (
 // routeAssembled gathers the cross-shard k-core closure around q and runs
 // the query locally. owner is q's shard (already consulted and uncertified).
 func (rt *Router) routeAssembled(ctx context.Context, cq core.Query, owner int) (*server.QueryResponse, error) {
+	resp, _, err := rt.routeAssembledGathered(ctx, cq, owner)
+	return resp, err
+}
+
+// routeAssembledGathered is routeAssembled plus the gathered vertex ids —
+// a superset of the candidate set X, which the standing-query layer uses as
+// its check-in watch set.
+func (rt *Router) routeAssembledGathered(ctx context.Context, cq core.Query, owner int) (*server.QueryResponse, []int64, error) {
 	ctx, aspan := telemetry.StartSpan(ctx, "assemble")
 	defer aspan.End()
 	collected := make(map[int64]client.ShardVertex)
@@ -76,7 +84,7 @@ func (rt *Router) routeAssembled(ctx context.Context, cq core.Query, owner int) 
 		pending = make([][]int64, rt.m.Shards)
 		for i, exp := range expansions {
 			if errs[i] != nil {
-				return nil, &legFailure{shards[i], errs[i]}
+				return nil, nil, &legFailure{shards[i], errs[i]}
 			}
 			for _, m := range exp.Members {
 				if _, ok := collected[m.V]; !ok {
@@ -102,9 +110,17 @@ func (rt *Router) routeAssembled(ctx context.Context, cq core.Query, owner int) 
 		// q was alive when its shard declined to certify but dead by the
 		// time the closure ran (concurrent topology churn): at the closure's
 		// snapshot q is outside the global k-core.
-		return nil, core.ErrNoCommunity
+		return nil, nil, core.ErrNoCommunity
 	}
-	return rt.runLocal(ctx, cq, collected)
+	gathered := make([]int64, 0, len(collected))
+	for id := range collected {
+		gathered = append(gathered, id)
+	}
+	resp, err := rt.runLocal(ctx, cq, collected)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, gathered, nil
 }
 
 // routeTheta gathers the θ-SAC catchment disk across all shards and runs

@@ -92,11 +92,24 @@ type Config struct {
 	// number of assembly runs in flight (floor 1) so a busy router degrades
 	// to serial per query instead of oversubscribing cores. 0 disables.
 	QueryParallelism int
+	// MaxSubscriptions caps concurrently live standing queries held by this
+	// router (GET /v1/subscribe). Default 1024.
+	MaxSubscriptions int
+	// SubscribeHeartbeat is the SSE keep-alive comment interval on standing
+	// query streams. Default 15s.
+	SubscribeHeartbeat time.Duration
 }
 
 func (c Config) queryTimeout() time.Duration {
 	if c.QueryTimeout > 0 {
 		return c.QueryTimeout
+	}
+	return 15 * time.Second
+}
+
+func (c Config) subscribeHeartbeat() time.Duration {
+	if c.SubscribeHeartbeat > 0 {
+		return c.SubscribeHeartbeat
 	}
 	return 15 * time.Second
 }
@@ -144,6 +157,9 @@ type Router struct {
 	queryPath *telemetry.CounterVec
 	// expandRounds counts frontier-expansion rounds across assembled queries.
 	expandRounds *telemetry.Counter
+	// subs drives router-held standing queries off the shards' publication
+	// feeds (internal/router/subscribe.go).
+	subs *routerSubs
 }
 
 // New builds a Router over the shard endpoint groups. It validates shapes
@@ -189,6 +205,8 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("POST /v1/batch", rt.handleBatch)
 	rt.mux.HandleFunc("POST /v1/checkin", rt.handleCheckin)
 	rt.mux.HandleFunc("POST /v1/edge", rt.handleEdge)
+	rt.mux.HandleFunc("GET /v1/subscribe", rt.handleSubscribe)
+	rt.subs = newRouterSubs(rt)
 	if cfg.Metrics != nil && cfg.ServeMetrics {
 		rt.mux.Handle("GET /metrics", cfg.Metrics.Handler())
 	}
@@ -263,6 +281,10 @@ func (w *trackingWriter) Write(b []byte) (int, error) {
 	w.wrote = true
 	return w.ResponseWriter.Write(b)
 }
+
+// Unwrap exposes the underlying writer so http.ResponseController can
+// reach Flusher and per-request write deadlines (SSE streams need both).
+func (w *trackingWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // status is the response code sent to the client (200 when the handler
 // never called WriteHeader explicitly).

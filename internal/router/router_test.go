@@ -18,6 +18,7 @@ import (
 	"sacsearch/internal/graph"
 	"sacsearch/internal/server"
 	"sacsearch/internal/shard"
+	"sacsearch/internal/telemetry"
 )
 
 // testGraph builds a spatially clustered social graph. The small sigma
@@ -39,9 +40,17 @@ type topology struct {
 	single *httptest.Server   // the reference: one server over the whole graph
 	shards []*httptest.Server // per-shard servers
 	router *httptest.Server
+	rt     *Router
 
 	singleCl *client.Client
 	routerCl *client.Client
+}
+
+// routerHandler exposes the underlying Router for tests that reach into
+// its subscription state.
+func (tp *topology) routerHandler(t *testing.T) *Router {
+	t.Helper()
+	return tp.rt
 }
 
 func newTopology(t *testing.T, g *graph.Graph, shards int) *topology {
@@ -76,10 +85,14 @@ func newTopology(t *testing.T, g *graph.Graph, shards int) *topology {
 		urls[id] = []string{ts.URL}
 	}
 
-	rt, err := New(Config{Map: tp.m, Shards: urls})
+	// A real registry so tests can read the router's counters (nil would
+	// no-op every instrument).
+	rt, err := New(Config{Map: tp.m, Shards: urls, Metrics: telemetry.NewRegistry()})
 	if err != nil {
 		t.Fatal(err)
 	}
+	tp.rt = rt
+	t.Cleanup(rt.DrainSubscriptions)
 	tp.router = httptest.NewServer(rt)
 	t.Cleanup(tp.router.Close)
 

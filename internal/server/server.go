@@ -69,6 +69,7 @@ import (
 	"sacsearch/internal/shard"
 	"sacsearch/internal/snapshot"
 	"sacsearch/internal/store"
+	"sacsearch/internal/subscribe"
 	"sacsearch/internal/telemetry"
 	"sacsearch/internal/version"
 )
@@ -92,6 +93,12 @@ const (
 	CodeInternal         = "internal"
 	CodeWrongShard       = "wrong_shard"
 	CodeShardUnavailable = "shard_unavailable"
+	// CodeUnknownSubscription: a Last-Event-ID resume names a subscription
+	// id this node no longer holds (expired, or a different node); the
+	// client should drop its resume state and subscribe fresh.
+	CodeUnknownSubscription = "unknown_subscription"
+	// CodeSubscriptionLimit: the standing-query table is full.
+	CodeSubscriptionLimit = "subscription_limit"
 )
 
 // Config tunes a Server. The zero value serves defaults.
@@ -141,6 +148,13 @@ type Config struct {
 	// ShipperStatus, when set on a leader, surfaces outbound replication
 	// state (connected follower count, min acked sequence) in /v1/health.
 	ShipperStatus func() replica.ShipperStatus
+	// MaxSubscriptions caps the standing queries registered at once via
+	// GET /v1/subscribe; past it registrations fail with 429
+	// subscription_limit. Default 1024.
+	MaxSubscriptions int
+	// SubscribeHeartbeat is the SSE heartbeat interval on subscription
+	// streams (default 15s; tests shorten it).
+	SubscribeHeartbeat time.Duration
 	// QueryParallelism is the intra-query parallelism budget for /v1/query:
 	// a lone Exact or ExactPlus request fans its circle enumeration over up
 	// to this many goroutines. The budget is divided by the number of query
@@ -211,6 +225,12 @@ type Server struct {
 	// cert caches the shard exactness certificate for the current topology
 	// (sharded nodes only; see certFor).
 	cert atomic.Pointer[certCache]
+
+	// subs drives the standing queries registered on this node; feed is the
+	// publication firehose served to routers at /v1/shard/watch (sharded
+	// nodes only, nil otherwise).
+	subs *subscribe.Manager
+	feed *subscribe.Feed
 }
 
 // New creates a server over g with default configuration. The server takes
@@ -290,13 +310,39 @@ func newServer(name string, eng *snapshot.Engine, st *store.Store, rep *replica.
 		s.mux.HandleFunc("POST "+p+"/checkin", s.handleCheckin)
 		s.mux.HandleFunc("POST "+p+"/edge", s.handleEdge)
 	}
-	// The shard protocol is router-facing and post-dates /api, so it exists
+	// Standing queries and the shard protocol post-date /api, so they exist
 	// only under /v1.
+	s.mux.HandleFunc("GET /v1/subscribe", s.handleSubscribe)
 	if cfg.Shard != nil {
 		s.mux.HandleFunc("GET /v1/shard/info", s.handleShardInfo)
 		s.mux.HandleFunc("POST /v1/shard/search", s.handleShardSearch)
 		s.mux.HandleFunc("POST /v1/shard/expand", s.handleShardExpand)
 		s.mux.HandleFunc("POST /v1/shard/range", s.handleShardRange)
+		s.mux.HandleFunc("GET /v1/shard/watch", s.handleShardWatch)
+	}
+	s.subs = subscribe.NewManager(subscribe.ManagerOptions{
+		Current: func() *snapshot.Snap {
+			if e := s.engine(); e != nil {
+				return e.Current()
+			}
+			return nil
+		},
+		Hub:    subscribe.Options{Metrics: reg, MaxSubscriptions: cfg.MaxSubscriptions},
+		Logger: cfg.logger(),
+	})
+	if cfg.Shard != nil {
+		s.feed = subscribe.NewFeed(subscribe.Options{Metrics: reg})
+	}
+	hook := func(sn *snapshot.Snap, evs []snapshot.AppliedEvent) {
+		s.subs.Notify(sn, evs)
+		if s.feed != nil {
+			s.feed.Notify(sn, evs)
+		}
+	}
+	if rep != nil {
+		rep.SetOnPublish(hook)
+	} else {
+		eng.SetOnPublish(hook)
 	}
 	if cfg.Metrics != nil && cfg.ServeMetrics {
 		s.mux.Handle("GET /metrics", cfg.Metrics.Handler())
@@ -309,6 +355,7 @@ func newServer(name string, eng *snapshot.Engine, st *store.Store, rep *replica.
 // queries finish against their pinned snapshots; pending writes fail with
 // an error.
 func (s *Server) Close() {
+	s.DrainSubscriptions()
 	switch {
 	case s.rep != nil:
 		s.rep.Close()
@@ -318,6 +365,21 @@ func (s *Server) Close() {
 		s.eng.Close()
 	}
 }
+
+// DrainSubscriptions flushes pending deltas to every standing-query stream,
+// writes the terminal bye event, and closes the streams. Daemons call it on
+// SIGTERM before http.Server.Shutdown, so Shutdown's wait-for-handlers sees
+// the SSE handlers exit instead of hanging until the write timeout. Safe to
+// call more than once; Close calls it too.
+func (s *Server) DrainSubscriptions() {
+	s.subs.Close()
+	if s.feed != nil {
+		s.feed.Close()
+	}
+}
+
+// Subscriptions exposes the standing-query manager (tests).
+func (s *Server) Subscriptions() *subscribe.Manager { return s.subs }
 
 // Engine exposes the snapshot engine (benchmarks and embedding callers). In
 // replica mode the engine changes across re-syncs and is nil before the
@@ -451,6 +513,10 @@ func (w *trackingWriter) Write(b []byte) (int, error) {
 	w.wrote = true
 	return w.ResponseWriter.Write(b)
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer's Flush
+// and SetWriteDeadline — the SSE handlers need both.
+func (w *trackingWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // status is the response code sent to the client (200 when the handler
 // never called WriteHeader explicitly).

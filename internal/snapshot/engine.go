@@ -106,6 +106,13 @@ type Options struct {
 	// so a replica promotion that builds a fresh engine points the scrape
 	// at the live one.
 	Metrics *telemetry.Registry
+	// OnPublish, when non-nil, is called by the writer goroutine right after
+	// each snapshot publication with the published snapshot and the
+	// state-changing events the publication contains (the same list the
+	// Persist hook logs). The events slice is the hook's to keep. The call
+	// runs on the writer's critical path — it must hand work off, never
+	// block. Replaceable later via SetOnPublish.
+	OnPublish func(*Snap, []AppliedEvent)
 }
 
 func (o Options) queueLen() int {
@@ -156,6 +163,12 @@ type Engine struct {
 	published atomic.Uint64 // snapshots published (== latest Snap.Seq)
 	applied   atomic.Uint64 // events applied
 
+	// onPublish is the post-publication hook, swappable at runtime (the
+	// subscription layer attaches after the engine exists; a replica
+	// re-attaches across engine swaps). The writer loads it once per
+	// publication.
+	onPublish atomic.Pointer[func(*Snap, []AppliedEvent)]
+
 	// Nil-safe instruments observed by the writer goroutine.
 	publishDur  *telemetry.Histogram
 	batchEvents *telemetry.Histogram
@@ -198,6 +211,9 @@ func New(g *graph.Graph, opt Options) *Engine {
 		walSeq:  opt.InitialSeq,
 	}
 	e.base.SetParallelism(opt.Parallelism)
+	if opt.OnPublish != nil {
+		e.SetOnPublish(opt.OnPublish)
+	}
 	snap := e.freeze()
 	e.pool = core.NewPool(snap.base)
 	e.cur.Store(snap)
@@ -218,6 +234,19 @@ func New(g *graph.Graph, opt Options) *Engine {
 	}
 	go e.writer(opt.batchMax())
 	return e
+}
+
+// SetOnPublish installs (or, with nil, removes) the post-publication hook.
+// The writer goroutine calls the installed hook after each publication with
+// the new snapshot and its state-changing events; the hook must hand work
+// off rather than block the writer. Safe to call at any time; publications
+// racing the swap see either hook.
+func (e *Engine) SetOnPublish(fn func(*Snap, []AppliedEvent)) {
+	if fn == nil {
+		e.onPublish.Store(nil)
+		return
+	}
+	e.onPublish.Store(&fn)
 }
 
 // Current returns the latest published snapshot: one atomic load, no locks.
@@ -366,7 +395,7 @@ func (e *Engine) writer(batchMax int) {
 			for _, ev := range pending {
 				r := e.apply(ev)
 				results = append(results, r)
-				if e.persist != nil && r.err == nil && (ev.op == opCheckin || r.changed) {
+				if r.err == nil && (ev.op == opCheckin || r.changed) {
 					applied = append(applied, toApplied(ev))
 				}
 			}
@@ -374,7 +403,7 @@ func (e *Engine) writer(batchMax int) {
 			// call before any of it becomes visible. On failure nothing is
 			// published — readers keep the last durable snapshot — and every
 			// waiter in the batch learns its write was lost.
-			if len(applied) > 0 {
+			if e.persist != nil && len(applied) > 0 {
 				seq, err := e.persist(applied)
 				if err != nil {
 					e.persistErr = fmt.Errorf("%w, engine is read-only: %w", ErrPersist, err)
@@ -399,8 +428,16 @@ func (e *Engine) writer(batchMax int) {
 			if e.prev == nil ||
 				e.g.LocEpoch() != e.prev.locEpoch || e.g.TopoEpoch() != e.prev.topoEpoch {
 				start := time.Now()
-				e.cur.Store(e.freeze())
+				snap := e.freeze()
+				e.cur.Store(snap)
 				e.publishDur.Observe(time.Since(start).Seconds())
+				if fn := e.onPublish.Load(); fn != nil {
+					// The hook keeps the slice; the writer's scratch buffer
+					// is reused next batch, so hand over a copy.
+					evs := make([]AppliedEvent, len(applied))
+					copy(evs, applied)
+					(*fn)(snap, evs)
+				}
 			}
 			for i, ev := range pending {
 				ev.done <- results[i]

@@ -1,0 +1,170 @@
+package subscribe
+
+import (
+	"encoding/json"
+	"sync"
+
+	"sacsearch/internal/snapshot"
+	"sacsearch/internal/telemetry"
+)
+
+// Feed event kinds on the /v1/shard/watch wire.
+const (
+	KindPub    = "pub"    // one publication's change summary
+	KindResync = "resync" // the watcher's view is stale: re-evaluate everything
+)
+
+// WatchJSON is the payload of one feed event: the vertices and edges one
+// published snapshot changed. A Resync frame means the change history is
+// unknown (fresh attach, a resume gap, or an engine swap after a replica
+// resync) and every derived answer must be recomputed.
+type WatchJSON struct {
+	Seq      uint64     `json:"seq"`
+	SnapSeq  uint64     `json:"snapSeq,omitempty"`
+	Resync   bool       `json:"resync,omitempty"`
+	Checkins []int64    `json:"checkins,omitempty"`
+	Edges    [][2]int64 `json:"edges,omitempty"`
+}
+
+// Feed is a shard's publication firehose: every published snapshot becomes
+// one compact change-summary event fanned to attached watchers (routers)
+// over SSE, with the same ring/resume/shed machinery as subscription
+// streams. It is the raw signal a router's own invalidation gates run on.
+type Feed struct {
+	ringLen   int
+	streamBuf int
+	sheds     *telemetry.Counter
+
+	mu      sync.Mutex
+	ring    []Event
+	nextSeq uint64
+	streams map[*Stream]struct{}
+	closed  bool
+}
+
+// NewFeed builds a publication feed; opt supplies ring and buffer sizes
+// (metrics feed only the shed counter — evaluation metrics belong to the
+// router consuming the feed).
+func NewFeed(opt Options) *Feed {
+	return &Feed{
+		ringLen:   opt.ringLen(),
+		streamBuf: opt.streamBuf(),
+		sheds: opt.Metrics.Counter("sac_shard_watch_sheds_total",
+			"Shard-watch streams dropped for falling more than one buffer behind."),
+		streams: make(map[*Stream]struct{}),
+	}
+}
+
+// Notify is the engine's post-publish hook: it summarizes one publication
+// (check-ins deduplicated, edges verbatim) into a feed event. A nil events
+// slice — an engine swap after a replica resync — becomes a resync frame.
+func (f *Feed) Notify(snap *snapshot.Snap, events []snapshot.AppliedEvent) {
+	var payload WatchJSON
+	if snap != nil {
+		payload.SnapSeq = snap.Seq()
+	}
+	if events == nil {
+		payload.Resync = true
+	} else {
+		seen := make(map[int64]struct{}, len(events))
+		for i := range events {
+			ev := &events[i]
+			if ev.Checkin {
+				v := int64(ev.V)
+				if _, dup := seen[v]; !dup {
+					seen[v] = struct{}{}
+					payload.Checkins = append(payload.Checkins, v)
+				}
+			} else {
+				payload.Edges = append(payload.Edges, [2]int64{int64(ev.U), int64(ev.W)})
+			}
+		}
+	}
+	kind := KindPub
+	if payload.Resync {
+		kind = KindResync
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	if f.nextSeq == 0 {
+		f.nextSeq = 1
+	}
+	payload.Seq = f.nextSeq
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	ev := Event{Seq: f.nextSeq, Kind: kind, Data: data}
+	f.nextSeq++
+	f.ring = append(f.ring, ev)
+	if len(f.ring) > f.ringLen {
+		copy(f.ring, f.ring[len(f.ring)-f.ringLen:])
+		f.ring = f.ring[:f.ringLen]
+	}
+	fanout(f.streams, ev, f.sheds)
+}
+
+// Attach adds a watcher. The replay is either the ring tail after a
+// resumable Last-Event-ID, or a single synthesized resync frame telling the
+// watcher its view (if any) is stale.
+func (f *Feed) Attach(lastEventID uint64, hasLast bool) (*Stream, []Event, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, nil, ErrClosed
+	}
+	st := newStream(f.streamBuf)
+	f.streams[st] = struct{}{}
+	var latest uint64
+	if f.nextSeq > 0 {
+		latest = f.nextSeq - 1
+	}
+	if hasLast && lastEventID == latest {
+		return st, nil, nil
+	}
+	if hasLast && lastEventID < latest && len(f.ring) > 0 && f.ring[0].Seq <= lastEventID+1 {
+		tail := f.ring[lastEventID+1-f.ring[0].Seq:]
+		replay := make([]Event, len(tail))
+		copy(replay, tail)
+		return st, replay, nil
+	}
+	data, _ := json.Marshal(WatchJSON{Seq: latest, Resync: true})
+	return st, []Event{{Seq: latest, Kind: KindResync, Data: data}}, nil
+}
+
+// Detach removes a watcher stream.
+func (f *Feed) Detach(st *Stream) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.streams, st)
+}
+
+// Close drains the feed: every watcher gets a terminal bye and its stream
+// is closed; later Notify calls are dropped.
+func (f *Feed) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	if f.nextSeq == 0 {
+		f.nextSeq = 1
+	}
+	data, _ := json.Marshal(ByeJSON{Reason: "server draining"})
+	ev := Event{Seq: f.nextSeq, Kind: KindBye, Data: data}
+	f.nextSeq++
+	for st := range f.streams {
+		if !st.shed {
+			select {
+			case st.C <- ev:
+			default:
+			}
+		}
+		close(st.C)
+	}
+	f.streams = make(map[*Stream]struct{})
+}

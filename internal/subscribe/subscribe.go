@@ -1,0 +1,611 @@
+// Package subscribe implements standing SAC queries: a client registers a
+// (q, k, algo) subscription once and is pushed community deltas as check-ins
+// and edge events land, instead of polling /v1/query.
+//
+// The package splits into two halves:
+//
+//   - The delivery core (this file): a Hub of subscriptions, each holding the
+//     last delivered result, a bounded ring of recent events for
+//     Last-Event-ID resume, and any number of attached SSE streams with
+//     slow-consumer shedding.
+//   - An evaluation driver that decides *when* a subscription's answer may
+//     have changed and recomputes it. Manager (manager.go) is the
+//     single-engine driver hooked on snapshot.Engine's post-publish point;
+//     the router package builds its own driver over the per-shard
+//     publication feeds (feed.go).
+//
+// The driver owns each subscription's gate state exclusively (Sub.Gate);
+// the delivery core never touches it, so drivers need no locks there.
+package subscribe
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+
+	"sacsearch/internal/core"
+	"sacsearch/internal/graph"
+	"sacsearch/internal/telemetry"
+)
+
+// Errors returned by Hub.Register. The HTTP layer maps ErrLimit onto a 429
+// subscription_limit envelope.
+var (
+	ErrLimit  = errors.New("subscribe: subscription limit reached")
+	ErrExists = errors.New("subscribe: subscription id already registered")
+	ErrClosed = errors.New("subscribe: subscriptions draining")
+)
+
+// Event kinds on the /v1/subscribe wire.
+const (
+	KindInit  = "init"  // full current result (first event, and after a resume gap)
+	KindDelta = "delta" // joined/left members, MCC change, no-community transitions
+	KindBye   = "bye"   // terminal: the server is draining; reconnect elsewhere
+)
+
+// Event is one SSE frame: a per-subscription sequence number (the SSE id
+// clients echo back as Last-Event-ID), the event kind, and the
+// pre-marshaled JSON payload, encoded once however many streams are
+// attached.
+type Event struct {
+	Seq  uint64
+	Kind string
+	Data []byte
+}
+
+// Circle is the wire shape of a covering circle.
+type Circle struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	R float64 `json:"r"`
+}
+
+// EventJSON is the payload of init and delta events. An init carries the
+// full membership in Members; a delta carries only Joined/Left relative to
+// the previous event. MCC is present whenever a community exists, and Hash
+// fingerprints the full (members, mcc, noCommunity) state after the event,
+// so a client can verify its replayed view without refetching.
+type EventJSON struct {
+	Sub         string  `json:"sub"`
+	Seq         uint64  `json:"seq"`
+	Q           int64   `json:"q"`
+	K           int     `json:"k"`
+	Algo        string  `json:"algo"`
+	NoCommunity bool    `json:"noCommunity"`
+	Members     []int64 `json:"members,omitempty"`
+	Joined      []int64 `json:"joined,omitempty"`
+	Left        []int64 `json:"left,omitempty"`
+	MCC         *Circle `json:"mcc,omitempty"`
+	Delta       float64 `json:"delta,omitempty"`
+	Hash        string  `json:"hash"`
+}
+
+// ByeJSON is the payload of the terminal bye event.
+type ByeJSON struct {
+	Sub    string `json:"sub"`
+	Reason string `json:"reason"`
+}
+
+// EvalResult is one evaluation's outcome, handed to Sub.Apply by a driver.
+// Members must be ascending (core.Result order) and are retained.
+type EvalResult struct {
+	Members     []graph.V
+	MCC         Circle
+	Delta       float64
+	NoCommunity bool
+}
+
+// state is the last delivered result of one subscription.
+type state struct {
+	valid       bool // false until the first Apply
+	noCommunity bool
+	members     []graph.V // ascending
+	mcc         Circle
+	delta       float64
+	hash        uint64
+}
+
+// resultHash fingerprints a result with FNV-1a so "did anything change?" is
+// one word compare and clients can verify replayed state.
+func resultHash(r *EvalResult) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(u uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(u >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	if r.NoCommunity {
+		put(1)
+		return h.Sum64()
+	}
+	put(2)
+	for _, v := range r.Members {
+		put(uint64(v))
+	}
+	put(math.Float64bits(r.MCC.X))
+	put(math.Float64bits(r.MCC.Y))
+	put(math.Float64bits(r.MCC.R))
+	put(math.Float64bits(r.Delta))
+	return h.Sum64()
+}
+
+// Options sizes a Hub. Zero values take the defaults.
+type Options struct {
+	// Metrics is the registry the sac_subscription_* instruments register
+	// on; nil disables them.
+	Metrics *telemetry.Registry
+	// MaxSubscriptions caps registered subscriptions (default 1024).
+	MaxSubscriptions int
+	// RingLen is how many past events each subscription retains for
+	// Last-Event-ID resume (default 64). A resume beyond the ring gets a
+	// fresh init instead.
+	RingLen int
+	// StreamBuf is each attached stream's channel buffer (default 32). A
+	// consumer that falls this far behind is shed and must resume.
+	StreamBuf int
+	// ResumeTTL is how long a subscription with no attached stream is kept
+	// for resume before Sweep reaps it (default 2m).
+	ResumeTTL time.Duration
+}
+
+func (o Options) maxSubs() int {
+	if o.MaxSubscriptions > 0 {
+		return o.MaxSubscriptions
+	}
+	return 1024
+}
+
+func (o Options) ringLen() int {
+	if o.RingLen > 0 {
+		return o.RingLen
+	}
+	return 64
+}
+
+func (o Options) streamBuf() int {
+	if o.StreamBuf > 0 {
+		return o.StreamBuf
+	}
+	return 32
+}
+
+func (o Options) resumeTTL() time.Duration {
+	if o.ResumeTTL > 0 {
+		return o.ResumeTTL
+	}
+	return 2 * time.Minute
+}
+
+// Hub is the delivery core shared by every subscription driver: the
+// registered subscriptions, their limits, and the sac_subscription_*
+// instruments. Safe for concurrent use.
+type Hub struct {
+	opt Options
+
+	mu     sync.Mutex
+	subs   map[string]*Sub
+	closed bool
+
+	active  *telemetry.Gauge
+	evals   *telemetry.Counter
+	skipped *telemetry.Counter
+	deltas  *telemetry.Counter
+	sheds   *telemetry.Counter
+	latency *telemetry.Histogram
+}
+
+// NewHub builds the delivery core and registers its instruments.
+func NewHub(opt Options) *Hub {
+	reg := opt.Metrics
+	return &Hub{
+		opt:  opt,
+		subs: make(map[string]*Sub),
+		active: reg.Gauge("sac_subscriptions_active",
+			"Standing queries currently registered (attached or within the resume TTL)."),
+		evals: reg.Counter("sac_subscription_evaluations_total",
+			"Standing-query re-evaluations actually run."),
+		skipped: reg.Counter("sac_subscription_skipped_by_gate_total",
+			"Publications a subscription skipped because the invalidation gate proved its answer unchanged."),
+		deltas: reg.Counter("sac_subscription_deltas_total",
+			"Delta events appended to subscription streams (init events excluded)."),
+		sheds: reg.Counter("sac_subscription_sheds_total",
+			"Subscriber streams dropped for falling more than one buffer behind."),
+		latency: reg.Histogram("sac_subscription_delta_latency_seconds",
+			"Publication arrival to delta appended, per delta event.", nil),
+	}
+}
+
+// Evals exposes the evaluations counter to drivers.
+func (h *Hub) Evals() *telemetry.Counter { return h.evals }
+
+// Skipped exposes the skipped-by-gate counter to drivers.
+func (h *Hub) Skipped() *telemetry.Counter { return h.skipped }
+
+// Register creates a subscription under id. The query must already be
+// validated; its Algo should be the canonical registry name so event
+// payloads render it consistently. Fails with ErrExists when the id is
+// taken, ErrLimit at capacity, ErrClosed after CloseAll.
+func (h *Hub) Register(id string, q core.Query) (*Sub, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := h.subs[id]; ok {
+		return nil, ErrExists
+	}
+	if len(h.subs) >= h.opt.maxSubs() {
+		return nil, ErrLimit
+	}
+	sub := &Sub{
+		ID:      id,
+		Query:   q,
+		hub:     h,
+		streams: make(map[*Stream]struct{}),
+		// Starts detached: a subscription whose client never attaches (or
+		// never comes back) is reaped by Sweep after the resume TTL.
+		detachedAt: time.Now(),
+	}
+	h.subs[id] = sub
+	h.active.Set(float64(len(h.subs)))
+	return sub, nil
+}
+
+// Get looks a subscription up by id.
+func (h *Hub) Get(id string) (*Sub, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sub, ok := h.subs[id]
+	return sub, ok
+}
+
+// Remove unregisters a subscription and closes its streams.
+func (h *Hub) Remove(id string) {
+	h.mu.Lock()
+	sub, ok := h.subs[id]
+	if ok {
+		delete(h.subs, id)
+		h.active.Set(float64(len(h.subs)))
+	}
+	h.mu.Unlock()
+	if ok {
+		sub.terminate("subscription removed")
+	}
+}
+
+// Snapshot returns the registered subscriptions (order unspecified) — the
+// working set of one driver dispatch round.
+func (h *Hub) Snapshot() []*Sub {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*Sub, 0, len(h.subs))
+	for _, sub := range h.subs {
+		out = append(out, sub)
+	}
+	return out
+}
+
+// Active returns the number of registered subscriptions.
+func (h *Hub) Active() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// Sweep reaps subscriptions that have had no attached stream for the resume
+// TTL, returning how many it removed. Drivers call it periodically.
+func (h *Hub) Sweep() int {
+	cutoff := time.Now().Add(-h.opt.resumeTTL())
+	var dead []*Sub
+	h.mu.Lock()
+	for id, sub := range h.subs {
+		sub.mu.Lock()
+		idle := len(sub.streams) == 0 && !sub.detachedAt.IsZero() && sub.detachedAt.Before(cutoff)
+		sub.mu.Unlock()
+		if idle {
+			delete(h.subs, id)
+			dead = append(dead, sub)
+		}
+	}
+	h.active.Set(float64(len(h.subs)))
+	h.mu.Unlock()
+	for _, sub := range dead {
+		sub.terminate("resume window expired")
+	}
+	return len(dead)
+}
+
+// CloseAll is the drain path: every attached stream gets a terminal bye
+// event (after whatever deltas it already buffered) and is closed, and
+// further Registers fail with ErrClosed. The driver must have stopped
+// dispatching first, so no Apply races the close.
+func (h *Hub) CloseAll() {
+	h.mu.Lock()
+	h.closed = true
+	subs := make([]*Sub, 0, len(h.subs))
+	for _, sub := range h.subs {
+		subs = append(subs, sub)
+	}
+	h.subs = make(map[string]*Sub)
+	h.active.Set(0)
+	h.mu.Unlock()
+	for _, sub := range subs {
+		sub.terminate("server draining")
+	}
+}
+
+// Sub is one standing query: its immutable spec, the last delivered result,
+// the resume ring, and the attached streams.
+type Sub struct {
+	// ID is the subscription id clients resume by.
+	ID string
+	// Query is the validated standing query (canonical Algo name).
+	Query core.Query
+	// Gate is driver-private invalidation state. Only the owning driver's
+	// dispatch loop reads or writes it; the delivery core never does.
+	Gate any
+
+	hub *Hub
+
+	mu         sync.Mutex
+	st         state
+	ring       []Event // contiguous seqs, at most opt.RingLen
+	nextSeq    uint64  // seq the next event will take (first event = 1)
+	streams    map[*Stream]struct{}
+	detachedAt time.Time // zero while any stream is attached
+	closed     bool
+}
+
+// Stream is one attached consumer. Read events from C; when Shed is closed
+// the consumer fell a full buffer behind and the server dropped it — close
+// the transport and let the client resume with Last-Event-ID.
+type Stream struct {
+	C    chan Event
+	Shed chan struct{}
+	shed bool // guarded by the owning Sub's (or Feed's) mu
+}
+
+func newStream(buf int) *Stream {
+	return &Stream{C: make(chan Event, buf), Shed: make(chan struct{})}
+}
+
+// fanout delivers ev to every live stream without ever blocking: a stream
+// whose buffer is full is shed instead. Caller holds the owning mutex.
+func fanout(streams map[*Stream]struct{}, ev Event, sheds *telemetry.Counter) {
+	for st := range streams {
+		if st.shed {
+			continue
+		}
+		select {
+		case st.C <- ev:
+		default:
+			st.shed = true
+			close(st.Shed)
+			sheds.Inc()
+		}
+	}
+}
+
+// Apply records one evaluation's outcome: it diffs against the last
+// delivered state and, when anything changed, appends an init (first
+// result) or delta event to the ring and every attached stream. publishedAt
+// — the arrival time of the publication that triggered the evaluation —
+// feeds the delta-latency histogram (zero skips it, e.g. for the initial
+// evaluation, which no publication triggered).
+func (sub *Sub) Apply(r *EvalResult, publishedAt time.Time) {
+	hash := resultHash(r)
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.closed {
+		return
+	}
+	if sub.st.valid && sub.st.hash == hash {
+		return
+	}
+	var payload EventJSON
+	kind := KindDelta
+	if !sub.st.valid {
+		kind = KindInit
+		payload.Members = toInt64s(r.Members)
+	} else {
+		payload.Joined, payload.Left = diffMembers(sub.st.members, r.Members)
+	}
+	payload.Sub = sub.ID
+	payload.Q = int64(sub.Query.Q)
+	payload.K = sub.Query.K
+	payload.Algo = sub.Query.Algo
+	payload.NoCommunity = r.NoCommunity
+	payload.Hash = fmt.Sprintf("%016x", hash)
+	if !r.NoCommunity {
+		mcc := r.MCC
+		payload.MCC = &mcc
+		payload.Delta = r.Delta
+	}
+	sub.st = state{
+		valid:       true,
+		noCommunity: r.NoCommunity,
+		members:     r.Members,
+		mcc:         r.MCC,
+		delta:       r.Delta,
+		hash:        hash,
+	}
+	sub.append(kind, payload)
+	if kind == KindDelta {
+		sub.hub.deltas.Inc()
+		if !publishedAt.IsZero() {
+			sub.hub.latency.Observe(time.Since(publishedAt).Seconds())
+		}
+	}
+}
+
+// append seals one event into the ring and fans it out. Caller holds sub.mu.
+func (sub *Sub) append(kind string, payload EventJSON) {
+	if sub.nextSeq == 0 {
+		sub.nextSeq = 1
+	}
+	payload.Seq = sub.nextSeq
+	data, err := json.Marshal(payload)
+	if err != nil { // payload is plain numbers and strings; cannot happen
+		return
+	}
+	ev := Event{Seq: sub.nextSeq, Kind: kind, Data: data}
+	sub.nextSeq++
+	sub.ring = append(sub.ring, ev)
+	if max := sub.hub.opt.ringLen(); len(sub.ring) > max {
+		copy(sub.ring, sub.ring[len(sub.ring)-max:])
+		sub.ring = sub.ring[:max]
+	}
+	fanout(sub.streams, ev, sub.hub.sheds)
+}
+
+// Attach adds a consumer stream. replay holds what the consumer must see
+// before reading live events from the stream: with a resumable
+// Last-Event-ID, exactly the ring events after it; otherwise — fresh
+// attach, or a resume that outran the ring — one synthesized init carrying
+// the full current state. A consumer attaching before the first evaluation
+// gets no replay; its init arrives live.
+func (sub *Sub) Attach(lastEventID uint64, hasLast bool) (*Stream, []Event, error) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.closed {
+		return nil, nil, ErrClosed
+	}
+	st := newStream(sub.hub.opt.streamBuf())
+	sub.streams[st] = struct{}{}
+	sub.detachedAt = time.Time{}
+	if !sub.st.valid {
+		return st, nil, nil
+	}
+	latest := sub.nextSeq - 1
+	if hasLast {
+		if lastEventID == latest {
+			return st, nil, nil
+		}
+		if lastEventID < latest && len(sub.ring) > 0 && sub.ring[0].Seq <= lastEventID+1 {
+			tail := sub.ring[lastEventID+1-sub.ring[0].Seq:]
+			replay := make([]Event, len(tail))
+			copy(replay, tail)
+			return st, replay, nil
+		}
+	}
+	return st, []Event{sub.initEvent(latest)}, nil
+}
+
+// initEvent synthesizes a full-state init frame at the given seq (the state
+// after every event ≤ seq). Caller holds sub.mu.
+func (sub *Sub) initEvent(seq uint64) Event {
+	payload := EventJSON{
+		Sub:         sub.ID,
+		Seq:         seq,
+		Q:           int64(sub.Query.Q),
+		K:           sub.Query.K,
+		Algo:        sub.Query.Algo,
+		NoCommunity: sub.st.noCommunity,
+		Members:     toInt64s(sub.st.members),
+		Hash:        fmt.Sprintf("%016x", sub.st.hash),
+	}
+	if !sub.st.noCommunity {
+		mcc := sub.st.mcc
+		payload.MCC = &mcc
+		payload.Delta = sub.st.delta
+	}
+	data, _ := json.Marshal(payload)
+	return Event{Seq: seq, Kind: KindInit, Data: data}
+}
+
+// Detach removes a consumer stream; the last detach starts the resume TTL.
+func (sub *Sub) Detach(st *Stream) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	delete(sub.streams, st)
+	if len(sub.streams) == 0 && !sub.closed {
+		sub.detachedAt = time.Now()
+	}
+}
+
+// terminate sends the terminal bye (after any buffered deltas) and closes
+// every stream. Safe to call once per sub; Hub removal paths guarantee that.
+func (sub *Sub) terminate(reason string) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.closed {
+		return
+	}
+	sub.closed = true
+	if sub.nextSeq == 0 {
+		sub.nextSeq = 1
+	}
+	data, _ := json.Marshal(ByeJSON{Sub: sub.ID, Reason: reason})
+	ev := Event{Seq: sub.nextSeq, Kind: KindBye, Data: data}
+	sub.nextSeq++
+	for st := range sub.streams {
+		if !st.shed {
+			select {
+			case st.C <- ev:
+			default: // a full buffer outranks the goodbye
+			}
+		}
+		close(st.C)
+	}
+	sub.streams = make(map[*Stream]struct{})
+}
+
+// SameQuery reports whether two validated queries denote the same standing
+// query — the check that stops a second client binding an existing
+// subscription id to a different question. Both sides must carry canonical
+// Algo names.
+func SameQuery(a, b core.Query) bool {
+	return a.Algo == b.Algo && a.Q == b.Q && a.K == b.K &&
+		a.Structure == b.Structure &&
+		sameParam(a.EpsF, b.EpsF) && sameParam(a.EpsA, b.EpsA) && sameParam(a.Theta, b.Theta)
+}
+
+func sameParam(a, b *float64) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || *a == *b
+}
+
+func toInt64s(vs []graph.V) []int64 {
+	if vs == nil {
+		return nil
+	}
+	out := make([]int64, len(vs))
+	for i, v := range vs {
+		out[i] = int64(v)
+	}
+	return out
+}
+
+// diffMembers computes joined/left between two ascending member lists by a
+// single merge pass.
+func diffMembers(old, cur []graph.V) (joined, left []int64) {
+	i, j := 0, 0
+	for i < len(old) && j < len(cur) {
+		switch {
+		case old[i] == cur[j]:
+			i++
+			j++
+		case old[i] < cur[j]:
+			left = append(left, int64(old[i]))
+			i++
+		default:
+			joined = append(joined, int64(cur[j]))
+			j++
+		}
+	}
+	for ; i < len(old); i++ {
+		left = append(left, int64(old[i]))
+	}
+	for ; j < len(cur); j++ {
+		joined = append(joined, int64(cur[j]))
+	}
+	return joined, left
+}
